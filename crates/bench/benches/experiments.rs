@@ -1,0 +1,223 @@
+//! One Criterion benchmark per table and figure of the paper's evaluation:
+//! each bench runs the corresponding experiment driver end to end at a
+//! laptop-friendly scale. `cargo bench -p sqlog-bench` therefore regenerates
+//! (and times) every experiment; the printed rows/series come from the
+//! `repro` binary, which shares these drivers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlog_bench::experiments::{
+    ablation, cth_examples, expert, fig2, fig3_4, future_work, purity, runtime, table4, table5,
+    table6_7, table8, Experiment,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: usize = 6_000;
+const SEED: u64 = 42;
+
+fn experiment() -> &'static Experiment {
+    use std::sync::OnceLock;
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| Experiment::new(SCALE, SEED))
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_duplicate_thresholds");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("sweep", |b| {
+        b.iter(|| black_box(table4::run(SCALE, SEED).rows.len()))
+    });
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_results_overview");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("pipeline", |b| {
+        b.iter(|| black_box(table5::run(SCALE, SEED).final_size))
+    });
+    g.finish();
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("table6_top_antipatterns");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("extract", |b| {
+        b.iter(|| black_box(table6_7::table6(exp, 5).len()))
+    });
+    g.finish();
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("table7_top_patterns_clean");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("extract", |b| {
+        b.iter(|| black_box(table6_7::table7(exp, 5).len()))
+    });
+    g.finish();
+}
+
+fn bench_table8(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("table8_sws_grid");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("grid", |b| b.iter(|| black_box(table8::run(exp).len())));
+    g.finish();
+}
+
+fn bench_tables9_10(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("tables9_10_cth_exemplars");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("extract", |b| {
+        b.iter(|| black_box(cth_examples::run(exp).len()))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("a_before_after", |b| {
+        b.iter(|| black_box(fig2::fig2a(exp, 30).0.len()))
+    });
+    g.bench_function("b_freq_vs_userpop", |b| {
+        b.iter(|| black_box(fig2::fig2b(exp, 40).len()))
+    });
+    g.bench_function("c_with_without_users", |b| {
+        b.iter(|| black_box(fig2::fig2c(exp, 10).len()))
+    });
+    g.bench_function("d_cth_true_false", |b| {
+        b.iter(|| black_box(fig2::fig2d(exp).len()))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("fig3_clustering_sweep");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("three_variants", |b| {
+        b.iter(|| black_box(fig3_4::fig3(exp, 3_000, &[0.5, 0.9]).raw.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("fig4_cluster_sizes");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("rank_curves", |b| {
+        b.iter(|| black_box(fig3_4::fig4(exp, 3_000, 0.9, 20).raw_sizes.len()))
+    });
+    g.finish();
+}
+
+fn bench_runtime_sec63(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("sec6_3_runtime");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("original_vs_rewritten", |b| {
+        b.iter(|| {
+            let r = runtime::run(exp, 2_000, 1_000);
+            black_box(r.simulated_speedup())
+        })
+    });
+    g.finish();
+}
+
+fn bench_future_work(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("sec7_future_work_recommender");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("raw_vs_clean", |b| {
+        b.iter(|| black_box(future_work::run(exp, 1).raw_rate))
+    });
+    g.finish();
+}
+
+fn bench_purity(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("purity");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("raw_vs_removal", |b| {
+        b.iter(|| black_box(purity::run(exp, 3_000, 0.9, 50).removal.clusters))
+    });
+    g.finish();
+}
+
+fn bench_expert(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("sec6_7_expert_agreement");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("top40", |b| {
+        b.iter(|| black_box(expert::run(exp, 40).agreement()))
+    });
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let exp = experiment();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("key_axiom", |b| {
+        b.iter(|| black_box(ablation::key_axiom(exp).without_queries))
+    });
+    g.bench_function("session_gap", |b| {
+        b.iter(|| black_box(ablation::session_gap(SCALE, SEED, &[60_000, 300_000]).len()))
+    });
+    g.bench_function("max_ngram", |b| {
+        b.iter(|| black_box(ablation::max_ngram(SCALE, SEED, &[1, 3]).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table4,
+    bench_table5,
+    bench_table6,
+    bench_table7,
+    bench_table8,
+    bench_tables9_10,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_runtime_sec63,
+    bench_future_work,
+    bench_ablation,
+    bench_purity,
+    bench_expert
+);
+criterion_main!(benches);

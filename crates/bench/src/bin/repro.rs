@@ -1,0 +1,219 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale N] [--seed S] [--cap N] <experiment>...
+//! experiments: table4 table5 table6 table7 table8 cth-examples
+//!              fig2a fig2b fig2c fig2d fig3 fig4 runtime future-work ablation purity expert all
+//! ```
+
+use sqlog_bench::experiments::{
+    ablation, cth_examples, expert, fig2, fig3_4, future_work, purity, runtime, table4, table5,
+    table6_7, table8, Experiment,
+};
+
+struct Args {
+    scale: usize,
+    seed: u64,
+    cap: usize,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 100_000,
+        seed: 42,
+        cap: 20_000,
+        experiments: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--cap" => {
+                args.cap = it
+                    .next()
+                    .ok_or("--cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cap: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            exp => args.experiments.push(exp.to_string()),
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments.push("all".to_string());
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: repro [--scale N] [--seed S] [--cap N] <experiment>...\n\
+    experiments: table4 table5 table6 table7 table8 cth-examples\n\
+                 fig2a fig2b fig2c fig2d fig3 fig4 runtime future-work ablation purity expert all";
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let all = args.experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| all || args.experiments.iter().any(|e| e == name);
+
+    // Table 4 runs its own sweep (dedup only — no full pipeline needed).
+    if wants("table4") {
+        println!("{}", table4::render(&table4::run(args.scale, args.seed)));
+    }
+
+    let needs_ctx = [
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "cth-examples",
+        "fig2a",
+        "fig2b",
+        "fig2c",
+        "fig2d",
+        "fig3",
+        "fig4",
+        "runtime",
+        "future-work",
+        "ablation",
+        "purity",
+        "expert",
+    ]
+    .iter()
+    .any(|e| wants(e));
+    if !needs_ctx {
+        return;
+    }
+
+    eprintln!(
+        "[repro] generating log (scale {}) and running the pipeline…",
+        args.scale
+    );
+    let exp = Experiment::new(args.scale, args.seed);
+
+    if wants("table5") {
+        println!("{}", table5::render(&exp.result.stats));
+    }
+    if wants("table6") {
+        println!(
+            "{}",
+            table6_7::render(
+                "Table 6 — most popular antipatterns",
+                &table6_7::table6(&exp, 5)
+            )
+        );
+    }
+    if wants("table7") {
+        println!(
+            "{}",
+            table6_7::render(
+                "Table 7 — most popular patterns after cleaning",
+                &table6_7::table7(&exp, 5)
+            )
+        );
+    }
+    if wants("table8") {
+        println!("{}", table8::render(&table8::run(&exp)));
+    }
+    if wants("cth-examples") {
+        println!("{}", cth_examples::render(&cth_examples::run(&exp)));
+    }
+    if wants("fig2a") {
+        let (before, after) = fig2::fig2a(&exp, 30);
+        println!(
+            "{}",
+            fig2::render_rank_series("Fig. 2(a) — top 30 before cleaning", &before)
+        );
+        println!(
+            "{}",
+            fig2::render_rank_series("Fig. 2(a) — top 30 after cleaning", &after)
+        );
+    }
+    if wants("fig2b") {
+        println!(
+            "{}",
+            fig2::render_rank_series(
+                "Fig. 2(b) — frequency vs userPopularity (top 40)",
+                &fig2::fig2b(&exp, 40)
+            )
+        );
+    }
+    if wants("fig2c") {
+        println!("Fig. 2(c) — top-10 frequencies with vs without user info");
+        println!("{:>12} {:>12}  type", "with", "without");
+        for (with, without, anti) in fig2::fig2c(&exp, 10) {
+            println!(
+                "{:>12} {:>12}  {}",
+                with,
+                without.map_or_else(|| "-".to_string(), |w| w.to_string()),
+                if anti { "antipattern" } else { "pattern" }
+            );
+        }
+        println!();
+    }
+    if wants("fig2d") {
+        println!("{}", fig2::render_cth_points(&fig2::fig2d(&exp)));
+    }
+    if wants("fig3") {
+        let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+        let f = fig3_4::fig3(&exp, args.cap, &thresholds);
+        println!("{}", fig3_4::render_fig3(&f));
+    }
+    if wants("fig4") {
+        let f = fig3_4::fig4(&exp, args.cap, 0.9, 20);
+        println!("{}", fig3_4::render_fig4(&f));
+    }
+    if wants("runtime") {
+        let r = runtime::run(&exp, 10_222.min(args.cap), 5_000);
+        println!("{}", runtime::render(&r));
+        let r = runtime::run_all_stifles(&exp, 10_222.min(args.cap), 5_000);
+        println!("(all stifle classes)\n{}", runtime::render(&r));
+    }
+    if wants("future-work") {
+        println!("{}", future_work::render(&future_work::run(&exp, 1)));
+    }
+    if wants("expert") {
+        println!("{}", expert::render(&expert::run(&exp, 40), 40));
+    }
+    if wants("purity") {
+        let p = purity::run(&exp, args.cap, 0.9, 50);
+        println!("{}", purity::render(&p, 50));
+    }
+    if wants("ablation") {
+        let ka = ablation::key_axiom(&exp);
+        let gaps = ablation::session_gap(
+            args.scale.min(20_000),
+            args.seed,
+            &[10_000, 60_000, 300_000, 3_600_000],
+        );
+        let ngrams = ablation::max_ngram(args.scale.min(20_000), args.seed, &[1, 2, 3, 4]);
+        println!("{}", ablation::render(&ka, &gaps, &ngrams));
+    }
+}

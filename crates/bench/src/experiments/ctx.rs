@@ -1,0 +1,53 @@
+//! Shared experiment context: one generated log + one pipeline run.
+
+use sqlog_catalog::{skyserver_catalog, Catalog};
+use sqlog_core::{Pipeline, PipelineResult};
+use sqlog_gen::{generate, GenConfig};
+use sqlog_log::QueryLog;
+
+/// A generated log together with its pipeline result.
+pub struct Experiment {
+    /// The raw synthetic log.
+    pub log: QueryLog,
+    /// The schema catalog.
+    pub catalog: Catalog,
+    /// The pipeline result over `log`.
+    pub result: PipelineResult,
+    /// Scale (target query count) used.
+    pub scale: usize,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Generates a log at `scale` with `seed` and runs the default pipeline.
+    pub fn new(scale: usize, seed: u64) -> Self {
+        let log = generate(&GenConfig::with_scale(scale, seed));
+        let catalog = skyserver_catalog();
+        let result = Pipeline::new(&catalog).run(&log);
+        Experiment {
+            log,
+            catalog,
+            result,
+            scale,
+            seed,
+        }
+    }
+
+    /// Re-runs the pipeline on an arbitrary log with the same catalog.
+    pub fn run_pipeline(&self, log: &QueryLog) -> PipelineResult {
+        Pipeline::new(&self.catalog).run(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds() {
+        let e = Experiment::new(2_000, 42);
+        assert!(e.log.len() >= 1_500);
+        assert!(e.result.stats.final_size > 0);
+    }
+}

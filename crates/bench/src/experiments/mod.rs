@@ -1,0 +1,17 @@
+//! Experiment drivers, one module per table/figure of the paper.
+
+pub mod ablation;
+pub mod cth_examples;
+pub mod ctx;
+pub mod expert;
+pub mod fig2;
+pub mod fig3_4;
+pub mod future_work;
+pub mod purity;
+pub mod runtime;
+pub mod table4;
+pub mod table5;
+pub mod table6_7;
+pub mod table8;
+
+pub use ctx::Experiment;

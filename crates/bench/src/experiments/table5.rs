@@ -1,0 +1,41 @@
+//! Table 5: results overview.
+//!
+//! Paper: 41 998 253 queries → 40.18 M SELECTs (95.9 %) → 38.53 M after
+//! deduplication (91.74 %) → 30.45 M final (72.51 %); 176 110 patterns;
+//! max pattern frequency 3 349 709; 1 018 / 6 562 / 487 distinct
+//! DW / DS / DF-Stifles covering 6.33 M / 1.28 M / 0.21 M queries; 50
+//! candidate CTH covering 0.42 M queries.
+
+use crate::experiments::Experiment;
+use sqlog_core::{render_statistics, Statistics};
+
+/// Runs the full pipeline and returns the statistics.
+pub fn run(scale: usize, seed: u64) -> Statistics {
+    Experiment::new(scale, seed).result.stats
+}
+
+/// Renders the table.
+pub fn render(s: &Statistics) -> String {
+    format!("Table 5 — results overview\n{}", render_statistics(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_class_magnitudes() {
+        let s = run(20_000, 4002);
+        let q = |c: &str| s.per_class.get(c).map_or(0, |x| x.queries);
+        let d = |c: &str| s.per_class.get(c).map_or(0, |x| x.distinct);
+        // Query mass: DW > DS > DF (Table 5).
+        assert!(q("DW-Stifle") > q("DS-Stifle"));
+        assert!(q("DS-Stifle") > q("DF-Stifle"));
+        // Distinct counts: DS has the longest tail (paper: 6 562 DS vs
+        // 1 018 DW vs 487 DF).
+        assert!(d("DS-Stifle") > d("DF-Stifle"));
+        // Final size below dedup size below original.
+        assert!(s.final_size < s.after_dedup);
+        assert!(s.after_dedup <= s.original_size);
+    }
+}

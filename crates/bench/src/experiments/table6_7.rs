@@ -1,0 +1,81 @@
+//! Tables 6 and 7: the most popular antipatterns and (after cleaning) the
+//! most popular patterns.
+//!
+//! Paper Table 6: the top antipatterns are DW/DS pairs on
+//! `photoprimary.objid` (frequencies 1.45 M / 1.41 M / 1.04 M / 0.56 M /
+//! 0.56 M) from 1–3 distinct IPs. Table 7: after cleaning, the top-5
+//! patterns are spatial searches (8.69 / 8.0 / 5.65 / 5.44 / 1.75 % of the
+//! log) from 1–19 distinct IPs.
+
+use crate::experiments::Experiment;
+use sqlog_core::{render_pattern_table, top_patterns, PatternRow};
+
+/// Table 6: the `k` most frequent *antipattern* patterns.
+pub fn table6(exp: &Experiment, k: usize) -> Vec<PatternRow> {
+    top_patterns(
+        &exp.result.mined,
+        &exp.result.marks,
+        &exp.result.store,
+        400,
+        2,
+    )
+    .into_iter()
+    .filter(|r| r.class.is_some())
+    .take(k)
+    .collect()
+}
+
+/// Table 7: the `k` most frequent patterns of the *cleaned* log.
+pub fn table7(exp: &Experiment, k: usize) -> Vec<PatternRow> {
+    let clean = exp.run_pipeline(&exp.result.clean_log);
+    top_patterns(&clean.mined, &clean.marks, &clean.store, 400, 2)
+        .into_iter()
+        .filter(|r| r.class.is_none())
+        .take(k)
+        .collect()
+}
+
+/// Renders either table.
+pub fn render(title: &str, rows: &[PatternRow]) -> String {
+    format!("{title}\n{}", render_pattern_table(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_top_antipatterns_are_objid_stifles() {
+        let exp = Experiment::new(20_000, 4003);
+        let rows = table6(&exp, 5);
+        assert_eq!(rows.len(), 5);
+        // The paper's dominant antipatterns filter photoprimary by objid.
+        let objid_hits = rows
+            .iter()
+            .filter(|r| r.skeletons[0].contains("objid = <num>"))
+            .count();
+        assert!(objid_hits >= 3, "objid stifles in top-5: {objid_hits}");
+        // Low user popularity (few distinct IPs) throughout.
+        assert!(rows.iter().all(|r| r.user_popularity <= 8));
+    }
+
+    #[test]
+    fn table7_top_patterns_are_spatial_searches() {
+        let exp = Experiment::new(20_000, 4004);
+        let rows = table7(&exp, 5);
+        assert_eq!(rows.len(), 5);
+        let spatial = rows
+            .iter()
+            .filter(|r| {
+                let s = &r.skeletons[0];
+                s.contains("fgetnearbyobjeq")
+                    || s.contains("fgetobjfromrect")
+                    || s.contains("htmid")
+            })
+            .count();
+        assert!(spatial >= 4, "spatial searches in top-5: {spatial}");
+        // None of them is an antipattern (we filtered, but also the marks
+        // must not contain them in the first place for unmarked rows).
+        assert!(rows.iter().all(|r| r.class.is_none()));
+    }
+}

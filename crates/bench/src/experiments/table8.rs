@@ -1,0 +1,77 @@
+//! Table 8: SWS coverage as a function of the frequency and userPopularity
+//! thresholds.
+//!
+//! Paper grid (frequency 10 / 1 / 0.1 / 0.01 % × userPopularity 1–16):
+//! coverage grows from 8.7 % (only the most obvious machine download) to
+//! 46.3 % (aggressive cleaning). Monotone in both directions. The frequency
+//! threshold is interpreted relative to the maximum pattern frequency (see
+//! `sqlog_core::sws`); the strict corner then equals the coverage of the
+//! dominant machine download, as in the paper.
+
+use crate::experiments::Experiment;
+use sqlog_core::sws_grid;
+
+/// The paper's threshold axes.
+pub const FREQUENCY_PCTS: [f64; 4] = [10.0, 1.0, 0.1, 0.01];
+/// The paper's userPopularity axis.
+pub const USER_POPULARITIES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Computes the grid: rows = userPopularity, columns = frequency threshold.
+pub fn run(exp: &Experiment) -> Vec<Vec<f64>> {
+    sws_grid(
+        &exp.result.mined,
+        &exp.result.marks,
+        &FREQUENCY_PCTS,
+        &USER_POPULARITIES,
+    )
+}
+
+/// Renders the grid.
+pub fn render(grid: &[Vec<f64>]) -> String {
+    let mut out = String::from("Table 8 — SWS coverage (%) by thresholds\n");
+    out.push_str(&format!("{:>12}", "userPop \\ f%"));
+    for f in FREQUENCY_PCTS {
+        out.push_str(&format!(" {f:>8}"));
+    }
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        out.push_str(&format!("{:>12}", USER_POPULARITIES[i]));
+        for v in row {
+            out.push_str(&format!(" {v:>8.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_monotone_both_ways() {
+        let exp = Experiment::new(20_000, 4005);
+        let grid = run(&exp);
+        assert_eq!(grid.len(), USER_POPULARITIES.len());
+        for row in &grid {
+            assert_eq!(row.len(), FREQUENCY_PCTS.len());
+            // Lower frequency threshold → more coverage (columns are in
+            // decreasing threshold order).
+            for w in row.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+        for c in 0..FREQUENCY_PCTS.len() {
+            for pair in grid.windows(2) {
+                assert!(pair[0][c] <= pair[1][c] + 1e-9);
+            }
+        }
+        // The corner values bracket a substantial range, like 8.7 → 46.3 in
+        // the paper.
+        let strict = grid[0][0];
+        let loose = grid[USER_POPULARITIES.len() - 1][FREQUENCY_PCTS.len() - 1];
+        assert!(loose > strict, "strict {strict} loose {loose}");
+        assert!(strict >= 3.0, "strict corner too small: {strict}");
+        assert!(loose >= 15.0, "loose corner too small: {loose}");
+    }
+}

@@ -1,0 +1,15 @@
+//! # sqlog-bench — experiment drivers reproducing every table and figure
+//!
+//! Each submodule regenerates one table or figure of the paper's evaluation
+//! (§6) on the synthetic SkyServer-like log. The `repro` binary dispatches
+//! to these drivers and prints the same rows/series the paper reports;
+//! `EXPERIMENTS.md` records paper-reported vs measured values.
+//!
+//! Scale note: the paper analyzed ~42 M queries. The drivers default to
+//! 10⁵-scale logs (laptop-friendly); absolute counts scale down, the shapes
+//! (who wins, by what factor, where crossovers fall) are the reproduction
+//! target.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,164 @@
+//! A small text format for user-defined schemas.
+//!
+//! One table per line:
+//!
+//! ```text
+//! # comment
+//! employees: empid:bigint:pk, name:text, department:text
+//! orders:    orderid:bigint:pk, empid:bigint:fk=employees.empid
+//! ```
+//!
+//! Column syntax: `name:type[:pk | :fk=table.column]` with types `bigint`,
+//! `float`, `text`. This keeps Def. 11's key metadata expressible without
+//! writing Rust.
+
+use crate::schema::{Catalog, ColumnType, TableBuilder};
+use std::fmt;
+
+/// Error from parsing the schema text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SchemaParseError {}
+
+/// Parses the schema text into a catalog.
+pub fn parse_schema(text: &str) -> Result<Catalog, SchemaParseError> {
+    let mut catalog = Catalog::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (table_name, columns) = content.split_once(':').ok_or_else(|| SchemaParseError {
+            line,
+            message: "expected `table: col:type, ...`".into(),
+        })?;
+        let table_name = table_name.trim();
+        if table_name.is_empty() {
+            return Err(SchemaParseError {
+                line,
+                message: "empty table name".into(),
+            });
+        }
+        let mut builder = TableBuilder::new(table_name);
+        for col_spec in columns.split(',') {
+            let col_spec = col_spec.trim();
+            if col_spec.is_empty() {
+                continue;
+            }
+            let mut parts = col_spec.split(':');
+            let name = parts.next().unwrap_or("").trim();
+            let ty = parts.next().unwrap_or("").trim();
+            let flag = parts.next().map(str::trim);
+            if parts.next().is_some() {
+                return Err(SchemaParseError {
+                    line,
+                    message: format!("too many `:` in column spec {col_spec:?}"),
+                });
+            }
+            if name.is_empty() {
+                return Err(SchemaParseError {
+                    line,
+                    message: "empty column name".into(),
+                });
+            }
+            let ty = match ty.to_ascii_lowercase().as_str() {
+                "bigint" | "int" | "integer" => ColumnType::BigInt,
+                "float" | "real" | "double" => ColumnType::Float,
+                "text" | "varchar" | "string" => ColumnType::Text,
+                other => {
+                    return Err(SchemaParseError {
+                        line,
+                        message: format!("unknown type {other:?} for column {name}"),
+                    })
+                }
+            };
+            builder = builder.column(name, ty);
+            match flag {
+                None => {}
+                Some("pk") => builder = builder.primary_key(name),
+                Some(fk) if fk.starts_with("fk=") => {
+                    let target = &fk[3..];
+                    let (ref_table, ref_column) =
+                        target.split_once('.').ok_or_else(|| SchemaParseError {
+                            line,
+                            message: format!("fk target must be table.column, got {target:?}"),
+                        })?;
+                    builder = builder.foreign_key(name, ref_table, ref_column);
+                }
+                Some(other) => {
+                    return Err(SchemaParseError {
+                        line,
+                        message: format!("unknown column flag {other:?}"),
+                    })
+                }
+            }
+        }
+        catalog.add_table(builder.build());
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+        # the paper's running example\n\
+        employees: empid:bigint:pk, id:bigint:pk, name:text, department:text\n\
+        orders: orderid:bigint:pk, empid:bigint:fk=employees.empid, orders:int\n\
+        \n\
+        measurements: ts:float, value:float   # keyless table\n";
+
+    #[test]
+    fn parses_the_sample() {
+        let c = parse_schema(SAMPLE).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.is_key_attribute(Some("employees"), "empid"));
+        assert!(c.is_key_attribute(Some("employees"), "ID"));
+        assert!(c.is_key_attribute(Some("orders"), "empid")); // FK
+        assert!(!c.is_key_attribute(Some("employees"), "name"));
+        assert!(!c.is_key_attribute(Some("measurements"), "value"));
+        assert_eq!(
+            c.join_column("orders", "employees").as_deref(),
+            Some("empid")
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let err = parse_schema("t: a:bogus").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bogus"));
+
+        let err = parse_schema("# ok\nbroken line without colon").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = parse_schema("t: a:int:fk=missing_dot").unwrap_err();
+        assert!(err.message.contains("table.column"));
+
+        let err = parse_schema("t: a:int:sparkly").unwrap_err();
+        assert!(err.message.contains("sparkly"));
+
+        let err = parse_schema("t: a:int:pk:extra").unwrap_err();
+        assert!(err.message.contains("too many"));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let c = parse_schema("\n  # nothing\n\n").unwrap();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! # sqlog-catalog — schema catalog with key metadata
+//!
+//! The antipattern definitions consult a relational schema: Definition 11
+//! requires Stifle filter columns to be *key attributes*, and the DF-Stifle
+//! solver joins tables on a shared key. This crate provides a small catalog
+//! model (tables, columns, primary/foreign keys), a fluent builder, and a
+//! built-in SkyServer-like schema used by the case-study reproduction.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod schema;
+pub mod skyserver;
+
+pub use builder::{parse_schema, SchemaParseError};
+pub use schema::{Catalog, Column, ColumnType, ForeignKey, Table, TableBuilder};
+pub use skyserver::skyserver_catalog;

@@ -1,0 +1,295 @@
+//! Relational schema metadata.
+//!
+//! Definition 11's third axiom ("filCol₁ … filColₙ are key attributes")
+//! distinguishes Stifles from ordinary repeated filters, and the DF-Stifle
+//! solver needs to know on which column two tables join. Both need a schema
+//! catalog. The catalog is deliberately small: names, types, primary keys
+//! and foreign keys — what the detectors and solvers consume, nothing more.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Column types, as coarse as the analyses need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integer (SkyServer objids).
+    BigInt,
+    /// Double-precision float (coordinates, magnitudes).
+    Float,
+    /// Text.
+    Text,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Lower-cased column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// A foreign-key edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing column (in this table).
+    pub column: String,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced column.
+    pub ref_column: String,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Lower-cased table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Primary-key column names.
+    pub primary_key: Vec<String>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Table {
+    /// Looks up a column by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// True if `column` is part of the primary key or a foreign key.
+    pub fn is_key(&self, column: &str) -> bool {
+        self.primary_key
+            .iter()
+            .any(|k| k.eq_ignore_ascii_case(column))
+            || self
+                .foreign_keys
+                .iter()
+                .any(|fk| fk.column.eq_ignore_ascii_case(column))
+    }
+}
+
+/// The schema catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.to_ascii_lowercase(), table);
+    }
+
+    /// Looks up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// The key test of Definition 11. When the query's base table is known,
+    /// the column is checked against that table; otherwise (joins, unknown
+    /// tables, empty catalog) the check falls back to "is a key in *some*
+    /// table". The fallback keeps the framework usable without a schema —
+    /// at the cost of potential false positives, exactly the trade-off the
+    /// paper discusses after Def. 11.
+    pub fn is_key_attribute(&self, table: Option<&str>, column: &str) -> bool {
+        if self.is_empty() {
+            // No schema at all: every filter column passes (the paper's
+            // "we could have omitted the third axiom" mode).
+            return true;
+        }
+        match table.and_then(|t| self.table(t)) {
+            Some(t) => t.is_key(column),
+            None => self.tables.values().any(|t| t.is_key(column)),
+        }
+    }
+
+    /// Finds a join column between two tables: a column that is a key in
+    /// both, preferring a foreign key from one to the other. Used by the
+    /// DF-Stifle solver to build the `INNER JOIN ... ON` rewrite.
+    pub fn join_column(&self, left: &str, right: &str) -> Option<String> {
+        let lt = self.table(left)?;
+        let rt = self.table(right)?;
+        // Foreign key in either direction.
+        for (a, b) in [(lt, rt), (rt, lt)] {
+            if let Some(fk) = a
+                .foreign_keys
+                .iter()
+                .find(|fk| fk.ref_table.eq_ignore_ascii_case(&b.name))
+            {
+                return Some(fk.column.clone());
+            }
+        }
+        // Shared primary-key column name.
+        lt.primary_key
+            .iter()
+            .find(|k| rt.primary_key.iter().any(|rk| rk.eq_ignore_ascii_case(k)))
+            .cloned()
+    }
+}
+
+/// Fluent builder for tables.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    table: Table,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            table: Table {
+                name: name.into().to_ascii_lowercase(),
+                columns: Vec::new(),
+                primary_key: Vec::new(),
+                foreign_keys: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a column.
+    pub fn column(mut self, name: &str, ty: ColumnType) -> Self {
+        self.table.columns.push(Column {
+            name: name.to_ascii_lowercase(),
+            ty,
+        });
+        self
+    }
+
+    /// Declares (part of) the primary key; the column must already exist.
+    pub fn primary_key(mut self, name: &str) -> Self {
+        let name = name.to_ascii_lowercase();
+        debug_assert!(self.table.column(&name).is_some(), "unknown PK column");
+        self.table.primary_key.push(name);
+        self
+    }
+
+    /// Declares a foreign key; the column must already exist.
+    pub fn foreign_key(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        let column = column.to_ascii_lowercase();
+        debug_assert!(self.table.column(&column).is_some(), "unknown FK column");
+        self.table.foreign_keys.push(ForeignKey {
+            column,
+            ref_table: ref_table.to_ascii_lowercase(),
+            ref_column: ref_column.to_ascii_lowercase(),
+        });
+        self
+    }
+
+    /// Finishes the table.
+    pub fn build(self) -> Table {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("Employees")
+                .column("empId", ColumnType::BigInt)
+                .column("name", ColumnType::Text)
+                .column("department", ColumnType::Text)
+                .primary_key("empId")
+                .build(),
+        );
+        c.add_table(
+            TableBuilder::new("Orders")
+                .column("orderId", ColumnType::BigInt)
+                .column("empId", ColumnType::BigInt)
+                .primary_key("orderId")
+                .foreign_key("empId", "Employees", "empId")
+                .build(),
+        );
+        c
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = catalog();
+        assert!(c.table("EMPLOYEES").is_some());
+        assert!(c.table("employees").unwrap().column("EmpID").is_some());
+    }
+
+    #[test]
+    fn key_attribute_checks() {
+        let c = catalog();
+        // PK.
+        assert!(c.is_key_attribute(Some("employees"), "empid"));
+        // FK.
+        assert!(c.is_key_attribute(Some("orders"), "empid"));
+        // Non-key.
+        assert!(!c.is_key_attribute(Some("employees"), "department"));
+        // Unknown table: falls back to any-table check.
+        assert!(c.is_key_attribute(None, "empid"));
+        assert!(!c.is_key_attribute(None, "department"));
+        // Missing table name behaves like None? No: a *named but unknown*
+        // table also falls back.
+        assert!(c.is_key_attribute(Some("nonexistent"), "orderid"));
+    }
+
+    #[test]
+    fn empty_catalog_accepts_everything() {
+        let c = Catalog::new();
+        assert!(c.is_key_attribute(Some("t"), "anything"));
+    }
+
+    #[test]
+    fn join_column_prefers_foreign_keys() {
+        let c = catalog();
+        assert_eq!(
+            c.join_column("orders", "employees").as_deref(),
+            Some("empid")
+        );
+        assert_eq!(
+            c.join_column("employees", "orders").as_deref(),
+            Some("empid")
+        );
+        assert_eq!(c.join_column("employees", "nonexistent"), None);
+    }
+
+    #[test]
+    fn shared_pk_is_a_join_column() {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("a")
+                .column("id", ColumnType::BigInt)
+                .primary_key("id")
+                .build(),
+        );
+        c.add_table(
+            TableBuilder::new("b")
+                .column("id", ColumnType::BigInt)
+                .primary_key("id")
+                .build(),
+        );
+        assert_eq!(c.join_column("a", "b").as_deref(), Some("id"));
+    }
+}

@@ -1,0 +1,182 @@
+//! A SkyServer-like schema.
+//!
+//! A compact model of the SDSS SkyServer tables that actually appear in the
+//! paper's tables and figures: `photoprimary`/`photoobjall` (photometry,
+//! keyed by `objid`), `specobjall`/`specobj` (spectra, keyed by `specobjid`,
+//! FK `bestobjid` → photometry), `dbobjects` (the schema-browser metadata
+//! table of CTH candidate 1), plus the `galaxy`/`star` views and the
+//! employees/orders toy schema of the paper's running example.
+
+use crate::schema::{Catalog, ColumnType, TableBuilder};
+
+/// Photometric measurement columns shared by the photo tables. `rowc_*` /
+/// `colc_*` are the CCD pixel coordinates filtered by the Table-6
+/// antipatterns.
+const PHOTO_COLUMNS: &[(&str, ColumnType)] = &[
+    ("objid", ColumnType::BigInt),
+    ("ra", ColumnType::Float),
+    ("dec", ColumnType::Float),
+    ("u", ColumnType::Float),
+    ("g", ColumnType::Float),
+    ("r", ColumnType::Float),
+    ("i", ColumnType::Float),
+    ("z", ColumnType::Float),
+    ("rowc_g", ColumnType::Float),
+    ("colc_g", ColumnType::Float),
+    ("rowc_r", ColumnType::Float),
+    ("colc_r", ColumnType::Float),
+    ("rowc_i", ColumnType::Float),
+    ("colc_i", ColumnType::Float),
+    ("htmid", ColumnType::BigInt),
+    ("run", ColumnType::BigInt),
+    ("camcol", ColumnType::BigInt),
+    ("field", ColumnType::BigInt),
+    ("type", ColumnType::BigInt),
+    ("flags", ColumnType::BigInt),
+];
+
+fn photo_table(name: &str) -> TableBuilder {
+    let mut b = TableBuilder::new(name);
+    for (col, ty) in PHOTO_COLUMNS {
+        b = b.column(col, *ty);
+    }
+    b.primary_key("objid")
+}
+
+/// Builds the SkyServer-like catalog.
+pub fn skyserver_catalog() -> Catalog {
+    let mut c = Catalog::new();
+
+    c.add_table(photo_table("photoprimary").build());
+    c.add_table(photo_table("photoobjall").build());
+    c.add_table(photo_table("galaxy").build());
+    c.add_table(photo_table("star").build());
+
+    for name in ["specobjall", "specobj"] {
+        c.add_table(
+            TableBuilder::new(name)
+                .column("specobjid", ColumnType::BigInt)
+                .column("bestobjid", ColumnType::BigInt)
+                .column("plate", ColumnType::BigInt)
+                .column("fiberid", ColumnType::BigInt)
+                .column("mjd", ColumnType::BigInt)
+                .column("ra", ColumnType::Float)
+                .column("dec", ColumnType::Float)
+                .column("z", ColumnType::Float)
+                .column("zerr", ColumnType::Float)
+                .column("specclass", ColumnType::BigInt)
+                .primary_key("specobjid")
+                .foreign_key("bestobjid", "photoobjall", "objid")
+                .build(),
+        );
+    }
+
+    // The schema-browser metadata table (CTH candidate 1, Table 9).
+    c.add_table(
+        TableBuilder::new("dbobjects")
+            .column("name", ColumnType::Text)
+            .column("type", ColumnType::Text)
+            .column("access", ColumnType::Text)
+            .column("description", ColumnType::Text)
+            .column("text", ColumnType::Text)
+            .column("rank", ColumnType::BigInt)
+            .primary_key("name")
+            .build(),
+    );
+
+    // The paper's running example (Table 1).
+    c.add_table(
+        TableBuilder::new("employees")
+            .column("empid", ColumnType::BigInt)
+            .column("id", ColumnType::BigInt)
+            .column("name", ColumnType::Text)
+            .column("surname", ColumnType::Text)
+            .column("birthday", ColumnType::Text)
+            .column("phone", ColumnType::Text)
+            .column("department", ColumnType::Text)
+            .primary_key("empid")
+            .primary_key("id")
+            .build(),
+    );
+    c.add_table(
+        TableBuilder::new("employee")
+            .column("empid", ColumnType::BigInt)
+            .column("name", ColumnType::Text)
+            .column("address", ColumnType::Text)
+            .column("phone", ColumnType::Text)
+            .primary_key("empid")
+            .build(),
+    );
+    c.add_table(
+        TableBuilder::new("employeeinfo")
+            .column("empid", ColumnType::BigInt)
+            .column("address", ColumnType::Text)
+            .column("phone", ColumnType::Text)
+            .primary_key("empid")
+            .foreign_key("empid", "employee", "empid")
+            .build(),
+    );
+    c.add_table(
+        TableBuilder::new("orders")
+            .column("orderid", ColumnType::BigInt)
+            .column("empid", ColumnType::BigInt)
+            .column("orders", ColumnType::BigInt)
+            .primary_key("orderid")
+            .foreign_key("empid", "employees", "empid")
+            .build(),
+    );
+
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objid_is_a_key_of_the_photo_tables() {
+        let c = skyserver_catalog();
+        for t in ["photoprimary", "photoobjall", "galaxy", "star"] {
+            assert!(c.is_key_attribute(Some(t), "objid"), "{t}");
+        }
+        // Table-6 antipatterns filter photoprimary by objid: must qualify.
+        assert!(c.is_key_attribute(Some("photoprimary"), "OBJID"));
+        // But `r` (a magnitude) is not a key.
+        assert!(!c.is_key_attribute(Some("photoprimary"), "r"));
+    }
+
+    #[test]
+    fn specobj_links_to_photoobjall() {
+        let c = skyserver_catalog();
+        assert!(c.is_key_attribute(Some("specobjall"), "specobjid"));
+        assert!(c.is_key_attribute(Some("specobjall"), "bestobjid"));
+        assert_eq!(
+            c.join_column("specobjall", "photoobjall").as_deref(),
+            Some("bestobjid")
+        );
+    }
+
+    #[test]
+    fn dbobjects_name_is_key() {
+        let c = skyserver_catalog();
+        // CTH candidate 1's second query filters dbobjects by name.
+        assert!(c.is_key_attribute(Some("dbobjects"), "name"));
+    }
+
+    #[test]
+    fn paper_running_example_schema() {
+        let c = skyserver_catalog();
+        assert!(c.is_key_attribute(Some("employees"), "id"));
+        assert!(c.is_key_attribute(Some("employees"), "empid"));
+        assert!(c.is_key_attribute(Some("orders"), "empid"));
+        assert_eq!(
+            c.join_column("employee", "employeeinfo").as_deref(),
+            Some("empid")
+        );
+    }
+
+    #[test]
+    fn catalog_is_reasonably_sized() {
+        assert!(skyserver_catalog().len() >= 10);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the overlap metric and the clustering.
+
+use proptest::prelude::*;
+use sqlog_cluster::{cluster_regions, region_of_query, Region};
+use sqlog_sql::parse_query;
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    (
+        0u8..3,                   // table choice
+        0i64..1_000,              // window start
+        1i64..200,                // window width
+        prop::option::of(0u8..5), // optional categorical point
+    )
+        .prop_map(|(table, lo, width, point)| {
+            let table = ["t", "u", "v"][table as usize];
+            let sql = match point {
+                Some(p) => format!(
+                    "SELECT x FROM {table} WHERE h >= {lo} AND h <= {} AND k = 'p{p}'",
+                    lo + width
+                ),
+                None => format!(
+                    "SELECT x FROM {table} WHERE h >= {lo} AND h <= {}",
+                    lo + width
+                ),
+            };
+            region_of_query(&parse_query(&sql).unwrap())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Overlap is symmetric and bounded in [0, 1]; a region overlaps itself
+    /// fully; distance is its complement.
+    #[test]
+    fn overlap_metric_properties(a in region_strategy(), b in region_strategy()) {
+        let ab = a.overlap(&b);
+        let ba = b.overlap(&a);
+        prop_assert!((0.0..=1.0).contains(&ab), "overlap {ab}");
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
+        prop_assert!((a.overlap(&a) - 1.0).abs() < 1e-12);
+        prop_assert!((a.distance(&b) - (1.0 - ab)).abs() < 1e-12);
+    }
+
+    /// Region keys identify regions exactly.
+    #[test]
+    fn key_equality_iff_region_equality(a in region_strategy(), b in region_strategy()) {
+        prop_assert_eq!(a.key() == b.key(), a == b);
+    }
+
+    /// Clustering conserves weight and respects the threshold extremes:
+    /// at threshold 0 + ε only identical regions merge; every cluster's
+    /// members pairwise-connect through the distance graph by construction.
+    #[test]
+    fn clustering_conserves_weight(
+        regions in prop::collection::vec(region_strategy(), 1..25),
+        weights in prop::collection::vec(1u64..5, 25),
+        threshold in 0.05f64..0.95,
+    ) {
+        let weights = &weights[..regions.len()];
+        let clustering = cluster_regions(&regions, weights, threshold);
+        let total: u64 = weights.iter().sum();
+        let clustered: u64 = clustering.clusters.iter().map(|c| c.size).sum();
+        prop_assert_eq!(total, clustered);
+        // Every region index appears exactly once.
+        let mut seen = vec![false; regions.len()];
+        for c in &clustering.clusters {
+            for &m in &c.members {
+                prop_assert!(!seen[m], "region {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Raising the threshold never increases the cluster count (more pairs
+    /// connect).
+    #[test]
+    fn threshold_monotonicity(
+        regions in prop::collection::vec(region_strategy(), 1..20),
+    ) {
+        let weights = vec![1u64; regions.len()];
+        let mut prev = usize::MAX;
+        for t in [0.1, 0.5, 0.9] {
+            let c = cluster_regions(&regions, &weights, t).count();
+            prop_assert!(c <= prev, "threshold {t}: {c} > {prev}");
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the cleaning pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Duplicate time threshold in milliseconds (§5.2, Table 4). `None`
+    /// means unrestricted: every identical re-submission by the same user is
+    /// a duplicate regardless of elapsed time.
+    pub duplicate_threshold_ms: Option<u64>,
+    /// Maximum gap between two statements of one user before a new session
+    /// (and thus a new potential pattern instance) starts. Def. 8 requires
+    /// instances to be uninterrupted; the gap bounds "short time between
+    /// them" (§4.1.1).
+    pub session_gap_ms: u64,
+    /// Maximum n-gram length mined as a multi-template pattern.
+    pub max_ngram: usize,
+    /// Minimum frequency for a mined pattern to be reported.
+    pub min_pattern_frequency: u64,
+    /// Maximum time gap between a CTH source query and a follow-up
+    /// (candidates beyond this are not considered part of one hunt).
+    pub cth_max_gap_ms: u64,
+    /// How many subsequent queries after a potential CTH source are examined
+    /// for follow-ups.
+    pub cth_lookahead: usize,
+    /// Enforce Definition 11's third axiom: the Stifle filter column must be
+    /// a key attribute of the queried table. The paper: "We could have
+    /// omitted the third axiom in principle: This would have simplified
+    /// things, but with the potential drawback of some false positives."
+    /// Setting this to `false` is that ablation.
+    pub require_key_attribute: bool,
+    /// Include the filter column in the projection of a DW rewrite, as in
+    /// the paper's Example 10 (`SELECT empId, name ... WHERE empId IN (...)`),
+    /// so result rows remain attributable to the merged constants.
+    pub rewrite_adds_filter_column: bool,
+    /// Number of parser threads (0 = one per available core).
+    pub parse_threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            duplicate_threshold_ms: Some(1_000),
+            session_gap_ms: 300_000,
+            max_ngram: 3,
+            min_pattern_frequency: 2,
+            cth_max_gap_ms: 300_000,
+            cth_lookahead: 8,
+            require_key_attribute: true,
+            rewrite_adds_filter_column: true,
+            parse_threads: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let c = PipelineConfig::default();
+        // §6.2 picks 1 second as the duplicate threshold.
+        assert_eq!(c.duplicate_threshold_ms, Some(1_000));
+        assert!(c.max_ngram >= 2);
+    }
+}

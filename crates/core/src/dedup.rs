@@ -1,0 +1,165 @@
+//! Step 1 of the pipeline: deleting duplicate queries (§5.2).
+//!
+//! Duplicates are identical statements (after text normalization — see
+//! [`sqlog_skeleton::normalize_sql_text`]) from the same user within a small
+//! time window. They are unintended re-submissions — web-form reloads or
+//! application errors — and stand for the *same* information need, so they
+//! are removed before any analysis. The threshold is configurable and
+//! `None` means "unrestricted" (Table 4's last row).
+
+use sqlog_log::{LogEntry, QueryLog};
+use sqlog_skeleton::{text_fingerprint, Fingerprint};
+use std::collections::HashMap;
+
+/// Outcome statistics of duplicate removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DedupStats {
+    /// Entries examined.
+    pub input: usize,
+    /// Entries removed as duplicates.
+    pub removed: usize,
+    /// Entries kept.
+    pub kept: usize,
+}
+
+/// Removes duplicates, returning the pre-cleaned log and statistics.
+///
+/// An entry is a duplicate when the same user issued a textually identical
+/// statement at most `threshold_ms` earlier — where "earlier" compares
+/// against the most recent occurrence, kept *or* removed, so a burst of
+/// reloads collapses to its first statement. A large number of removals can
+/// indicate an application refactoring, which is why the count is reported
+/// (§5.2).
+pub fn dedup(log: &QueryLog, threshold_ms: Option<u64>) -> (QueryLog, DedupStats) {
+    debug_assert!(log.is_time_sorted(), "dedup requires a time-sorted log");
+    let mut last_seen: HashMap<(&str, Fingerprint), i64> = HashMap::new();
+    let mut out: Vec<LogEntry> = Vec::with_capacity(log.len());
+    let mut removed = 0usize;
+
+    for e in &log.entries {
+        let fp = text_fingerprint(&e.statement);
+        let key = (e.user_key(), fp);
+        let now = e.timestamp.millis();
+        let dup = match last_seen.get(&key) {
+            Some(&prev) => match threshold_ms {
+                Some(t) => (now - prev) as u64 <= t,
+                None => true,
+            },
+            None => false,
+        };
+        last_seen.insert(key, now);
+        if dup {
+            removed += 1;
+        } else {
+            out.push(e.clone());
+        }
+    }
+
+    let stats = DedupStats {
+        input: log.len(),
+        removed,
+        kept: out.len(),
+    };
+    (QueryLog::from_entries(out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_log::Timestamp;
+
+    fn entry(id: u64, ms: i64, user: &str, stmt: &str) -> LogEntry {
+        LogEntry::minimal(id, stmt, Timestamp::from_millis(ms)).with_user(user)
+    }
+
+    #[test]
+    fn removes_sub_threshold_repeats() {
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT 1"),
+            entry(1, 500, "a", "SELECT 1"),
+            entry(2, 5_000, "a", "SELECT 1"),
+        ]);
+        let (clean, stats) = dedup(&log, Some(1_000));
+        assert_eq!(stats.removed, 1);
+        assert_eq!(clean.len(), 2);
+        let ids: Vec<_> = clean.entries.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn chains_collapse_to_the_first() {
+        // 0 ─ 900ms ─ 1800ms: each repeat is within 1s of the previous one.
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT 1"),
+            entry(1, 900, "a", "SELECT 1"),
+            entry(2, 1_800, "a", "SELECT 1"),
+        ]);
+        let (clean, stats) = dedup(&log, Some(1_000));
+        assert_eq!(stats.removed, 2);
+        assert_eq!(clean.len(), 1);
+    }
+
+    #[test]
+    fn different_users_never_dedup() {
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT 1"),
+            entry(1, 100, "b", "SELECT 1"),
+        ]);
+        let (_, stats) = dedup(&log, Some(1_000));
+        assert_eq!(stats.removed, 0);
+    }
+
+    #[test]
+    fn unrestricted_threshold_removes_all_repeats() {
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT 1"),
+            entry(1, 86_400_000, "a", "SELECT 1"),
+            entry(2, 0, "a", "SELECT 2"),
+        ]);
+        let mut log = log;
+        log.sort_by_time();
+        let (clean, stats) = dedup(&log, None);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(clean.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_and_case_variants_are_duplicates() {
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT objid FROM photoprimary WHERE x = 1"),
+            entry(1, 300, "a", "select  OBJID\nfrom photoprimary where x = 1"),
+        ]);
+        let (_, stats) = dedup(&log, Some(1_000));
+        assert_eq!(stats.removed, 1);
+    }
+
+    #[test]
+    fn different_constants_are_not_duplicates() {
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT a FROM t WHERE x = 1"),
+            entry(1, 100, "a", "SELECT a FROM t WHERE x = 2"),
+        ]);
+        let (_, stats) = dedup(&log, Some(1_000));
+        assert_eq!(stats.removed, 0);
+    }
+
+    #[test]
+    fn higher_threshold_removes_at_least_as_much() {
+        // Monotonicity property behind Table 4.
+        let mut entries = Vec::new();
+        for i in 0..50i64 {
+            entries.push(entry(i as u64, i * 700, "a", "SELECT 1"));
+            entries.push(entry(100 + i as u64, i * 700 + 350, "a", "SELECT 2"));
+        }
+        let mut log = QueryLog::from_entries(entries);
+        log.sort_by_time();
+        let mut prev_removed = 0;
+        for t in [0u64, 500, 1_000, 2_000, 5_000] {
+            let (_, stats) = dedup(&log, Some(t));
+            assert!(stats.removed >= prev_removed, "threshold {t}");
+            prev_removed = stats.removed;
+        }
+        let (_, unrestricted) = dedup(&log, None);
+        assert!(unrestricted.removed >= prev_removed);
+    }
+}

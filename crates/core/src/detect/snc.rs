@@ -1,0 +1,95 @@
+//! Searching-nullable-columns detection (Definition 16, §5.4).
+//!
+//! `col = NULL` and `col <> NULL` never match anything in SQL's three-valued
+//! logic; the intended forms are `IS NULL` / `IS NOT NULL`. The paper uses
+//! SNC as the worked example of extending the framework with a new
+//! antipattern: a single-query pattern with a direct rewrite.
+
+use super::{AntipatternClass, AntipatternInstance, DetectCtx, Detector};
+
+/// Detects SNC occurrences.
+pub struct SncDetector;
+
+impl Detector for SncDetector {
+    fn name(&self) -> &str {
+        "snc"
+    }
+
+    fn detect(&self, ctx: &DetectCtx<'_>) -> Vec<AntipatternInstance> {
+        let mut out = Vec::new();
+        for (ri, rec) in ctx.records.iter().enumerate() {
+            if rec.profile.null_comparisons().is_empty() {
+                continue;
+            }
+            out.push(AntipatternInstance {
+                class: AntipatternClass::Snc,
+                records: vec![ri],
+                identity: vec![rec.template],
+                marker_keys: vec![vec![rec.template]],
+                solvable: true,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::mine::build_sessions;
+    use crate::parse_step::parse_log;
+    use crate::store::TemplateStore;
+    use sqlog_catalog::skyserver_catalog;
+    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+
+    fn detect(rows: &[&str]) -> Vec<AntipatternInstance> {
+        let log = QueryLog::from_entries(
+            rows.iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    LogEntry::minimal(i as u64, *s, Timestamp::from_secs(i as i64)).with_user("u")
+                })
+                .collect(),
+        );
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        let sessions = build_sessions(&log, &parsed.records, 300_000);
+        let catalog = skyserver_catalog();
+        let config = PipelineConfig::default();
+        let ctx = DetectCtx {
+            log: &log,
+            records: &parsed.records,
+            sessions: &sessions,
+            store: &store,
+            catalog: &catalog,
+            config: &config,
+        };
+        SncDetector.detect(&ctx)
+    }
+
+    #[test]
+    fn detects_paper_examples() {
+        let instances = detect(&[
+            "SELECT * FROM Bugs WHERE assigned_to = NULL",
+            "SELECT * FROM Bugs WHERE assigned_to <> NULL",
+            "SELECT * FROM Bugs WHERE assigned_to IS NULL",
+        ]);
+        assert_eq!(instances.len(), 2);
+        assert!(instances
+            .iter()
+            .all(|i| i.class == AntipatternClass::Snc && i.solvable));
+    }
+
+    #[test]
+    fn snc_inside_conjunction_detected() {
+        let instances = detect(&["SELECT a FROM t WHERE x = 1 AND y = NULL"]);
+        assert_eq!(instances.len(), 1);
+    }
+
+    #[test]
+    fn null_in_select_list_is_fine() {
+        let instances = detect(&["SELECT NULL FROM t WHERE x = 1"]);
+        assert!(instances.is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Step 3 of the pipeline: pattern mining (Definitions 7–10).
+//!
+//! A pattern is a sequence of query templates; an instance is an
+//! uninterrupted run of matching queries from one user (Def. 8). The paper
+//! defines patterns but not a mining algorithm; we use *run-collapse n-gram
+//! mining*:
+//!
+//! 1. the parsed records are split into per-user **sessions** (a new session
+//!    starts when the gap to the user's previous query exceeds
+//!    `session_gap_ms` — Def. 8's "no other requests in between" plus
+//!    §4.1.1's "short time between them"),
+//! 2. within each session, every template occurrence is an instance of the
+//!    length-1 pattern `[t]`, and every *non-overlapping* n-gram occurrence
+//!    (n ≤ `max_ngram`) is an instance of the length-n pattern.
+//!
+//! Frequency counts instances (Def. 9); userPopularity counts distinct users
+//! across instances (Def. 10). Non-overlapping counting makes the DW pair
+//! pattern `[A, A]` of the paper's Table 6 come out at roughly half the
+//! frequency of `[A]`, matching the ratio between Tables 6 and 7.
+
+use crate::config::PipelineConfig;
+use crate::parse_step::ParsedRecord;
+use crate::store::TemplateId;
+use sqlog_log::QueryLog;
+use std::collections::{HashMap, HashSet};
+
+/// One per-user session: indices into the parsed-record vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// Interned user id (index into [`Sessions::user_names`]).
+    pub user: u32,
+    /// Record indices, in time order.
+    pub records: Vec<usize>,
+}
+
+/// All sessions of a parsed log.
+#[derive(Debug, Default)]
+pub struct Sessions {
+    /// The sessions, ordered by (user, time).
+    pub sessions: Vec<Session>,
+    /// Interned user names.
+    pub user_names: Vec<String>,
+}
+
+/// Splits parsed records into per-user sessions.
+pub fn build_sessions(log: &QueryLog, records: &[ParsedRecord], gap_ms: u64) -> Sessions {
+    let mut user_ids: HashMap<&str, u32> = HashMap::new();
+    let mut user_names: Vec<String> = Vec::new();
+    let mut per_user: HashMap<u32, Vec<usize>> = HashMap::new();
+
+    for (ri, rec) in records.iter().enumerate() {
+        let user_key = log.entries[rec.entry_idx as usize].user_key();
+        let uid = *user_ids.entry(user_key).or_insert_with(|| {
+            user_names.push(user_key.to_string());
+            (user_names.len() - 1) as u32
+        });
+        per_user.entry(uid).or_default().push(ri);
+    }
+
+    let mut sessions = Vec::new();
+    let mut uids: Vec<u32> = per_user.keys().copied().collect();
+    uids.sort_unstable();
+    for uid in uids {
+        let stream = &per_user[&uid];
+        let mut current = Session {
+            user: uid,
+            records: Vec::new(),
+        };
+        let mut last_ms: Option<i64> = None;
+        for &ri in stream {
+            let t = log.entries[records[ri].entry_idx as usize]
+                .timestamp
+                .millis();
+            if let Some(prev) = last_ms {
+                if (t - prev) as u64 > gap_ms && !current.records.is_empty() {
+                    sessions.push(std::mem::replace(
+                        &mut current,
+                        Session {
+                            user: uid,
+                            records: Vec::new(),
+                        },
+                    ));
+                }
+            }
+            current.records.push(ri);
+            last_ms = Some(t);
+        }
+        if !current.records.is_empty() {
+            sessions.push(current);
+        }
+    }
+    Sessions {
+        sessions,
+        user_names,
+    }
+}
+
+/// Statistics of one mined pattern.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternData {
+    /// Number of instances (Def. 9).
+    pub frequency: u64,
+    /// Distinct users with at least one instance (Def. 10 is this set's size).
+    pub users: HashSet<u32>,
+}
+
+/// All mined patterns, keyed by their template sequence.
+#[derive(Debug, Default)]
+pub struct MinedPatterns {
+    /// Pattern → statistics.
+    pub patterns: HashMap<Vec<TemplateId>, PatternData>,
+    /// Total SELECT queries mined (denominator for coverage percentages).
+    pub total_queries: u64,
+}
+
+impl MinedPatterns {
+    /// Patterns sorted by descending frequency (rank order of the paper's
+    /// tables and figures), filtered by the configured minimum frequency.
+    pub fn ranked(&self, min_frequency: u64) -> Vec<(&Vec<TemplateId>, &PatternData)> {
+        let mut v: Vec<_> = self
+            .patterns
+            .iter()
+            .filter(|(_, d)| d.frequency >= min_frequency)
+            .collect();
+        v.sort_by(|a, b| b.1.frequency.cmp(&a.1.frequency).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// userPopularity of a pattern (Def. 10).
+    pub fn user_popularity(&self, key: &[TemplateId]) -> usize {
+        self.patterns.get(key).map_or(0, |d| d.users.len())
+    }
+}
+
+/// Mines patterns from the sessions.
+pub fn mine_patterns(
+    sessions: &Sessions,
+    records: &[ParsedRecord],
+    cfg: &PipelineConfig,
+) -> MinedPatterns {
+    let mut patterns: HashMap<Vec<TemplateId>, PatternData> = HashMap::new();
+    let mut total = 0u64;
+
+    for session in &sessions.sessions {
+        let templates: Vec<TemplateId> = session
+            .records
+            .iter()
+            .map(|&ri| records[ri].template)
+            .collect();
+        total += templates.len() as u64;
+
+        // Unigrams: every occurrence is an instance.
+        for &t in &templates {
+            let d = patterns.entry(vec![t]).or_default();
+            d.frequency += 1;
+            d.users.insert(session.user);
+        }
+
+        // n-grams, non-overlapping per pattern. The table of
+        // last-counted-occurrence ends is per session; its keys borrow from
+        // `templates`, so it lives inside this scope.
+        for n in 2..=cfg.max_ngram.max(1) {
+            if templates.len() < n {
+                break;
+            }
+            let mut last_end: HashMap<&[TemplateId], usize> = HashMap::new();
+            for i in 0..=(templates.len() - n) {
+                let gram = &templates[i..i + n];
+                let end = last_end.get(gram).copied().unwrap_or(0);
+                if i >= end {
+                    last_end.insert(gram, i + n);
+                    let d = patterns.entry(gram.to_vec()).or_default();
+                    d.frequency += 1;
+                    d.users.insert(session.user);
+                }
+            }
+        }
+    }
+
+    MinedPatterns {
+        patterns,
+        total_queries: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_step::parse_log;
+    use crate::store::TemplateStore;
+    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+
+    fn log_of(rows: &[(&str, i64, &str)]) -> (QueryLog, Vec<ParsedRecord>, TemplateStore) {
+        let log = QueryLog::from_entries(
+            rows.iter()
+                .enumerate()
+                .map(|(i, (stmt, secs, user))| {
+                    LogEntry::minimal(i as u64, *stmt, Timestamp::from_secs(*secs)).with_user(*user)
+                })
+                .collect(),
+        );
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        (log, parsed.records, store)
+    }
+
+    #[test]
+    fn sessions_split_on_gap_and_user() {
+        let (log, records, _) = log_of(&[
+            ("SELECT a FROM t WHERE x = 1", 0, "u1"),
+            ("SELECT a FROM t WHERE x = 2", 10, "u1"),
+            ("SELECT a FROM t WHERE x = 3", 10_000, "u1"), // > gap
+            ("SELECT a FROM t WHERE x = 4", 12, "u2"),
+        ]);
+        // With a 20 000 s gap allowance only the user switch splits.
+        let s = build_sessions(&log, &records, 20_000_000);
+        assert_eq!(s.sessions.len(), 2);
+        // With a 60 s allowance the 9 990 s pause splits u1's stream too
+        // (but the 10 s gap does not).
+        let s = build_sessions(&log, &records, 60_000);
+        assert_eq!(s.sessions.len(), 3);
+        assert_eq!(s.user_names.len(), 2);
+    }
+
+    #[test]
+    fn unigram_frequencies_count_queries() {
+        let (log, records, _) = log_of(&[
+            ("SELECT a FROM t WHERE x = 1", 0, "u1"),
+            ("SELECT a FROM t WHERE x = 2", 1, "u1"),
+            ("SELECT a FROM t WHERE x = 3", 2, "u2"),
+        ]);
+        let sessions = build_sessions(&log, &records, 300_000);
+        let mined = mine_patterns(&sessions, &records, &PipelineConfig::default());
+        let t = records[0].template;
+        let d = &mined.patterns[&vec![t]];
+        assert_eq!(d.frequency, 3);
+        assert_eq!(d.users.len(), 2);
+        assert_eq!(mined.total_queries, 3);
+    }
+
+    #[test]
+    fn bigrams_count_non_overlapping() {
+        // A A A A → [A,A] must count 2, not 3.
+        let (log, records, _) = log_of(&[
+            ("SELECT a FROM t WHERE x = 1", 0, "u1"),
+            ("SELECT a FROM t WHERE x = 2", 1, "u1"),
+            ("SELECT a FROM t WHERE x = 3", 2, "u1"),
+            ("SELECT a FROM t WHERE x = 4", 3, "u1"),
+        ]);
+        let sessions = build_sessions(&log, &records, 300_000);
+        let mined = mine_patterns(&sessions, &records, &PipelineConfig::default());
+        let t = records[0].template;
+        assert_eq!(mined.patterns[&vec![t, t]].frequency, 2);
+        assert_eq!(mined.patterns[&vec![t]].frequency, 4);
+    }
+
+    #[test]
+    fn alternation_yields_both_orders() {
+        // A B A B → [A,B] twice, [B,A] once.
+        let (log, records, _) = log_of(&[
+            ("SELECT a FROM t WHERE x = 1", 0, "u1"),
+            ("SELECT b FROM t WHERE x = 1", 1, "u1"),
+            ("SELECT a FROM t WHERE x = 2", 2, "u1"),
+            ("SELECT b FROM t WHERE x = 2", 3, "u1"),
+        ]);
+        let sessions = build_sessions(&log, &records, 300_000);
+        let mined = mine_patterns(&sessions, &records, &PipelineConfig::default());
+        let (a, b) = (records[0].template, records[1].template);
+        assert_eq!(mined.patterns[&vec![a, b]].frequency, 2);
+        assert_eq!(mined.patterns[&vec![b, a]].frequency, 1);
+    }
+
+    #[test]
+    fn patterns_do_not_cross_session_boundaries() {
+        let (log, records, _) = log_of(&[
+            ("SELECT a FROM t WHERE x = 1", 0, "u1"),
+            ("SELECT b FROM t WHERE x = 1", 1_000_000, "u1"),
+        ]);
+        let sessions = build_sessions(&log, &records, 300_000);
+        let mined = mine_patterns(&sessions, &records, &PipelineConfig::default());
+        let (a, b) = (records[0].template, records[1].template);
+        assert!(!mined.patterns.contains_key(&vec![a, b]));
+    }
+
+    #[test]
+    fn ranked_orders_by_frequency() {
+        let (log, records, _) = log_of(&[
+            ("SELECT a FROM t WHERE x = 1", 0, "u1"),
+            ("SELECT a FROM t WHERE x = 2", 1, "u1"),
+            ("SELECT c FROM t WHERE x = 1", 2, "u1"),
+        ]);
+        let sessions = build_sessions(&log, &records, 300_000);
+        let mined = mine_patterns(&sessions, &records, &PipelineConfig::default());
+        let ranked = mined.ranked(1);
+        assert!(ranked[0].1.frequency >= ranked.last().unwrap().1.frequency);
+        // min_frequency filters.
+        let ranked2 = mined.ranked(2);
+        assert!(ranked2.len() < ranked.len());
+    }
+}

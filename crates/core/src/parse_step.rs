@@ -1,0 +1,231 @@
+//! Step 2 of the pipeline: parsing statements (§5.3).
+//!
+//! Every statement of the pre-cleaned log is parsed into a syntax tree.
+//! Statements with syntax errors are excluded (counted), non-SELECT
+//! statements are excluded (counted per kind), and each surviving SELECT is
+//! reduced to a compact [`ParsedRecord`]: its interned template id plus the
+//! predicate facts the detectors need. The full AST is *not* retained —
+//! records must stay small enough for multi-million-entry logs; solvers that
+//! need an AST re-parse the one statement they rewrite.
+//!
+//! Parsing is embarrassingly parallel and runs on a scoped thread pool.
+
+use crate::store::{TemplateId, TemplateStore};
+use sqlog_log::QueryLog;
+use sqlog_skeleton::{primary_table, OutputColumns, PredicateProfile, QueryTemplate};
+use sqlog_sql::{parse_statements, Statement, StatementKind};
+use std::collections::HashMap;
+
+/// A parsed SELECT statement, reduced to analysis facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Index into the pre-cleaned log's entry vector.
+    pub entry_idx: u32,
+    /// Interned template.
+    pub template: TemplateId,
+    /// Classified WHERE-clause conjuncts.
+    pub profile: PredicateProfile,
+    /// Output columns of the projection.
+    pub output: OutputColumns,
+    /// The single base table, when the FROM clause is one plain table.
+    pub primary_table: Option<String>,
+}
+
+/// Counters from the parse step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParseStats {
+    /// Statements examined.
+    pub total: usize,
+    /// Statements kept (SELECTs that parsed).
+    pub selects: usize,
+    /// Statements dropped for syntax errors.
+    pub errors: usize,
+    /// Statements dropped per non-SELECT kind.
+    pub non_select: HashMap<StatementKind, usize>,
+}
+
+impl ParseStats {
+    /// Total non-SELECT statements dropped.
+    pub fn non_select_total(&self) -> usize {
+        self.non_select.values().sum()
+    }
+}
+
+/// The parsed log: records (in log order) plus statistics.
+#[derive(Debug)]
+pub struct ParsedLog {
+    /// Records for the SELECT statements, ordered by log position.
+    pub records: Vec<ParsedRecord>,
+    /// Parse statistics.
+    pub stats: ParseStats,
+}
+
+enum Outcome {
+    Select(Box<ParsedRecord>),
+    NonSelect(StatementKind),
+    Error,
+}
+
+fn parse_one(store: &TemplateStore, entry_idx: u32, sql: &str) -> Outcome {
+    match parse_statements(sql) {
+        Ok(stmts) => {
+            // A log row occasionally contains a `;`-separated batch; the
+            // analysis treats the first SELECT as the row's query, matching
+            // the one-row-one-query model of the SkyServer log.
+            for stmt in &stmts {
+                if let Statement::Select(q) = stmt {
+                    let template = store.intern(QueryTemplate::of_query(q));
+                    return Outcome::Select(Box::new(ParsedRecord {
+                        entry_idx,
+                        template,
+                        profile: PredicateProfile::of_select(&q.body),
+                        output: OutputColumns::of_select(&q.body),
+                        primary_table: primary_table(&q.body),
+                    }));
+                }
+            }
+            match stmts.first() {
+                Some(Statement::Other(kind)) => Outcome::NonSelect(*kind),
+                _ => Outcome::Error,
+            }
+        }
+        Err(_) => Outcome::Error,
+    }
+}
+
+/// Parses a pre-cleaned log into records, interning templates in `store`.
+///
+/// `threads == 0` uses one thread per available core.
+pub fn parse_log(log: &QueryLog, store: &TemplateStore, threads: usize) -> ParsedLog {
+    let n = log.len();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+    .clamp(1, 64);
+
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let mut results: Vec<Vec<Outcome>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = log
+            .entries
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, entries)| {
+                s.spawn(move |_| {
+                    entries
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| parse_one(store, (ci * chunk + i) as u32, &e.statement))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("parser thread panicked"));
+        }
+    })
+    .expect("parser scope panicked");
+
+    let mut stats = ParseStats {
+        total: n,
+        ..ParseStats::default()
+    };
+    let mut records = Vec::with_capacity(n);
+    for outcome in results.into_iter().flatten() {
+        match outcome {
+            Outcome::Select(rec) => {
+                stats.selects += 1;
+                records.push(*rec);
+            }
+            Outcome::NonSelect(kind) => {
+                *stats.non_select.entry(kind).or_default() += 1;
+            }
+            Outcome::Error => stats.errors += 1,
+        }
+    }
+    ParsedLog { records, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_log::{LogEntry, Timestamp};
+
+    fn log(statements: &[&str]) -> QueryLog {
+        QueryLog::from_entries(
+            statements
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    LogEntry::minimal(i as u64, *s, Timestamp::from_secs(i as i64)).with_user("u")
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn filters_non_select_and_errors() {
+        let log = log(&[
+            "SELECT a FROM t WHERE x = 1",
+            "INSERT INTO t VALUES (1)",
+            "SELECT b FROM",
+            "DELETE FROM t",
+            "SELECT a FROM t WHERE x = 2",
+        ]);
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        assert_eq!(parsed.stats.total, 5);
+        assert_eq!(parsed.stats.selects, 2);
+        assert_eq!(parsed.stats.errors, 1);
+        assert_eq!(parsed.stats.non_select_total(), 2);
+        assert_eq!(parsed.records.len(), 2);
+        // Same skeleton → same template id.
+        assert_eq!(parsed.records[0].template, parsed.records[1].template);
+        assert_eq!(store.len(), 1);
+        // Entry indices point into the input log.
+        assert_eq!(parsed.records[0].entry_idx, 0);
+        assert_eq!(parsed.records[1].entry_idx, 4);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let statements: Vec<String> = (0..500)
+            .map(|i| format!("SELECT c{} FROM t WHERE x = {}", i % 7, i))
+            .collect();
+        let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+        let log = log(&refs);
+        let store1 = TemplateStore::new();
+        let seq = parse_log(&log, &store1, 1);
+        let store2 = TemplateStore::new();
+        let par = parse_log(&log, &store2, 8);
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.records.len(), par.records.len());
+        for (a, b) in seq.records.iter().zip(&par.records) {
+            assert_eq!(a.entry_idx, b.entry_idx);
+            // Template ids may differ across stores; compare fingerprints.
+            assert_eq!(
+                store1.get(a.template).fingerprint,
+                store2.get(b.template).fingerprint
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rows_use_first_select() {
+        let log = log(&["INSERT INTO t VALUES (1); SELECT a FROM t WHERE x = 1"]);
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        assert_eq!(parsed.stats.selects, 1);
+        assert_eq!(parsed.records[0].primary_table.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn empty_log_is_fine() {
+        let store = TemplateStore::new();
+        let parsed = parse_log(&QueryLog::new(), &store, 4);
+        assert_eq!(parsed.stats.total, 0);
+        assert!(parsed.records.is_empty());
+    }
+}

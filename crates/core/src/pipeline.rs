@@ -1,0 +1,396 @@
+//! The full cleaning pipeline (Fig. 1 of the paper).
+//!
+//! ```text
+//! Original log ─► delete duplicates ─► parse statements ─► templates
+//!              ─► pattern mining ─► antipattern detection ─► solve
+//!              ─► clean log + removal log + statistics
+//! ```
+
+use crate::config::PipelineConfig;
+use crate::dedup::dedup;
+use crate::detect::{
+    detect_builtin, sort_instances, AntipatternClass, AntipatternInstance, DetectCtx,
+};
+use crate::ext::ExtensionRegistry;
+use crate::mine::{build_sessions, mine_patterns, MinedPatterns};
+use crate::parse_step::parse_log;
+use crate::solve::apply_solutions;
+use crate::stats::{ClassCounts, Statistics};
+use crate::store::{TemplateId, TemplateStore};
+use sqlog_catalog::Catalog;
+use sqlog_log::QueryLog;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The configured pipeline.
+pub struct Pipeline<'a> {
+    /// Tunables.
+    pub config: PipelineConfig,
+    /// Schema catalog for key-attribute checks.
+    pub catalog: &'a Catalog,
+    /// Extension antipatterns (§5.4).
+    pub extensions: ExtensionRegistry<'a>,
+}
+
+/// Everything the pipeline produces.
+pub struct PipelineResult {
+    /// Table-5-style statistics.
+    pub stats: Statistics,
+    /// The clean log (antipatterns solved).
+    pub clean_log: QueryLog,
+    /// The removal log (antipattern queries dropped).
+    pub removal_log: QueryLog,
+    /// Mined patterns.
+    pub mined: MinedPatterns,
+    /// Pattern keys marked as antipatterns.
+    pub marks: HashMap<Vec<TemplateId>, AntipatternClass>,
+    /// Detected instances, in order of appearance.
+    pub instances: Vec<AntipatternInstance>,
+    /// For each instance, the original-log entry ids it covers (usable to
+    /// join against workload-generator ground truth).
+    pub instance_entry_ids: Vec<Vec<u64>>,
+    /// The interned templates.
+    pub store: TemplateStore,
+}
+
+impl PipelineResult {
+    /// Per-entry antipattern tags — the paper's Table 2 view, where each
+    /// parsed statement is marked with every antipattern it belongs to
+    /// (a statement can carry several: Table 2's queries 2–4 are both CTH
+    /// and DW-Stifle).
+    pub fn entry_tags(&self) -> HashMap<u64, Vec<AntipatternClass>> {
+        let mut tags: HashMap<u64, Vec<AntipatternClass>> = HashMap::new();
+        for (inst, entry_ids) in self.instances.iter().zip(&self.instance_entry_ids) {
+            for &id in entry_ids {
+                let t = tags.entry(id).or_default();
+                if !t.contains(&inst.class) {
+                    t.push(inst.class.clone());
+                }
+            }
+        }
+        tags
+    }
+}
+
+impl<'a> Pipeline<'a> {
+    /// A pipeline with default configuration and no extensions.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Pipeline {
+            config: PipelineConfig::default(),
+            catalog,
+            extensions: ExtensionRegistry::new(),
+        }
+    }
+
+    /// Sets the configuration.
+    pub fn with_config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers extensions.
+    pub fn with_extensions(mut self, extensions: ExtensionRegistry<'a>) -> Self {
+        self.extensions = extensions;
+        self
+    }
+
+    /// Runs the pipeline over a log.
+    pub fn run(&self, original: &QueryLog) -> PipelineResult {
+        // Step 1: delete duplicates (§5.2).
+        let mut sorted;
+        let input = if original.is_time_sorted() {
+            original
+        } else {
+            sorted = original.clone();
+            sorted.sort_by_time();
+            &sorted
+        };
+        let (pre_clean, dedup_stats) = dedup(input, self.config.duplicate_threshold_ms);
+
+        // Step 2: parse statements (§5.3).
+        let store = TemplateStore::new();
+        let parsed = parse_log(&pre_clean, &store, self.config.parse_threads);
+
+        // Step 3: sessions + pattern mining (§4.1, Defs. 7–10).
+        let sessions = build_sessions(&pre_clean, &parsed.records, self.config.session_gap_ms);
+        let mined = mine_patterns(&sessions, &parsed.records, &self.config);
+
+        // Step 4: antipattern detection (Defs. 11–16 + extensions).
+        let ctx = DetectCtx {
+            log: &pre_clean,
+            records: &parsed.records,
+            sessions: &sessions,
+            store: &store,
+            catalog: self.catalog,
+            config: &self.config,
+        };
+        let mut instances = detect_builtin(&ctx);
+        for detector in &self.extensions.detectors {
+            instances.extend(detector.detect(&ctx));
+        }
+        sort_instances(&mut instances);
+
+        // Pattern marks.
+        let mut marks: HashMap<Vec<TemplateId>, AntipatternClass> = HashMap::new();
+        for inst in &instances {
+            for key in &inst.marker_keys {
+                marks
+                    .entry(key.clone())
+                    .or_insert_with(|| inst.class.clone());
+            }
+        }
+
+        // Step 5: solve (§5.5).
+        let solvers = self.extensions.solver_set();
+        let outcome = apply_solutions(&ctx, &instances, &solvers);
+
+        // Statistics.
+        let mut per_class: BTreeMap<String, ClassCounts> = BTreeMap::new();
+        let mut distinct_per_class: HashMap<String, HashSet<Vec<TemplateId>>> = HashMap::new();
+        for inst in &instances {
+            let label = inst.class.label().to_string();
+            let c = per_class.entry(label.clone()).or_default();
+            c.instances += 1;
+            c.queries += inst.records.len();
+            distinct_per_class
+                .entry(label)
+                .or_default()
+                .insert(inst.identity.clone());
+        }
+        for (label, set) in distinct_per_class {
+            per_class.entry(label).or_default().distinct = set.len();
+        }
+
+        let stats = Statistics {
+            original_size: original.len(),
+            duplicates_removed: dedup_stats.removed,
+            after_dedup: pre_clean.len(),
+            select_count: parsed.stats.selects,
+            syntax_errors: parsed.stats.errors,
+            non_select: parsed.stats.non_select_total(),
+            final_size: outcome.clean_log.len(),
+            removal_size: outcome.removal_log.len(),
+            pattern_count: mined
+                .patterns
+                .values()
+                .filter(|d| d.frequency >= self.config.min_pattern_frequency)
+                .count(),
+            max_pattern_frequency: mined
+                .patterns
+                .values()
+                .map(|d| d.frequency)
+                .max()
+                .unwrap_or(0),
+            per_class,
+            solved_instances: outcome.solved_instances,
+            solved_queries: outcome.solved_queries,
+            rewritten_statements: outcome.rewritten_statements,
+            skipped_overlaps: outcome.skipped_overlaps,
+        };
+
+        let instance_entry_ids = instances
+            .iter()
+            .map(|inst| {
+                inst.records
+                    .iter()
+                    .map(|&ri| pre_clean.entries[parsed.records[ri].entry_idx as usize].id)
+                    .collect()
+            })
+            .collect();
+
+        PipelineResult {
+            stats,
+            clean_log: outcome.clean_log,
+            removal_log: outcome.removal_log,
+            mined,
+            marks,
+            instances,
+            instance_entry_ids,
+            store,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_catalog::skyserver_catalog;
+    use sqlog_log::{LogEntry, Timestamp};
+
+    fn log_of(rows: &[(&str, i64, &str)]) -> QueryLog {
+        QueryLog::from_entries(
+            rows.iter()
+                .enumerate()
+                .map(|(i, (stmt, secs, user))| {
+                    LogEntry::minimal(i as u64, *stmt, Timestamp::from_secs(*secs)).with_user(*user)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_paper_example() {
+        // Table 1 shapes: duplicate, DW-run, CTH source, noise.
+        let catalog = skyserver_catalog();
+        let log = log_of(&[
+            (
+                "SELECT E.Id FROM Employees E WHERE E.department = 'sales'",
+                0,
+                "u",
+            ),
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12",
+                2,
+                "u",
+            ),
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12",
+                2,
+                "u",
+            ), // dup
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 15",
+                4,
+                "u",
+            ),
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 16",
+                6,
+                "u",
+            ),
+            ("INSERT INTO t VALUES (1)", 8, "u"),
+            ("SELECT broken FROM", 9, "u"),
+        ]);
+        let result = Pipeline::new(&catalog).run(&log);
+        let s = &result.stats;
+        assert_eq!(s.original_size, 7);
+        assert_eq!(s.duplicates_removed, 1);
+        assert_eq!(s.after_dedup, 6);
+        assert_eq!(s.select_count, 4);
+        assert_eq!(s.syntax_errors, 1);
+        assert_eq!(s.non_select, 1);
+        // DW triple solved into one IN-query; source query kept.
+        assert_eq!(s.final_size, 2);
+        assert_eq!(s.solved_instances, 1);
+        assert_eq!(s.solved_queries, 3);
+        assert!(s.per_class.contains_key("DW-Stifle"));
+        assert!(s.per_class.contains_key("CTH"));
+        // Every query is in some instance → removal log is empty.
+        assert_eq!(s.removal_size, 0);
+        let clean_stmts: Vec<_> = result
+            .clean_log
+            .entries
+            .iter()
+            .map(|e| e.statement.as_str())
+            .collect();
+        assert!(
+            clean_stmts[1].contains("IN (12, 15, 16)"),
+            "{clean_stmts:?}"
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let catalog = skyserver_catalog();
+        let mut log = log_of(&[
+            ("SELECT name FROM Employee WHERE empId = 1", 10, "u"),
+            ("SELECT name FROM Employee WHERE empId = 8", 0, "u"),
+        ]);
+        log.entries.swap(0, 1);
+        log.entries[0].id = 0;
+        log.entries[1].id = 1;
+        let result = Pipeline::new(&catalog).run(&log);
+        assert_eq!(result.stats.per_class["DW-Stifle"].instances, 1);
+    }
+
+    #[test]
+    fn instance_entry_ids_map_to_original_entries() {
+        let catalog = skyserver_catalog();
+        let log = log_of(&[
+            ("SELECT name FROM Employee WHERE empId = 8", 0, "u"),
+            ("SELECT name FROM Employee WHERE empId = 1", 1, "u"),
+        ]);
+        let result = Pipeline::new(&catalog).run(&log);
+        assert_eq!(result.instances.len(), 1);
+        assert_eq!(result.instance_entry_ids[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn marks_contain_dw_unigram() {
+        let catalog = skyserver_catalog();
+        let log = log_of(&[
+            ("SELECT name FROM Employee WHERE empId = 8", 0, "u"),
+            ("SELECT name FROM Employee WHERE empId = 1", 1, "u"),
+        ]);
+        let result = Pipeline::new(&catalog).run(&log);
+        let t = result.instances[0].identity[0];
+        assert_eq!(
+            result.marks.get(&vec![t]),
+            Some(&AntipatternClass::DwStifle)
+        );
+    }
+
+    #[test]
+    fn entry_tags_reproduce_table_2() {
+        // Table 2: the source is CTH; queries 2–4 are CTH *and* DW-Stifle.
+        let catalog = skyserver_catalog();
+        let log = log_of(&[
+            (
+                "SELECT E.Id FROM Employees E WHERE E.department = 'sales'",
+                0,
+                "u",
+            ),
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12",
+                2,
+                "u",
+            ),
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 15",
+                4,
+                "u",
+            ),
+            (
+                "SELECT E.name, E.surname FROM Employees E WHERE E.id = 16",
+                6,
+                "u",
+            ),
+        ]);
+        let result = Pipeline::new(&catalog).run(&log);
+        let tags = result.entry_tags();
+        assert_eq!(tags[&0], vec![AntipatternClass::CthCandidate]);
+        for id in 1..=3u64 {
+            assert!(tags[&id].contains(&AntipatternClass::CthCandidate), "{id}");
+            assert!(tags[&id].contains(&AntipatternClass::DwStifle), "{id}");
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let catalog = skyserver_catalog();
+        let result = Pipeline::new(&catalog).run(&QueryLog::new());
+        assert_eq!(result.stats.original_size, 0);
+        assert_eq!(result.stats.final_size, 0);
+        assert!(result.instances.is_empty());
+    }
+
+    #[test]
+    fn recleaning_is_a_near_fixpoint() {
+        // §5.5: after one cleaning pass, re-running finds (almost) nothing.
+        let catalog = skyserver_catalog();
+        let log = log_of(&[
+            ("SELECT name FROM Employee WHERE empId = 8", 0, "u"),
+            ("SELECT name FROM Employee WHERE empId = 1", 1, "u"),
+            (
+                "SELECT address, phone FROM Employee WHERE empId = 3",
+                10,
+                "u",
+            ),
+            ("SELECT name FROM Employee WHERE empId = 3", 11, "u"),
+        ]);
+        let first = Pipeline::new(&catalog).run(&log);
+        assert!(first.stats.solved_instances >= 2);
+        let second = Pipeline::new(&catalog).run(&first.clean_log);
+        assert_eq!(second.stats.solved_instances, 0);
+        assert_eq!(second.stats.final_size, first.stats.final_size);
+    }
+}

@@ -1,0 +1,242 @@
+//! Step 5 of the pipeline: solving antipatterns (§5.5).
+//!
+//! Instances are processed in order of appearance in the log; when instances
+//! overlap, the earlier one wins and the later one is skipped (the paper:
+//! "solving starts with the antipattern which appears in the log first").
+//! Two output logs are built:
+//!
+//! * the **clean log**: solvable instances replaced by their rewrites,
+//!   everything else kept, and
+//! * the **removal log**: every query covered by *any* antipattern instance
+//!   dropped (the §6.9 "removal" variant).
+
+pub mod snc;
+pub mod stifle;
+
+use crate::detect::{AntipatternInstance, DetectCtx};
+use crate::ext::SolverSet;
+use sqlog_log::{LogEntry, QueryLog};
+
+/// Result of the solving step.
+#[derive(Debug)]
+pub struct SolveOutcome {
+    /// The clean log (rewrites applied), time-sorted, ids re-sequenced.
+    pub clean_log: QueryLog,
+    /// The removal log (antipattern queries dropped).
+    pub removal_log: QueryLog,
+    /// Solvable instances actually rewritten.
+    pub solved_instances: usize,
+    /// Queries consumed by rewrites.
+    pub solved_queries: usize,
+    /// Replacement statements emitted.
+    pub rewritten_statements: usize,
+    /// Solvable instances skipped because an earlier instance had already
+    /// consumed one of their queries.
+    pub skipped_overlaps: usize,
+}
+
+/// Applies the solvers over the parsed log.
+pub fn apply_solutions(
+    ctx: &DetectCtx<'_>,
+    instances: &[AntipatternInstance],
+    solvers: &SolverSet<'_>,
+) -> SolveOutcome {
+    let n_records = ctx.records.len();
+    let mut consumed = vec![false; n_records];
+    let mut in_any_instance = vec![false; n_records];
+    // Rewrites to splice in: (record index of the instance head, statements).
+    let mut rewrites: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut solved_instances = 0usize;
+    let mut solved_queries = 0usize;
+    let mut skipped_overlaps = 0usize;
+
+    for inst in instances {
+        for &ri in &inst.records {
+            in_any_instance[ri] = true;
+        }
+        if !inst.solvable {
+            continue;
+        }
+        let Some(solver) = solvers.for_class(&inst.class) else {
+            continue;
+        };
+        if inst.records.iter().any(|&ri| consumed[ri]) {
+            skipped_overlaps += 1;
+            continue;
+        }
+        let Some(statements) = solver.solve(inst, ctx) else {
+            continue;
+        };
+        for &ri in &inst.records {
+            consumed[ri] = true;
+        }
+        solved_instances += 1;
+        solved_queries += inst.records.len();
+        rewrites.push((inst.records[0], statements));
+    }
+
+    // Assemble the clean log: unconsumed records keep their entries;
+    // rewrites are placed at the head record's position (same time & user).
+    let mut clean: Vec<LogEntry> = Vec::with_capacity(n_records);
+    let mut removal: Vec<LogEntry> = Vec::with_capacity(n_records);
+    let mut rewritten_statements = 0usize;
+    rewrites.sort_by_key(|(head, _)| *head);
+    let mut rw_iter = rewrites.into_iter().peekable();
+
+    for (ri, rec) in ctx.records.iter().enumerate() {
+        let entry = &ctx.log.entries[rec.entry_idx as usize];
+        while let Some((head, _)) = rw_iter.peek() {
+            if *head == ri {
+                let (_, statements) = rw_iter.next().expect("peeked");
+                for stmt in statements {
+                    rewritten_statements += 1;
+                    clean.push(LogEntry {
+                        id: 0,
+                        statement: stmt,
+                        timestamp: entry.timestamp,
+                        user: entry.user.clone(),
+                        session: entry.session.clone(),
+                        rows: None,
+                        truth: None,
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+        if !consumed[ri] {
+            clean.push(entry.clone());
+        }
+        if !in_any_instance[ri] {
+            removal.push(entry.clone());
+        }
+    }
+
+    let mut clean_log = QueryLog::from_entries(clean);
+    clean_log.sort_by_time();
+    for (i, e) in clean_log.entries.iter_mut().enumerate() {
+        e.id = i as u64;
+    }
+    let mut removal_log = QueryLog::from_entries(removal);
+    removal_log.sort_by_time();
+    for (i, e) in removal_log.entries.iter_mut().enumerate() {
+        e.id = i as u64;
+    }
+
+    SolveOutcome {
+        clean_log,
+        removal_log,
+        solved_instances,
+        solved_queries,
+        rewritten_statements,
+        skipped_overlaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::detect::detect_builtin;
+    use crate::ext::SolverSet;
+    use crate::mine::build_sessions;
+    use crate::parse_step::parse_log;
+    use crate::store::TemplateStore;
+    use sqlog_catalog::skyserver_catalog;
+    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+
+    fn run(rows: &[&str]) -> SolveOutcome {
+        let log = QueryLog::from_entries(
+            rows.iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    LogEntry::minimal(i as u64, *s, Timestamp::from_secs(i as i64)).with_user("u")
+                })
+                .collect(),
+        );
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        let sessions = build_sessions(&log, &parsed.records, 300_000);
+        let catalog = skyserver_catalog();
+        let config = PipelineConfig::default();
+        let ctx = DetectCtx {
+            log: &log,
+            records: &parsed.records,
+            sessions: &sessions,
+            store: &store,
+            catalog: &catalog,
+            config: &config,
+        };
+        let instances = detect_builtin(&ctx);
+        apply_solutions(&ctx, &instances, &SolverSet::builtin())
+    }
+
+    #[test]
+    fn paper_table_3_shape() {
+        // Table 2 → Table 3 of the paper: the DW triple collapses to one
+        // IN-query; the CTH source survives.
+        let out = run(&[
+            "SELECT E.Id FROM Employees E WHERE E.department = 'sales'",
+            "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12",
+            "SELECT E.name, E.surname FROM Employees E WHERE E.id = 15",
+            "SELECT E.name, E.surname FROM Employees E WHERE E.id = 16",
+        ]);
+        assert_eq!(out.solved_instances, 1);
+        assert_eq!(out.solved_queries, 3);
+        assert_eq!(out.clean_log.len(), 2);
+        assert!(out.clean_log.entries[1]
+            .statement
+            .contains("IN (12, 15, 16)"));
+        // Removal drops everything covered by any instance — including the
+        // CTH candidate's source query.
+        assert_eq!(out.removal_log.len(), 0);
+    }
+
+    #[test]
+    fn non_antipattern_queries_pass_through() {
+        let out = run(&[
+            "SELECT count(*) FROM photoprimary WHERE htmid>=1 and htmid<=2",
+            "SELECT count(*) FROM photoprimary WHERE htmid>=3 and htmid<=4",
+        ]);
+        assert_eq!(out.solved_instances, 0);
+        assert_eq!(out.clean_log.len(), 2);
+        assert_eq!(out.removal_log.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_instances_first_wins() {
+        // DW run 1,2,3 then a DS pair sharing record 3.
+        let out = run(&[
+            "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=1",
+            "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=2",
+            "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=3",
+            "SELECT ra, dec FROM photoprimary WHERE objid=3",
+        ]);
+        // DW solved; DS skipped because record 3 was consumed. The DS pair's
+        // second query (ra, dec) survives unconsumed.
+        assert_eq!(out.solved_instances, 1);
+        assert_eq!(out.skipped_overlaps, 1);
+        assert_eq!(out.clean_log.len(), 2);
+    }
+
+    #[test]
+    fn clean_log_ids_are_sequential() {
+        let out = run(&[
+            "SELECT name FROM Employee WHERE empId = 8",
+            "SELECT name FROM Employee WHERE empId = 1",
+            "SELECT count(*) FROM photoprimary WHERE htmid>=1 and htmid<=2",
+        ]);
+        for (i, e) in out.clean_log.entries.iter().enumerate() {
+            assert_eq!(e.id, i as u64);
+        }
+        assert!(out.clean_log.is_time_sorted());
+    }
+
+    #[test]
+    fn snc_is_rewritten_in_place() {
+        let out = run(&["SELECT * FROM photoprimary WHERE flags = NULL"]);
+        assert_eq!(out.solved_instances, 1);
+        assert_eq!(out.clean_log.len(), 1);
+        assert!(out.clean_log.entries[0].statement.ends_with("IS NULL"));
+    }
+}

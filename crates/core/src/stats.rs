@@ -1,0 +1,132 @@
+//! Pipeline statistics — the fields of the paper's Table 5.
+
+use crate::detect::AntipatternClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-antipattern-class tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Distinct antipatterns (distinct identity keys).
+    pub distinct: usize,
+    /// Instances detected.
+    pub instances: usize,
+    /// Queries covered by instances.
+    pub queries: usize,
+}
+
+/// The overall result statistics (Table 5 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Statistics {
+    /// Size of the original query log.
+    pub original_size: usize,
+    /// Duplicates removed (§5.2).
+    pub duplicates_removed: usize,
+    /// Size after deleting duplicates.
+    pub after_dedup: usize,
+    /// SELECT statements among the deduplicated log.
+    pub select_count: usize,
+    /// Statements dropped for syntax errors.
+    pub syntax_errors: usize,
+    /// Non-SELECT statements dropped.
+    pub non_select: usize,
+    /// Final (clean) log size.
+    pub final_size: usize,
+    /// Removal-log size (all antipattern queries dropped).
+    pub removal_size: usize,
+    /// Count of mined patterns (frequency ≥ configured minimum).
+    pub pattern_count: usize,
+    /// Maximal pattern frequency.
+    pub max_pattern_frequency: u64,
+    /// Per-class counts, keyed by class label.
+    pub per_class: BTreeMap<String, ClassCounts>,
+    /// Solvable instances rewritten.
+    pub solved_instances: usize,
+    /// Queries consumed by rewrites.
+    pub solved_queries: usize,
+    /// Replacement statements emitted.
+    pub rewritten_statements: usize,
+    /// Solvable instances skipped due to overlap with earlier instances.
+    pub skipped_overlaps: usize,
+}
+
+impl Statistics {
+    /// Percentage of the original size.
+    pub fn pct_of_original(&self, n: usize) -> f64 {
+        if self.original_size == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.original_size as f64
+        }
+    }
+
+    /// Convenience accessor for one class (zero counts when absent).
+    pub fn class(&self, class: &AntipatternClass) -> ClassCounts {
+        self.per_class
+            .get(class.label())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Share of the deduplicated log covered by solvable-antipattern queries
+    /// (the paper reports ≈ 19.2 % for the Stifles).
+    pub fn solvable_coverage_pct(&self) -> f64 {
+        let solvable: usize = ["DW-Stifle", "DS-Stifle", "DF-Stifle", "SNC"]
+            .iter()
+            .filter_map(|label| self.per_class.get(*label))
+            .map(|c| c.queries)
+            .sum();
+        if self.select_count == 0 {
+            0.0
+        } else {
+            100.0 * solvable as f64 / self.select_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages() {
+        let s = Statistics {
+            original_size: 200,
+            ..Statistics::default()
+        };
+        assert!((s.pct_of_original(50) - 25.0).abs() < 1e-9);
+        let empty = Statistics::default();
+        assert_eq!(empty.pct_of_original(10), 0.0);
+    }
+
+    #[test]
+    fn class_accessor_defaults_to_zero() {
+        let s = Statistics::default();
+        assert_eq!(s.class(&AntipatternClass::DwStifle).queries, 0);
+    }
+
+    #[test]
+    fn solvable_coverage() {
+        let mut s = Statistics {
+            select_count: 1_000,
+            ..Statistics::default()
+        };
+        s.per_class.insert(
+            "DW-Stifle".into(),
+            ClassCounts {
+                distinct: 2,
+                instances: 5,
+                queries: 150,
+            },
+        );
+        s.per_class.insert(
+            "CTH".into(),
+            ClassCounts {
+                distinct: 1,
+                instances: 1,
+                queries: 500, // must not count: CTH is unsolvable
+            },
+        );
+        assert!((s.solvable_coverage_pct() - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! The template store: interned query templates.
+//!
+//! Every parsed statement maps to a [`QueryTemplate`]; the store interns
+//! templates by fingerprint and hands out dense [`TemplateId`]s that the
+//! miner and detectors use as cheap keys.
+
+use parking_lot::RwLock;
+use sqlog_skeleton::{Fingerprint, QueryTemplate};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u32);
+
+/// Thread-safe interner for query templates.
+#[derive(Debug, Default)]
+pub struct TemplateStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    templates: Vec<QueryTemplate>,
+    by_fp: HashMap<Fingerprint, TemplateId>,
+}
+
+impl TemplateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TemplateStore::default()
+    }
+
+    /// Interns a template, returning its id (existing or fresh).
+    pub fn intern(&self, template: QueryTemplate) -> TemplateId {
+        // Fast path: read lock only.
+        if let Some(&id) = self.inner.read().by_fp.get(&template.fingerprint) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_fp.get(&template.fingerprint) {
+            return id;
+        }
+        let id = TemplateId(u32::try_from(inner.templates.len()).expect("template count < 2^32"));
+        inner.by_fp.insert(template.fingerprint, id);
+        inner.templates.push(template);
+        id
+    }
+
+    /// Returns a clone of the template with the given id.
+    pub fn get(&self, id: TemplateId) -> QueryTemplate {
+        self.inner.read().templates[id.0 as usize].clone()
+    }
+
+    /// Runs `f` with a borrowed template (avoids the clone of [`Self::get`]).
+    pub fn with<R>(&self, id: TemplateId, f: impl FnOnce(&QueryTemplate) -> R) -> R {
+        f(&self.inner.read().templates[id.0 as usize])
+    }
+
+    /// Number of interned templates.
+    pub fn len(&self) -> usize {
+        self.inner.read().templates.len()
+    }
+
+    /// True when no template is interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_sql::parse_query;
+
+    fn tpl(sql: &str) -> QueryTemplate {
+        QueryTemplate::of_query(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let store = TemplateStore::new();
+        let a = store.intern(tpl("SELECT a FROM t WHERE x = 1"));
+        let b = store.intern(tpl("SELECT a FROM t WHERE x = 999"));
+        let c = store.intern(tpl("SELECT b FROM t WHERE x = 1"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn get_and_with_return_the_template() {
+        let store = TemplateStore::new();
+        let id = store.intern(tpl("SELECT a FROM t WHERE x = 1"));
+        assert_eq!(store.get(id).swc, "x = <num>");
+        assert_eq!(store.with(id, |t| t.sfc.clone()), "t");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let store = TemplateStore::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..200 {
+                        store.intern(tpl(&format!("SELECT c{} FROM t WHERE x = 1", i % 16)));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 16);
+    }
+}

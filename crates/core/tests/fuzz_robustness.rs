@@ -1,0 +1,72 @@
+//! Robustness: the pipeline is total over arbitrary logs — any mixture of
+//! garbage, valid SQL, weird timestamps and missing metadata produces a
+//! result, never a panic.
+
+use proptest::prelude::*;
+use sqlog_catalog::skyserver_catalog;
+use sqlog_core::Pipeline;
+use sqlog_log::{LogEntry, QueryLog, Timestamp};
+
+fn statement_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Arbitrary junk.
+        ".{0,80}",
+        // SQL-ish fragments.
+        "(SELECT|select) [a-z, *()@0-9='<>.]{0,60}",
+        // Valid point queries.
+        (0u64..50).prop_map(|i| format!("SELECT name FROM employee WHERE empid = {i}")),
+        // Valid range scans.
+        (0u64..1000).prop_map(|i| {
+            format!(
+                "SELECT count(*) FROM photoprimary WHERE htmid >= {i} AND htmid <= {}",
+                i + 9
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_is_total(
+        rows in prop::collection::vec(
+            (statement_strategy(), any::<i32>(), prop::option::of(0u8..4)),
+            0..60,
+        )
+    ) {
+        let mut log = QueryLog::from_entries(
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (stmt, ms, user))| {
+                    let mut e = LogEntry::minimal(
+                        i as u64,
+                        stmt,
+                        Timestamp::from_millis(i64::from(ms)),
+                    );
+                    if let Some(u) = user {
+                        e = e.with_user(format!("u{u}"));
+                    }
+                    e
+                })
+                .collect(),
+        );
+        log.sort_by_time();
+        for (i, e) in log.entries.iter_mut().enumerate() {
+            e.id = i as u64;
+        }
+        let catalog = skyserver_catalog();
+        let result = Pipeline::new(&catalog).run(&log);
+        // Conservation invariants hold whatever the input.
+        prop_assert!(result.stats.final_size <= log.len());
+        prop_assert_eq!(
+            result.stats.final_size,
+            result.stats.select_count - result.stats.solved_queries
+                + result.stats.rewritten_statements
+        );
+        // Every clean statement re-parses.
+        for e in &result.clean_log.entries {
+            prop_assert!(sqlog_sql::parse_statement(&e.statement).is_ok());
+        }
+    }
+}

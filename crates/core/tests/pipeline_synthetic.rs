@@ -1,0 +1,192 @@
+//! End-to-end pipeline runs over the synthetic SkyServer-like log.
+//!
+//! These tests assert the *shape* results of the paper's case study (§6.3,
+//! §6.4) at reduced scale: a significant share of the log is covered by
+//! solvable Stifles, cleaning shrinks the log, the top patterns include
+//! antipatterns before cleaning, and CTH candidates split into true and
+//! false positives against the generator's ground truth.
+
+use sqlog_catalog::skyserver_catalog;
+use sqlog_core::{top_patterns, AntipatternClass, Pipeline};
+use sqlog_gen::{generate, GenConfig};
+use sqlog_log::IntentKind;
+
+fn run(scale: usize, seed: u64) -> (sqlog_log::QueryLog, sqlog_core::PipelineResult) {
+    let log = generate(&GenConfig::with_scale(scale, seed));
+    let catalog = skyserver_catalog();
+    let result = Pipeline::new(&catalog).run(&log);
+    (log, result)
+}
+
+#[test]
+fn headline_shares_match_the_paper_shape() {
+    let (log, result) = run(30_000, 1001);
+    let s = &result.stats;
+
+    // ~4 % of statements are DML or syntax errors (paper: 42 M → 40.2 M).
+    let dropped = s.syntax_errors + s.non_select;
+    let dropped_share = dropped as f64 / s.after_dedup as f64;
+    assert!(
+        (0.01..=0.10).contains(&dropped_share),
+        "dropped share = {dropped_share}"
+    );
+
+    // Duplicates removed (paper: 40.2 M → 38.5 M ≈ 4 %).
+    let dup_share = s.duplicates_removed as f64 / s.original_size as f64;
+    assert!(
+        (0.01..=0.08).contains(&dup_share),
+        "dup share = {dup_share}"
+    );
+
+    // Solvable Stifles cover a significant share of the SELECTs
+    // (paper: ≈ 19.2 %).
+    let cov = s.solvable_coverage_pct();
+    assert!((10.0..=30.0).contains(&cov), "stifle coverage = {cov}%");
+
+    // Cleaning shrinks the log substantially (paper: final = 72.5 % of raw).
+    let final_share = s.final_size as f64 / log.len() as f64;
+    assert!(
+        (0.55..=0.90).contains(&final_share),
+        "final share = {final_share}"
+    );
+
+    // All three stifle classes and CTH candidates are present.
+    for class in ["DW-Stifle", "DS-Stifle", "DF-Stifle", "CTH", "SNC"] {
+        assert!(
+            s.per_class.get(class).map_or(0, |c| c.queries) > 0,
+            "missing class {class}"
+        );
+    }
+
+    // DW dominates DS dominates DF in covered queries (Table 5 ordering).
+    let q = |c: &str| s.per_class[c].queries;
+    assert!(q("DW-Stifle") > q("DS-Stifle"));
+    assert!(q("DS-Stifle") > q("DF-Stifle"));
+}
+
+#[test]
+fn top_patterns_contain_antipatterns_before_cleaning() {
+    let (_, result) = run(30_000, 1002);
+    let rows = top_patterns(&result.mined, &result.marks, &result.store, 15, 2);
+    let antipatterns = rows.iter().filter(|r| r.class.is_some()).count();
+    // Paper §6.4: 6 antipatterns among the top 15.
+    assert!(
+        (3..=12).contains(&antipatterns),
+        "antipatterns in top 15 = {antipatterns}"
+    );
+}
+
+#[test]
+fn repeated_cleaning_converges() {
+    // §5.5: "After one cleaning step, there can be further solvable
+    // antipatterns. To check this, one needs to parse statements again and
+    // possibly solve." On SkyServer the residual was 0.09 %; our synthetic
+    // web-UI sessions nest DS inside DW (the merged description/text
+    // queries differ only in the `name` constant), so a second pass still
+    // finds work — but the process must shrink monotonically and reach a
+    // fixpoint in a few passes.
+    let (_, result) = run(15_000, 1003);
+    let catalog = skyserver_catalog();
+    let mut log = result.clean_log;
+    let mut prev_solved = result.stats.solved_queries;
+    for pass in 2..=6 {
+        let next = Pipeline::new(&catalog).run(&log);
+        assert!(
+            next.stats.solved_queries < prev_solved,
+            "pass {pass} solved {} (previous {prev_solved})",
+            next.stats.solved_queries
+        );
+        prev_solved = next.stats.solved_queries;
+        log = next.clean_log;
+        if prev_solved == 0 {
+            return; // fixpoint reached
+        }
+    }
+    let residual = prev_solved as f64 / log.len().max(1) as f64;
+    assert!(residual < 0.01, "residual after 6 passes = {residual}");
+}
+
+#[test]
+fn cth_candidates_split_into_true_and_false() {
+    // The paper's §6.6 judges *distinct* candidates (50 found, 28 real);
+    // here the generator's ground truth plays the domain expert, and a
+    // distinct candidate is real when the majority of its instances carry
+    // dependent follow-ups.
+    let (log, result) = run(30_000, 1004);
+    let mut votes: std::collections::HashMap<&[sqlog_core::TemplateId], (usize, usize)> =
+        std::collections::HashMap::new();
+    for (inst, entry_ids) in result
+        .instances
+        .iter()
+        .zip(&result.instance_entry_ids)
+        .filter(|(i, _)| i.class == AntipatternClass::CthCandidate)
+    {
+        assert!(!inst.solvable);
+        let real = entry_ids[1..].iter().any(|&id| {
+            log.entries[id as usize].truth.map(|t| t.kind) == Some(IntentKind::CthFollowUp)
+        });
+        let v = votes.entry(inst.identity.as_slice()).or_default();
+        if real {
+            v.0 += 1;
+        } else {
+            v.1 += 1;
+        }
+    }
+    let distinct = votes.len();
+    let real_distinct = votes.values().filter(|(t, f)| t > f).count();
+    assert!(distinct >= 10, "only {distinct} distinct candidates");
+    assert!(real_distinct > 0, "no real CTH found");
+    assert!(real_distinct < distinct, "no false CTH found");
+    // Shape check: a substantial fraction of candidates is real, but not
+    // all (paper: 28/50 = 56 %).
+    let share = real_distinct as f64 / distinct as f64;
+    assert!((0.2..=0.9).contains(&share), "real share = {share}");
+}
+
+#[test]
+fn stripping_metadata_keeps_frequencies_stable() {
+    // §6.8: without user/session info the top-pattern frequencies barely
+    // move, because instances are tightly clustered in time.
+    let log = generate(&GenConfig::with_scale(20_000, 1005));
+    let catalog = skyserver_catalog();
+    let with_users = Pipeline::new(&catalog).run(&log);
+    let without_users = Pipeline::new(&catalog).run(&log.strip_metadata());
+
+    let top_with = top_patterns(
+        &with_users.mined,
+        &with_users.marks,
+        &with_users.store,
+        5,
+        2,
+    );
+    let top_without = top_patterns(
+        &without_users.mined,
+        &without_users.marks,
+        &without_users.store,
+        30,
+        1,
+    );
+    // Each of the top-5 patterns keeps a similar frequency without users.
+    for row in &top_with {
+        let found = top_without
+            .iter()
+            .find(|r| r.key.len() == row.key.len() && r.skeletons == row.skeletons);
+        let Some(found) = found else {
+            panic!(
+                "top pattern vanished without user info: {:?}",
+                row.skeletons
+            );
+        };
+        let ratio = found.frequency as f64 / row.frequency as f64;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "frequency moved by {ratio} for {:?}",
+            row.skeletons
+        );
+    }
+
+    // Final log sizes differ by well under a few percent (paper: 0.36 %).
+    let a = with_users.stats.final_size as f64;
+    let b = without_users.stats.final_size as f64;
+    assert!(((a - b) / a).abs() < 0.10, "final sizes {a} vs {b}");
+}

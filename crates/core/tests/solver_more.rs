@@ -1,0 +1,153 @@
+//! Additional solver scenarios: long DF chains, negative constants, value
+//! ordering, and rewrite idempotence.
+
+use sqlog_catalog::skyserver_catalog;
+use sqlog_core::Pipeline;
+use sqlog_log::{LogEntry, QueryLog, Timestamp};
+
+fn run(rows: &[&str]) -> sqlog_core::PipelineResult {
+    let log = QueryLog::from_entries(
+        rows.iter()
+            .enumerate()
+            .map(|(i, s)| {
+                LogEntry::minimal(i as u64, *s, Timestamp::from_secs(i as i64)).with_user("u")
+            })
+            .collect(),
+    );
+    let catalog = skyserver_catalog();
+    Pipeline::new(&catalog).run(&log)
+}
+
+#[test]
+fn df_chain_across_three_tables_joins_all() {
+    let result = run(&[
+        "SELECT ra FROM photoprimary WHERE objid = 587722982000001000",
+        "SELECT g FROM photoobjall WHERE objid = 587722982000001000",
+        "SELECT r FROM galaxy WHERE objid = 587722982000001000",
+    ]);
+    assert_eq!(result.stats.solved_instances, 1);
+    assert_eq!(result.clean_log.len(), 1);
+    let stmt = &result.clean_log.entries[0].statement;
+    // Two joins chain three tables.
+    assert_eq!(stmt.matches("INNER JOIN").count(), 2, "{stmt}");
+    assert!(stmt.contains("photoprimary"), "{stmt}");
+    assert!(stmt.contains("photoobjall"), "{stmt}");
+    assert!(stmt.contains("galaxy"), "{stmt}");
+    // The merged statement re-parses.
+    sqlog_sql::parse_statement(stmt).unwrap();
+}
+
+#[test]
+fn dw_merge_handles_negative_constants() {
+    let result = run(&[
+        "SELECT name FROM employee WHERE empid = -5",
+        "SELECT name FROM employee WHERE empid = 7",
+        "SELECT name FROM employee WHERE empid = -9",
+    ]);
+    assert_eq!(result.stats.solved_instances, 1);
+    let stmt = &result.clean_log.entries[0].statement;
+    assert!(stmt.contains("IN (-5, 7, -9)"), "{stmt}");
+    sqlog_sql::parse_statement(stmt).unwrap();
+}
+
+#[test]
+fn dw_merge_preserves_log_order_of_values() {
+    let result = run(&[
+        "SELECT name FROM employee WHERE empid = 30",
+        "SELECT name FROM employee WHERE empid = 10",
+        "SELECT name FROM employee WHERE empid = 20",
+    ]);
+    let stmt = &result.clean_log.entries[0].statement;
+    assert!(stmt.contains("IN (30, 10, 20)"), "{stmt}");
+}
+
+#[test]
+fn dw_with_string_key_quotes_values() {
+    let result = run(&[
+        "SELECT description FROM dbobjects WHERE name = 'galaxy'",
+        "SELECT description FROM dbobjects WHERE name = 'star'",
+        "SELECT description FROM dbobjects WHERE name = 'photoprimary'",
+    ]);
+    assert_eq!(result.stats.solved_instances, 1);
+    let stmt = &result.clean_log.entries[0].statement;
+    assert!(
+        stmt.contains("IN ('galaxy', 'star', 'photoprimary')"),
+        "{stmt}"
+    );
+}
+
+#[test]
+fn solving_a_solved_log_changes_nothing() {
+    // Rewrite idempotence at the statement level: the DW merge produces an
+    // IN-query whose skeleton collapses the list; feeding the clean log back
+    // must leave it untouched.
+    let first = run(&[
+        "SELECT name FROM employee WHERE empid = 1",
+        "SELECT name FROM employee WHERE empid = 2",
+        "SELECT name FROM employee WHERE empid = 3",
+    ]);
+    assert_eq!(first.clean_log.len(), 1);
+    let catalog = skyserver_catalog();
+    let second = Pipeline::new(&catalog).run(&first.clean_log);
+    assert_eq!(second.stats.solved_instances, 0);
+    assert_eq!(second.clean_log, first.clean_log);
+}
+
+#[test]
+fn ds_with_wildcard_member_keeps_wildcard_semantics() {
+    // A `SELECT *` inside a DS run: the union contains the wildcard, which
+    // already covers every other column.
+    let result = run(&[
+        "SELECT * FROM employee WHERE empid = 4",
+        "SELECT name FROM employee WHERE empid = 4",
+    ]);
+    assert_eq!(result.stats.solved_instances, 1);
+    let stmt = &result.clean_log.entries[0].statement;
+    assert!(
+        stmt.starts_with("SELECT *, name") || stmt.starts_with("SELECT *"),
+        "{stmt}"
+    );
+    sqlog_sql::parse_statement(stmt).unwrap();
+}
+
+#[test]
+fn interleaved_users_solve_independently() {
+    let log = QueryLog::from_entries(vec![
+        LogEntry::minimal(
+            0,
+            "SELECT name FROM employee WHERE empid = 1",
+            Timestamp::from_secs(0),
+        )
+        .with_user("a"),
+        LogEntry::minimal(
+            1,
+            "SELECT name FROM employee WHERE empid = 9",
+            Timestamp::from_secs(1),
+        )
+        .with_user("b"),
+        LogEntry::minimal(
+            2,
+            "SELECT name FROM employee WHERE empid = 2",
+            Timestamp::from_secs(2),
+        )
+        .with_user("a"),
+        LogEntry::minimal(
+            3,
+            "SELECT name FROM employee WHERE empid = 8",
+            Timestamp::from_secs(3),
+        )
+        .with_user("b"),
+    ]);
+    let catalog = skyserver_catalog();
+    let result = Pipeline::new(&catalog).run(&log);
+    // One DW instance per user, despite the interleaving.
+    assert_eq!(result.stats.solved_instances, 2);
+    let stmts: Vec<_> = result
+        .clean_log
+        .entries
+        .iter()
+        .map(|e| e.statement.as_str())
+        .collect();
+    assert!(stmts.iter().any(|s| s.contains("IN (1, 2)")), "{stmts:?}");
+    assert!(stmts.iter().any(|s| s.contains("IN (9, 8)")), "{stmts:?}");
+}

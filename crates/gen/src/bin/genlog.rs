@@ -1,0 +1,33 @@
+//! `genlog` — writes a synthetic SkyServer-like query log to disk in the
+//! `sqlog-log` TSV format.
+//!
+//! ```text
+//! genlog [--scale N] [--seed S] [--out PATH]
+//! ```
+
+use sqlog_gen::{generate, GenConfig};
+use sqlog_log::write_log_file;
+
+fn main() {
+    let mut scale = 100_000usize;
+    let mut seed = 42u64;
+    let mut out = "sqlog.tsv".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("bad --scale"),
+            "--seed" => seed = value("--seed").parse().expect("bad --seed"),
+            "--out" => out = value("--out"),
+            other => {
+                eprintln!("unknown option {other}");
+                eprintln!("usage: genlog [--scale N] [--seed S] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("generating {scale} statements (seed {seed})…");
+    let log = generate(&GenConfig::with_scale(scale, seed));
+    write_log_file(&log, &out).expect("write log file");
+    eprintln!("wrote {} entries to {out}", log.len());
+}

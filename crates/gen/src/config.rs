@@ -1,0 +1,230 @@
+//! Generator configuration: scale, seed, time span and workload mix.
+
+use serde::{Deserialize, Serialize};
+use sqlog_log::Timestamp;
+
+/// Fractions of the generated log attributed to each workload family.
+///
+/// Defaults are calibrated against the SkyServer case study (§6.3, Table 5):
+/// after removing DML/malformed statements (~4 %) and duplicates (~4 %), the
+/// solvable Stifles should cover ≈ 19–20 % of the log, the top-5
+/// spatial-search patterns ≈ 30 %, and CTH sequences ≈ 1 %.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// DW-Stifle crawler queries (Table 6 rows 1–3 plus a long tail).
+    pub stifle_dw: f64,
+    /// DS-Stifle crawler queries (Table 6 rows 4–5 plus a long tail).
+    pub stifle_ds: f64,
+    /// DF-Stifle crawler queries.
+    pub stifle_df: f64,
+    /// Truly dependent CTH sequences (source + follow-ups).
+    pub cth_real: f64,
+    /// CTH-shaped but independent sequences (the detector's false positives).
+    pub cth_false: f64,
+    /// Sliding-window-search robot downloads (the Table-7 top patterns).
+    pub sws: f64,
+    /// Web-UI browsing sessions (DBObjects, form reloads).
+    pub webui: f64,
+    /// Human scientists: varied ad-hoc queries, many users.
+    pub human: f64,
+    /// DML/DDL statements (dropped by the parse step).
+    pub non_select: f64,
+    /// Syntactically broken statements.
+    pub malformed: f64,
+    /// `= NULL` misuse (SNC antipattern, §5.4 extension).
+    pub snc: f64,
+    /// Probability that a human/web-UI statement is immediately resubmitted
+    /// (form reload) — the duplicate population of §5.2.
+    pub duplicate_prob: f64,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        WorkloadMix {
+            stifle_dw: 0.16,
+            stifle_ds: 0.035,
+            stifle_df: 0.007,
+            cth_real: 0.008,
+            cth_false: 0.004,
+            sws: 0.295,
+            webui: 0.05,
+            human: 0.36,
+            non_select: 0.028,
+            malformed: 0.015,
+            snc: 0.002,
+            duplicate_prob: 0.075,
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// Sum of all statement-producing fractions (excludes `duplicate_prob`,
+    /// which is multiplicative).
+    pub fn total(&self) -> f64 {
+        self.stifle_dw
+            + self.stifle_ds
+            + self.stifle_df
+            + self.cth_real
+            + self.cth_false
+            + self.sws
+            + self.webui
+            + self.human
+            + self.non_select
+            + self.malformed
+            + self.snc
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Master RNG seed; the generated log is a pure function of the config.
+    pub seed: u64,
+    /// Approximate number of statements to generate (the exact count varies
+    /// by a few percent because instances are emitted whole).
+    pub target_queries: usize,
+    /// Start of the simulated time span.
+    pub start: Timestamp,
+    /// Length of the simulated span in seconds. Long spans keep concurrent
+    /// user sessions mostly disjoint, which is what lets pattern mining work
+    /// without user information (§6.8).
+    pub span_secs: u64,
+    /// Workload mix.
+    pub mix: WorkloadMix,
+    /// Number of distinct minor DW-Stifle templates (long tail; the paper
+    /// found 1 018 distinct DW-Stifles at 38 M queries).
+    pub minor_dw_templates: usize,
+    /// Number of distinct minor DS-Stifle templates (paper: 6 562).
+    pub minor_ds_templates: usize,
+    /// Number of distinct minor DF-Stifle templates (paper: 487).
+    pub minor_df_templates: usize,
+    /// Distinct real CTH shapes (paper: 28).
+    pub cth_real_shapes: usize,
+    /// Distinct false CTH shapes (paper: 22).
+    pub cth_false_shapes: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x5d55_0001_c0de_cafe,
+            target_queries: 100_000,
+            start: Timestamp::from_civil(2003, 1, 1, 0, 0, 0),
+            // Five years, matching the 2003–2008 study window.
+            span_secs: 5 * 365 * 86_400,
+            mix: WorkloadMix::default(),
+            minor_dw_templates: 40,
+            minor_ds_templates: 120,
+            minor_df_templates: 20,
+            cth_real_shapes: 14,
+            cth_false_shapes: 11,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Checks the configuration for nonsensical values. Returns a list of
+    /// problems (empty = fine); `generate` tolerates unusual mixes, so this
+    /// is advisory, for tools that accept user-supplied configs.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let m = &self.mix;
+        for (name, v) in [
+            ("stifle_dw", m.stifle_dw),
+            ("stifle_ds", m.stifle_ds),
+            ("stifle_df", m.stifle_df),
+            ("cth_real", m.cth_real),
+            ("cth_false", m.cth_false),
+            ("sws", m.sws),
+            ("webui", m.webui),
+            ("human", m.human),
+            ("non_select", m.non_select),
+            ("malformed", m.malformed),
+            ("snc", m.snc),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                problems.push(format!("mix.{name} = {v} is outside [0, 1]"));
+            }
+        }
+        if !(0.0..=1.0).contains(&m.duplicate_prob) {
+            problems.push(format!(
+                "mix.duplicate_prob = {} is outside [0, 1]",
+                m.duplicate_prob
+            ));
+        }
+        if m.total() <= 0.0 || !m.total().is_finite() {
+            problems.push("mix totals to a non-positive value".into());
+        }
+        if self.target_queries == 0 {
+            problems.push("target_queries is 0".into());
+        }
+        if self.span_secs == 0 {
+            problems.push("span_secs is 0".into());
+        }
+        problems
+    }
+
+    /// Convenience: a config with the given scale and seed.
+    pub fn with_scale(target_queries: usize, seed: u64) -> Self {
+        GenConfig {
+            target_queries,
+            seed,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Statement quota for a mix fraction.
+    pub(crate) fn quota(&self, fraction: f64) -> usize {
+        ((self.target_queries as f64) * fraction / self.mix.total()).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_sums_to_about_one() {
+        let total = WorkloadMix::default().total();
+        assert!((0.95..=1.05).contains(&total), "total = {total}");
+    }
+
+    #[test]
+    fn validate_flags_bad_configs() {
+        assert!(GenConfig::default().validate().is_empty());
+        let mut bad = GenConfig::with_scale(0, 1);
+        bad.mix.human = -0.5;
+        bad.mix.duplicate_prob = 2.0;
+        bad.span_secs = 0;
+        let problems = bad.validate();
+        assert!(problems.iter().any(|p| p.contains("human")));
+        assert!(problems.iter().any(|p| p.contains("duplicate_prob")));
+        assert!(problems.iter().any(|p| p.contains("target_queries")));
+        assert!(problems.iter().any(|p| p.contains("span_secs")));
+    }
+
+    #[test]
+    fn quotas_scale_with_target() {
+        let c = GenConfig::with_scale(10_000, 1);
+        let q = c.quota(c.mix.stifle_dw);
+        assert!((1_300..=1_900).contains(&q), "q = {q}");
+        let all: usize = [
+            c.mix.stifle_dw,
+            c.mix.stifle_ds,
+            c.mix.stifle_df,
+            c.mix.cth_real,
+            c.mix.cth_false,
+            c.mix.sws,
+            c.mix.webui,
+            c.mix.human,
+            c.mix.non_select,
+            c.mix.malformed,
+            c.mix.snc,
+        ]
+        .iter()
+        .map(|f| c.quota(*f))
+        .sum();
+        let target = c.target_queries;
+        assert!(all.abs_diff(target) < target / 20, "all = {all}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Orchestrates the workload profiles into one merged, time-sorted log.
+
+use crate::config::GenConfig;
+use crate::profiles;
+use crate::stream::GroupCounter;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sqlog_log::QueryLog;
+
+/// Generates a synthetic SkyServer-like query log.
+///
+/// The result is a pure function of the configuration: every profile draws
+/// from its own seeded RNG stream. Entries are merged, sorted by time and
+/// assigned sequential ids (log order).
+pub fn generate(cfg: &GenConfig) -> QueryLog {
+    // Stable per-profile RNG streams: adding a profile or changing one
+    // profile's draw count does not perturb the others.
+    let rng_for = |salt: u64| SmallRng::seed_from_u64(cfg.seed.wrapping_add(salt));
+    let mut groups = GroupCounter::default();
+
+    let mut entries = Vec::with_capacity(cfg.target_queries + cfg.target_queries / 8);
+    entries.extend(profiles::stifle::dw(cfg, &mut rng_for(1), &mut groups));
+    entries.extend(profiles::stifle::ds(cfg, &mut rng_for(2), &mut groups));
+    entries.extend(profiles::stifle::df(cfg, &mut rng_for(3), &mut groups));
+    entries.extend(profiles::cth::real(cfg, &mut rng_for(4), &mut groups));
+    entries.extend(profiles::cth::coincidental(
+        cfg,
+        &mut rng_for(5),
+        &mut groups,
+    ));
+    entries.extend(profiles::sws::sws(cfg, &mut rng_for(6), &mut groups));
+    entries.extend(profiles::webui::webui(cfg, &mut rng_for(7), &mut groups));
+    entries.extend(profiles::human::human(cfg, &mut rng_for(8), &mut groups));
+    entries.extend(profiles::noise::non_select(
+        cfg,
+        &mut rng_for(9),
+        &mut groups,
+    ));
+    entries.extend(profiles::noise::malformed(
+        cfg,
+        &mut rng_for(10),
+        &mut groups,
+    ));
+    entries.extend(profiles::noise::snc(cfg, &mut rng_for(11), &mut groups));
+
+    let mut log = QueryLog::from_entries(entries);
+    log.sort_by_time();
+    for (i, e) in log.entries.iter_mut().enumerate() {
+        e.id = i as u64;
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_log::IntentKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::with_scale(5_000, 77);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::with_scale(2_000, 1));
+        let b = generate(&GenConfig::with_scale(2_000, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn log_is_sorted_with_sequential_ids() {
+        let log = generate(&GenConfig::with_scale(5_000, 3));
+        assert!(log.is_time_sorted());
+        for (i, e) in log.entries.iter().enumerate() {
+            assert_eq!(e.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn size_is_near_target() {
+        let cfg = GenConfig::with_scale(20_000, 4);
+        let log = generate(&cfg);
+        let n = log.len() as f64;
+        let t = cfg.target_queries as f64;
+        assert!((t * 0.8..t * 1.25).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn mix_shares_are_plausible() {
+        let log = generate(&GenConfig::with_scale(30_000, 5));
+        let share = |kind: IntentKind| {
+            log.entries
+                .iter()
+                .filter(|e| e.truth.map(|t| t.kind) == Some(kind))
+                .count() as f64
+                / log.len() as f64
+        };
+        // Headline shares from Table 5 / §6.3, with generous tolerances.
+        let dw = share(IntentKind::StifleDw);
+        assert!((0.10..=0.22).contains(&dw), "dw = {dw}");
+        let sws = share(IntentKind::Sws);
+        assert!((0.20..=0.40).contains(&sws), "sws = {sws}");
+        let dup = share(IntentKind::Duplicate);
+        assert!((0.015..=0.07).contains(&dup), "dup = {dup}");
+        let bad = share(IntentKind::Malformed) + share(IntentKind::NonSelect);
+        assert!((0.02..=0.07).contains(&bad), "bad = {bad}");
+    }
+
+    #[test]
+    fn many_distinct_users_overall() {
+        let log = generate(&GenConfig::with_scale(20_000, 6));
+        assert!(log.distinct_users() > 100);
+    }
+}

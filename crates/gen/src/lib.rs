@@ -1,0 +1,32 @@
+//! # sqlog-gen — synthetic SkyServer-like query-log generator
+//!
+//! The paper's case study runs on the public SkyServer SQL log (42 M
+//! queries, 2003–2008). That log is not available offline, so this crate
+//! generates a *shape-faithful* substitute: the same query templates the
+//! paper reports (Table 6 antipatterns, Table 7 top patterns, the Table 9/10
+//! CTH candidates), emitted by simulated populations — stifle crawlers, CTH
+//! bots, sliding-window-search robots, web-UI sessions, human scientists,
+//! and noise (duplicates, DML, syntax errors, `= NULL` misuse).
+//!
+//! Every entry carries a [`sqlog_log::GroundTruth`] label, so experiments
+//! can score the detectors against known intent — in particular the CTH
+//! true/false split that the paper obtained from domain experts (§6.6).
+//!
+//! Generation is deterministic in the seed.
+//!
+//! ```
+//! use sqlog_gen::{generate, GenConfig};
+//! let log = generate(&GenConfig::with_scale(1_000, 42));
+//! assert!(log.len() >= 800);
+//! assert!(log.is_time_sorted());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod generator;
+pub mod profiles;
+pub mod stream;
+
+pub use config::{GenConfig, WorkloadMix};
+pub use generator::generate;

@@ -1,0 +1,238 @@
+//! Circuitous-Treasure-Hunt profiles: truly dependent sequences and
+//! CTH-*shaped* coincidences.
+//!
+//! A real CTH (Table 10 of the paper) is a query whose result feeds the next
+//! query's equality filter, issued back-to-back by software. A false
+//! candidate (Table 9) merely *looks* dependent — e.g. a user browsing the
+//! schema, pausing to think between queries. The generator knows which is
+//! which and labels entries accordingly, standing in for the paper's domain
+//! experts (who judged 28 of 50 candidates real, §6.6).
+
+use crate::config::GenConfig;
+use crate::stream::{ip, GroupCounter, UserStream};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sqlog_log::{IntentKind, LogEntry};
+
+/// Follow-up projections for real CTH shapes. Each distinct (source,
+/// follow-up) combination is one distinct CTH pattern for the detector.
+const SPEC_FOLLOWUPS: &[&str] = &[
+    "plate, fiberid, mjd, specobjid",
+    "z, zerr",
+    "plate, mjd",
+    "specobjid, z",
+    "ra, dec, z",
+    "specclass, z",
+    "fiberid, plate, specclass",
+];
+
+const PHOTO_FOLLOWUPS: &[&str] = &[
+    "u, g, r, i, z",
+    "ra, dec",
+    "rowc_g, colc_g",
+    "run, camcol, field",
+    "type, flags",
+    "g, r",
+    "ra, dec, r",
+];
+
+/// Deterministic fake "result value": what the database would have returned
+/// for the source query. This *is* the dependency — the follow-up constant is
+/// a function of the source's parameters.
+fn fake_result_id(ra: f64, dec: f64, salt: u64) -> u64 {
+    let bits = ra.to_bits() ^ dec.to_bits().rotate_left(17) ^ salt.wrapping_mul(0x9e37);
+    75_094_000_000_000_000 + bits % 900_000_000_000
+}
+
+/// Emits truly dependent CTH sequences.
+pub fn real(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.cth_real);
+    let mut out = Vec::with_capacity(quota);
+    let shapes = cfg.cth_real_shapes.max(1);
+    let per_shape = (quota / shapes).max(3);
+    let mut user_seq = 40_000u64;
+
+    for shape in 0..shapes {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        // Half of the shapes chase spectra, half photometry.
+        let spec = shape % 2 == 0;
+        let followup_cols = if spec {
+            SPEC_FOLLOWUPS[shape / 2 % SPEC_FOLLOWUPS.len()]
+        } else {
+            PHOTO_FOLLOWUPS[shape / 2 % PHOTO_FOLLOWUPS.len()]
+        };
+        let mut emitted = 0usize;
+        while emitted < per_shape {
+            let group = groups.next();
+            let ra = rng.random_range(0.0..360.0f64);
+            let dec = rng.random_range(-20.0..80.0f64);
+            let radius = [0.05, 0.1, 0.2][shape % 3];
+            stream.emit(
+                format!("SELECT * FROM dbo.fGetNearestObjEq({ra:.5},{dec:.5},{radius})"),
+                1,
+                IntentKind::CthSource,
+                group,
+            );
+            // Follow-ups fire instantly: software, not a human.
+            let followups = rng.random_range(1..=3usize);
+            for k in 0..followups {
+                stream.gap(rng, 0, 400);
+                let value = fake_result_id(ra, dec, k as u64);
+                let stmt = if spec {
+                    format!("SELECT {followup_cols} FROM SpecObjAll WHERE SpecObjID = {value}")
+                } else {
+                    format!("SELECT {followup_cols} FROM photoobjall WHERE objid = {value}")
+                };
+                stream.emit(stmt, 1, IntentKind::CthFollowUp, group);
+            }
+            emitted += 1 + followups;
+            stream.gap(rng, 1000, 8000);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+/// Tables a schema browser visits.
+const BROWSE_TABLES: &[&str] = &[
+    "Galaxy",
+    "Star",
+    "PhotoObjAll",
+    "SpecObjAll",
+    "photoprimary",
+    "Neighbors",
+    "Field",
+];
+
+/// Emits CTH-shaped but independent sequences (detector false positives).
+pub fn coincidental(
+    cfg: &GenConfig,
+    rng: &mut SmallRng,
+    groups: &mut GroupCounter,
+) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.cth_false);
+    let mut out = Vec::with_capacity(quota);
+    let shapes = cfg.cth_false_shapes.max(1);
+    let per_shape = (quota / shapes).max(2);
+    let mut user_seq = 50_000u64;
+
+    for shape in 0..shapes {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let detail_col = ["description", "text", "access", "rank"][shape % 4];
+        let mut emitted = 0usize;
+        while emitted < per_shape {
+            let group = groups.next();
+            if shape % 2 == 0 {
+                // Table 9: list the schema, reflect, then open one table.
+                stream.emit(
+                    "SELECT name, type FROM DBObjects WHERE type='U' AND name NOT IN \
+                     ('LoadEvents', 'QueryResults') ORDER BY name"
+                        .to_string(),
+                    rng.random_range(40..90),
+                    IntentKind::CthCoincidental,
+                    group,
+                );
+                // A human pauses for tens of seconds — the tell the paper's
+                // experts used to call candidate 1 *not* a real CTH.
+                stream.gap(rng, 15_000, 60_000);
+                let table = BROWSE_TABLES[rng.random_range(0..BROWSE_TABLES.len())];
+                stream.emit(
+                    format!("SELECT {detail_col} FROM DBObjects WHERE name='{table}'"),
+                    1,
+                    IntentKind::CthCoincidental,
+                    group,
+                );
+                emitted += 2;
+            } else {
+                // A field listing followed by an unrelated object fetch: the
+                // constant does NOT come from the first result.
+                let run = rng.random_range(100..7000u64);
+                stream.emit(
+                    format!("SELECT objid, ra, dec FROM photoprimary WHERE run = {run}"),
+                    rng.random_range(10..2000),
+                    IntentKind::CthCoincidental,
+                    group,
+                );
+                stream.gap(rng, 20_000, 90_000);
+                let unrelated = 587_722_982_000_000_000u64 + rng.random_range(0..900_000_000);
+                stream.emit(
+                    format!(
+                        "SELECT {} FROM photoprimary WHERE objid = {unrelated}",
+                        ["psfmag_r, psfmag_g", "petror50_r", "fibermag_z"][shape % 3]
+                    ),
+                    1,
+                    IntentKind::CthCoincidental,
+                    group,
+                );
+                emitted += 2;
+            }
+            stream.gap(rng, 30_000, 200_000);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlog_sql::parse_statement;
+
+    #[test]
+    fn real_cth_follow_ups_are_instant_and_labeled() {
+        let cfg = GenConfig::with_scale(20_000, 5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let entries = real(&cfg, &mut rng, &mut GroupCounter::default());
+        assert!(!entries.is_empty());
+        let mut saw_followup = false;
+        for pair in entries.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.truth.unwrap().kind == IntentKind::CthSource
+                && b.truth.unwrap().kind == IntentKind::CthFollowUp
+            {
+                assert!(b.timestamp.abs_diff(a.timestamp) <= 1200);
+                assert_eq!(a.truth.unwrap().group, b.truth.unwrap().group);
+                saw_followup = true;
+            }
+        }
+        assert!(saw_followup);
+    }
+
+    #[test]
+    fn follow_up_value_depends_on_source() {
+        assert_ne!(fake_result_id(1.0, 2.0, 0), fake_result_id(1.5, 2.0, 0));
+        assert_eq!(fake_result_id(1.0, 2.0, 0), fake_result_id(1.0, 2.0, 0));
+    }
+
+    #[test]
+    fn coincidental_pairs_have_human_scale_gaps() {
+        let cfg = GenConfig::with_scale(20_000, 6);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let entries = coincidental(&cfg, &mut rng, &mut GroupCounter::default());
+        let mut checked = 0;
+        for pair in entries.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.truth.unwrap().group == b.truth.unwrap().group && a.timestamp < b.timestamp {
+                assert!(b.timestamp.abs_diff(a.timestamp) >= 15_000);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn all_cth_statements_parse() {
+        let cfg = GenConfig::with_scale(5_000, 7);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut groups = GroupCounter::default();
+        for e in real(&cfg, &mut rng, &mut groups)
+            .iter()
+            .chain(coincidental(&cfg, &mut rng, &mut groups).iter())
+        {
+            parse_statement(&e.statement).unwrap_or_else(|err| panic!("{:?}: {err}", e.statement));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Human scientists: the long tail of genuine ad-hoc queries.
+//!
+//! Many users, few queries each, varied shapes, human-scale think time.
+//! Constants are quantized to canonical values (half-magnitude cuts, known
+//! plates, famous coordinates): different scientists ask about the same
+//! things, which is precisely what makes the §6.9 clusters interpretable as
+//! user interests.
+//! With probability `duplicate_prob` a statement is immediately resubmitted
+//! (web-form reload) — the duplicate population that §5.2's first pipeline
+//! step removes.
+
+use crate::config::GenConfig;
+use crate::stream::{ip, GroupCounter, UserStream};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sqlog_log::{IntentKind, LogEntry};
+
+/// Published coordinates of well-known objects (M31, M51, …-style): the
+/// hotspots of genuine user interest.
+const FAMOUS_TARGETS: &[(f64, f64)] = &[
+    (10.6847, 41.2690),
+    (202.4696, 47.1952),
+    (148.9689, 69.6797),
+    (83.8221, -5.3911),
+    (201.3651, -43.0191),
+    (187.7059, 12.3911),
+    (210.8023, 54.3489),
+    (40.6698, 0.0131),
+    (114.8254, 21.5681),
+    (9.8104, 40.8654),
+    (161.9576, 11.8193),
+    (185.7289, 15.8224),
+    (184.7401, 47.3040),
+    (230.1708, 52.9022),
+    (13.1583, -9.3411),
+    (24.1740, 15.7836),
+    (49.9507, 41.5117),
+    (56.7045, 24.1133),
+    (83.6331, 22.0145),
+    (308.7180, 60.1536),
+    (350.8502, 58.8153),
+    (10.0947, -9.5342),
+    (114.2700, 65.5928),
+    (139.5250, 34.4389),
+    (168.6850, 55.2670),
+    (189.9977, -11.6231),
+    (243.5861, 22.9670),
+    (250.4235, 36.4613),
+    (259.8079, 43.1353),
+    (279.2347, 38.7836),
+    (288.8500, 33.0290),
+    (299.9003, 40.7339),
+    (322.4930, 12.1661),
+    (337.9500, 34.4156),
+    (344.4110, 15.8211),
+    (9.2425, 50.7153),
+    (37.9545, 89.2641),
+    (69.6823, 16.5093),
+    (101.2872, -16.7161),
+    (113.6500, 31.8883),
+];
+
+/// Renders one random ad-hoc statement. Shapes are numerous on purpose: a
+/// single scientist idiom must not rival the machine downloads in frequency
+/// (in the paper, the web-form templates rank 12 and 17, not top-5).
+fn ad_hoc(rng: &mut SmallRng) -> (String, u64) {
+    match rng.random_range(0..12u32) {
+        0 => {
+            // Magnitude cuts are quantized to half-magnitude steps: many
+            // scientists use the same canonical cuts, so these queries
+            // overlap in the data space and form user-interest clusters
+            // (§6.9: "most clusters refer to certain locations/cuts").
+            let lo = 12.0 + 0.5 * rng.random_range(0..12u32) as f64;
+            let hi = lo + 0.5 * rng.random_range(1..5u32) as f64;
+            let color = 0.25 * rng.random_range(1..5u32) as f64;
+            (
+                format!(
+                    "SELECT objid, ra, dec FROM galaxy WHERE r BETWEEN {lo:.1} AND {hi:.1} \
+                     AND g - r > {color:.2}"
+                ),
+                rng.random_range(100..20_000),
+            )
+        }
+        1 => {
+            let imax = 15.0 + 0.5 * rng.random_range(0..12u32) as f64;
+            (
+                format!(
+                    "SELECT TOP 100 objid, u, g, r, i, z FROM star WHERE i < {imax:.2} \
+                     ORDER BY i"
+                ),
+                100,
+            )
+        }
+        2 => {
+            let z = 0.05 * rng.random_range(0..8u32) as f64 + 0.01;
+            (
+                format!(
+                    "SELECT p.objid, s.z FROM photoobjall p JOIN specobjall s \
+                     ON s.bestobjid = p.objid WHERE s.z > {z:.3}"
+                ),
+                rng.random_range(500..50_000),
+            )
+        }
+        3 => {
+            // Two constants so that independent sessions rarely produce the
+            // byte-identical statement (which would read as a duplicate
+            // under an unrestricted threshold).
+            let ty = rng.random_range(0..9u32);
+            let run = rng.random_range(94..8000u32);
+            (
+                format!("SELECT count(*) FROM photoprimary WHERE type = {ty} AND run = {run}"),
+                1,
+            )
+        }
+        4 => {
+            // Cone searches around famous targets: everyone types the same
+            // published coordinates, so these exact queries recur across
+            // users — the hotspots the clustering analysis should find.
+            // (Distinct projection from the SWS robots' template.)
+            let (ra, dec) = FAMOUS_TARGETS[rng.random_range(0..FAMOUS_TARGETS.len())];
+            (
+                format!(
+                    "SELECT p.objid, p.ra, p.dec \
+                     FROM fgetnearbyobjeq({ra:.4}, {dec:.4}, 2.0) n, photoprimary p \
+                     WHERE n.objid=p.objid"
+                ),
+                rng.random_range(10..3_000),
+            )
+        }
+        5 => {
+            let plate = 266 + 7 * rng.random_range(0..60u32);
+            (
+                format!(
+                    "SELECT specobjid, z, zerr FROM specobjall WHERE plate = {plate} \
+                     AND zerr < 0.01"
+                ),
+                rng.random_range(100..640),
+            )
+        }
+        6 => {
+            let field = 11 + 25 * rng.random_range(0..30u32);
+            let run = 94 + 125 * rng.random_range(0..40u32);
+            (
+                format!(
+                    "SELECT objid, ra, dec, flags FROM photoprimary \
+                     WHERE run = {run} AND field = {field} AND type = 3"
+                ),
+                rng.random_range(0..800),
+            )
+        }
+        7 => {
+            let lo = 0.1 * rng.random_range(1..10u32) as f64;
+            (
+                format!(
+                    "SELECT TOP 50 p.objid, p.u - p.g AS ug FROM photoprimary p \
+                     WHERE p.g - p.r BETWEEN {lo:.2} AND {:.2} ORDER BY ug DESC",
+                    lo + 0.4
+                ),
+                50,
+            )
+        }
+        8 => {
+            let u_g = 0.25 * rng.random_range(0..8u32) as f64;
+            let g_r = 0.25 * rng.random_range(0..6u32) as f64;
+            (
+                format!("SELECT objid FROM star WHERE u - g < {u_g:.2} AND g - r < {g_r:.2}"),
+                rng.random_range(100..40_000),
+            )
+        }
+        9 => {
+            let z = 0.02 * rng.random_range(1..15u32) as f64;
+            (
+                format!(
+                    "SELECT z, zerr FROM specobjall WHERE z BETWEEN {z:.3} AND {:.3} \
+                     AND zerr < 0.005",
+                    z + 0.05
+                ),
+                rng.random_range(50..5_000),
+            )
+        }
+        10 => {
+            let mjd = 51_000 + 75 * rng.random_range(0..40u32);
+            (
+                format!(
+                    "SELECT plate, fiberid FROM specobjall WHERE mjd = {mjd} \
+                     ORDER BY plate"
+                ),
+                rng.random_range(0..640),
+            )
+        }
+        _ => {
+            let htm = 1_000_000_000u64 + 20_000_000 * rng.random_range(0..50u64);
+            (
+                format!("SELECT objid, ra, dec FROM photoobjall WHERE htmid = {htm}"),
+                rng.random_range(0..5),
+            )
+        }
+    }
+}
+
+/// Emits the human-scientist traffic.
+pub fn human(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.human);
+    let mut out = Vec::with_capacity(quota);
+    let mut user_seq = 100_000u64;
+    let mut emitted = 0usize;
+    while emitted < quota {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let session_len = rng.random_range(3..60usize).min(quota - emitted).max(1);
+        let group = groups.next();
+        for _ in 0..session_len {
+            let (stmt, rows) = ad_hoc(rng);
+            stream.emit(stmt.clone(), rows, IntentKind::Human, group);
+            emitted += 1;
+            if rng.random_bool(cfg.mix.duplicate_prob) {
+                // Reload: the same statement again within a second.
+                stream.gap(rng, 50, 950);
+                stream.emit(stmt, rows, IntentKind::Duplicate, group);
+                emitted += 1;
+            }
+            // Human think time.
+            stream.gap(rng, 4_000, 180_000);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlog_sql::parse_statement;
+
+    #[test]
+    fn human_statements_parse() {
+        let cfg = GenConfig::with_scale(3_000, 13);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for e in human(&cfg, &mut rng, &mut GroupCounter::default()) {
+            parse_statement(&e.statement).unwrap_or_else(|err| panic!("{:?}: {err}", e.statement));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_identical_and_sub_second() {
+        let cfg = GenConfig::with_scale(10_000, 14);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let entries = human(&cfg, &mut rng, &mut GroupCounter::default());
+        let mut dups = 0;
+        for pair in entries.windows(2) {
+            if pair[1].truth.unwrap().kind == IntentKind::Duplicate {
+                assert_eq!(pair[0].statement, pair[1].statement);
+                assert!(pair[1].timestamp.abs_diff(pair[0].timestamp) < 1000);
+                dups += 1;
+            }
+        }
+        let rate = dups as f64 / entries.len() as f64;
+        // duplicate_prob 0.075 → roughly 7 % of entries are the dup copies.
+        assert!((0.03..=0.12).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn many_distinct_users() {
+        let cfg = GenConfig::with_scale(10_000, 15);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let entries = human(&cfg, &mut rng, &mut GroupCounter::default());
+        let users: std::collections::HashSet<_> =
+            entries.iter().map(|e| e.user.clone().unwrap()).collect();
+        assert!(users.len() > 50, "users = {}", users.len());
+    }
+}

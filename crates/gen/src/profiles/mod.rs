@@ -1,0 +1,8 @@
+//! Workload profiles, one per population of the SkyServer-like log.
+
+pub mod cth;
+pub mod human;
+pub mod noise;
+pub mod stifle;
+pub mod sws;
+pub mod webui;

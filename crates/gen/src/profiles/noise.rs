@@ -1,0 +1,165 @@
+//! Noise profiles: DML/DDL statements, syntax errors and SNC misuse.
+//!
+//! The raw SkyServer log contained ~4 % statements that the parse step drops
+//! (DML/DDL and syntax errors, §6.3); the SNC (`= NULL`) extension of §5.4
+//! needs a small population of misuse queries to solve.
+
+use crate::config::GenConfig;
+use crate::stream::{ip, GroupCounter, UserStream};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sqlog_log::{IntentKind, LogEntry};
+
+/// Emits DML/DDL statements (classified, then dropped by the pipeline).
+pub fn non_select(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.non_select);
+    let mut out = Vec::with_capacity(quota);
+    let mut user_seq = 300_000u64;
+    let mut emitted = 0usize;
+    while emitted < quota {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let burst = rng.random_range(1..20usize).min(quota - emitted).max(1);
+        let group = groups.next();
+        for _ in 0..burst {
+            let stmt = match rng.random_range(0..5u32) {
+                0 => format!(
+                    "INSERT INTO mydb.results (objid, ra) VALUES ({}, {:.4})",
+                    rng.random_range(0..10_000_000u64),
+                    rng.random_range(0.0..360.0f64)
+                ),
+                1 => format!(
+                    "UPDATE mydb.flags SET checked = 1 WHERE objid = {}",
+                    rng.random_range(0..10_000_000u64)
+                ),
+                2 => "CREATE TABLE mydb.scratch (objid bigint, note varchar(64))".to_string(),
+                3 => format!(
+                    "DELETE FROM mydb.scratch WHERE objid = {}",
+                    rng.random_range(0..10_000_000u64)
+                ),
+                _ => "DROP TABLE mydb.scratch".to_string(),
+            };
+            stream.emit(stmt, 0, IntentKind::NonSelect, group);
+            stream.gap(rng, 2_000, 60_000);
+            emitted += 1;
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+/// Emits syntactically broken statements.
+pub fn malformed(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.malformed);
+    let mut out = Vec::with_capacity(quota);
+    let mut user_seq = 400_000u64;
+    let broken = [
+        "SELECT FROM photoprimary WHERE objid = 5",
+        "SELEC objid FROM photoprimary",
+        "SELECT objid FROM photoprimary WHERE",
+        "SELECT objid FROM photoprimary WHERE ra > 'unterminated",
+        "SELECT objid FROM photoprimary WHERE (ra > 1",
+        "SELECT objid photoprimary WHERE AND",
+        "SELECT TOP FROM galaxy",
+        "WITH x AS (SELECT 1) SELECT * FROM x", // unsupported CTE → error bucket
+    ];
+    let mut emitted = 0usize;
+    while emitted < quota {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let burst = rng.random_range(1..6usize).min(quota - emitted).max(1);
+        let group = groups.next();
+        for _ in 0..burst {
+            let stmt = broken[rng.random_range(0..broken.len())].to_string();
+            stream.emit(stmt, 0, IntentKind::Malformed, group);
+            stream.gap(rng, 2_000, 40_000);
+            emitted += 1;
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+/// Emits SNC queries: `= NULL` / `<> NULL` comparisons that always return
+/// no rows (Def. 16 of the paper; the solvable extension antipattern).
+pub fn snc(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.snc);
+    let mut out = Vec::with_capacity(quota);
+    let mut user_seq = 500_000u64;
+    let mut emitted = 0usize;
+    while emitted < quota {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let burst = rng.random_range(1..4usize).min(quota - emitted).max(1);
+        let group = groups.next();
+        for _ in 0..burst {
+            let (col, op) = match rng.random_range(0..4u32) {
+                0 => ("flags", "="),
+                1 => ("flags", "<>"),
+                2 => ("specclass", "="),
+                _ => ("zerr", "<>"),
+            };
+            let table = if col == "flags" {
+                "photoprimary"
+            } else {
+                "specobjall"
+            };
+            stream.emit(
+                format!("SELECT * FROM {table} WHERE {col} {op} NULL"),
+                0,
+                IntentKind::Snc,
+                group,
+            );
+            stream.gap(rng, 3_000, 50_000);
+            emitted += 1;
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlog_sql::{parse_statement, Statement};
+
+    #[test]
+    fn non_select_classified_not_select() {
+        let cfg = GenConfig::with_scale(2_000, 31);
+        let mut rng = SmallRng::seed_from_u64(31);
+        for e in non_select(&cfg, &mut rng, &mut GroupCounter::default()) {
+            match parse_statement(&e.statement) {
+                Ok(Statement::Other(_)) => {}
+                other => panic!("expected non-select classification, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_statements_fail_to_parse() {
+        let cfg = GenConfig::with_scale(2_000, 32);
+        let mut rng = SmallRng::seed_from_u64(32);
+        for e in malformed(&cfg, &mut rng, &mut GroupCounter::default()) {
+            assert!(
+                parse_statement(&e.statement).is_err(),
+                "unexpectedly parsed: {}",
+                e.statement
+            );
+        }
+    }
+
+    #[test]
+    fn snc_statements_parse_with_null_comparison() {
+        let cfg = GenConfig::with_scale(5_000, 33);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let entries = snc(&cfg, &mut rng, &mut GroupCounter::default());
+        assert!(!entries.is_empty());
+        for e in &entries {
+            let stmt = parse_statement(&e.statement).unwrap();
+            let q = stmt.as_select().unwrap();
+            let p = sqlog_skeleton::PredicateProfile::of_select(&q.body);
+            assert_eq!(p.null_comparisons().len(), 1, "{}", e.statement);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Stifle-emitting crawler profiles.
+//!
+//! These reproduce the proprietary bot software the paper inferred behind
+//! the Table-6 antipatterns: object-at-a-time crawlers that fetch pixel
+//! coordinates of photometric objects one `objid` at a time. The three
+//! major DW templates and the two major DS templates mirror Table 6
+//! (frequencies 1.45 : 1.41 : 1.04 : 0.56 : 0.56, distinct IPs 2/3/1/2/2);
+//! a long tail of minor templates reproduces the paper's distinct-template
+//! counts (1 018 DW / 6 562 DS / 487 DF, scaled).
+
+use crate::config::GenConfig;
+use crate::stream::{ip, GroupCounter, UserStream};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sqlog_log::{IntentKind, LogEntry};
+
+/// Column pairs of the three major DW templates (Table 6 rows 1–3).
+const MAJOR_DW: &[(&str, &str, usize, f64)] = &[
+    // (select columns, ..., distinct IPs, relative weight)
+    ("rowc_g", "colc_g", 2, 1.454),
+    ("rowc_r", "colc_r", 3, 1.411),
+    ("rowc_i", "colc_i", 1, 1.045),
+];
+
+/// Column sets used to build minor-template long tails.
+const PHOTO_COLS: &[&str] = &[
+    "ra", "dec", "u", "g", "r", "i", "z", "rowc_g", "colc_g", "rowc_r", "colc_r", "rowc_i",
+    "colc_i", "run", "camcol", "field", "flags",
+];
+
+const PHOTO_TABLES: &[&str] = &["photoprimary", "photoobjall", "galaxy", "star"];
+
+/// The `seq`-th objid of the crawled catalog. Crawlers enumerate a shared
+/// object catalog sequentially: different bots visit the *same* objids (so
+/// stifle queries form the "many small clusters" of the §6.9 experiment),
+/// while one bot never revisits an objid (so an unrestricted duplicate
+/// threshold stays close to the 1-second one, Table 4). The ×1000 spacing
+/// matches `sqlog-minidb`'s data generator, so point queries hit rows.
+fn catalog_objid(seq: u64) -> u64 {
+    // SkyServer objids are ~19-digit integers.
+    587_722_982_000_000_000 + seq * 1_000
+}
+
+fn pick_cols<'a>(rng: &mut SmallRng, n: usize) -> Vec<&'a str> {
+    let mut cols: Vec<&str> = Vec::with_capacity(n);
+    while cols.len() < n {
+        let c = PHOTO_COLS[rng.random_range(0..PHOTO_COLS.len())];
+        if !cols.contains(&c) {
+            cols.push(c);
+        }
+    }
+    cols
+}
+
+/// Emits DW-Stifle traffic: runs of identical-skeleton queries differing
+/// only in the `objid` constant.
+pub fn dw(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.stifle_dw);
+    let mut out = Vec::with_capacity(quota);
+    let major_quota = (quota as f64 * 0.85) as usize;
+    let weight_sum: f64 = MAJOR_DW.iter().map(|m| m.3).sum();
+
+    let mut user_seq = 10_000u64;
+    for (c1, c2, ips, weight) in MAJOR_DW {
+        let tpl_quota = (major_quota as f64 * weight / weight_sum) as usize;
+        for _ in 0..*ips {
+            user_seq += 1;
+            let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+            let mut emitted = 0usize;
+            // Every IP of a family crawls the same catalog from the start.
+            let mut seq = 0u64;
+            let per_ip = tpl_quota / ips;
+            while emitted < per_ip {
+                // One crawl session = one DW-Stifle instance. Run lengths
+                // average ≈ 45, calibrated against §6.3's 40× statement
+                // reduction (10 222 stifle queries → 254 rewrites).
+                let run = rng.random_range(20..80).min(per_ip - emitted).max(2);
+                let group = groups.next();
+                for _ in 0..run {
+                    let stmt = format!(
+                        "SELECT {c1}, {c2} FROM photoprimary WHERE objid={}",
+                        catalog_objid(seq)
+                    );
+                    seq += 1;
+                    stream.emit(stmt, 1, IntentKind::StifleDw, group);
+                    stream.gap(rng, 800, 3000);
+                }
+                emitted += run;
+                stream.new_session(cfg, rng);
+            }
+            out.append(&mut stream.entries);
+        }
+    }
+
+    // Long tail of minor DW templates: distinct column/table combinations,
+    // each crawled briefly by its own user.
+    let minor_quota = quota.saturating_sub(out.len());
+    let per_tpl = (minor_quota / cfg.minor_dw_templates.max(1)).max(2);
+    for k in 0..cfg.minor_dw_templates {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let ncols = rng.random_range(1..=3);
+        let cols = pick_cols(rng, ncols).join(", ");
+        let table = PHOTO_TABLES[k % PHOTO_TABLES.len()];
+        // Long minor crawls are split into run-sized instances too. Minor
+        // crawlers enumerate the same catalog, so their objids overlap with
+        // the majors' (clusters), never with their own past (duplicates).
+        let mut left = per_tpl;
+        let mut seq = 0u64;
+        while left > 0 {
+            let run = rng.random_range(20..60).min(left).max(1);
+            let group = groups.next();
+            for _ in 0..run {
+                let stmt = format!(
+                    "SELECT {cols} FROM {table} WHERE objid={}",
+                    catalog_objid(seq)
+                );
+                seq += 1;
+                stream.emit(stmt, 1, IntentKind::StifleDw, group);
+                stream.gap(rng, 900, 2500);
+            }
+            left -= run;
+            stream.new_session(cfg, rng);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+/// Emits DS-Stifle traffic: per object, several queries with the same
+/// FROM + WHERE but different SELECT lists (Table 6 rows 4–5).
+pub fn ds(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.stifle_ds);
+    let mut out = Vec::with_capacity(quota);
+    let major_quota = (quota as f64 * 0.6) as usize;
+
+    // Major: the (rowc_r,colc_r) / (rowc_g,colc_g) alternation, 2 IPs.
+    let mut user_seq = 20_000u64;
+    for _ in 0..2 {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let mut emitted = 0usize;
+        let mut seq = 0u64;
+        let per_ip = major_quota / 2;
+        while emitted < per_ip {
+            let pairs = rng
+                .random_range(20..150)
+                .min((per_ip - emitted).max(2) / 2)
+                .max(1);
+            let group = groups.next();
+            for _ in 0..pairs {
+                let objid = catalog_objid(seq);
+                seq += 1;
+                stream.emit(
+                    format!("SELECT rowc_r, colc_r FROM photoprimary WHERE objid={objid}"),
+                    1,
+                    IntentKind::StifleDs,
+                    group,
+                );
+                stream.gap(rng, 300, 1200);
+                stream.emit(
+                    format!("SELECT rowc_g, colc_g FROM photoprimary WHERE objid={objid}"),
+                    1,
+                    IntentKind::StifleDs,
+                    group,
+                );
+                stream.gap(rng, 300, 1200);
+            }
+            emitted += pairs * 2;
+            stream.new_session(cfg, rng);
+        }
+        out.append(&mut stream.entries);
+    }
+
+    // Minor tail: random distinct projection pairs on a random photo table.
+    let minor_quota = quota.saturating_sub(out.len());
+    let per_tpl = (minor_quota / cfg.minor_ds_templates.max(1)).max(2);
+    for k in 0..cfg.minor_ds_templates {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let table = PHOTO_TABLES[k % PHOTO_TABLES.len()];
+        let na = rng.random_range(1..=2);
+        let nb = rng.random_range(1..=2);
+        let cols_a = pick_cols(rng, na).join(", ");
+        let cols_b = pick_cols(rng, nb).join(", ");
+        if cols_a == cols_b {
+            continue;
+        }
+        let group = groups.next();
+        for seq in 0..(per_tpl / 2) as u64 {
+            let objid = catalog_objid(seq);
+            stream.emit(
+                format!("SELECT {cols_a} FROM {table} WHERE objid={objid}"),
+                1,
+                IntentKind::StifleDs,
+                group,
+            );
+            stream.gap(rng, 300, 1500);
+            stream.emit(
+                format!("SELECT {cols_b} FROM {table} WHERE objid={objid}"),
+                1,
+                IntentKind::StifleDs,
+                group,
+            );
+            stream.gap(rng, 300, 1500);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+/// Emits DF-Stifle traffic: the same WHERE clause fired at *different*
+/// tables (redundant design, Example 13 of the paper).
+pub fn df(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.stifle_df);
+    let mut out = Vec::with_capacity(quota);
+    let per_tpl = (quota / cfg.minor_df_templates.max(1)).max(2);
+    let mut user_seq = 30_000u64;
+    for k in 0..cfg.minor_df_templates {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        // Pick two different photo tables; objid is a key of both.
+        let t1 = PHOTO_TABLES[k % PHOTO_TABLES.len()];
+        let t2 = PHOTO_TABLES[(k + 1) % PHOTO_TABLES.len()];
+        let n = rng.random_range(1..=2);
+        let cols = pick_cols(rng, n).join(", ");
+        let group = groups.next();
+        for seq in 0..(per_tpl / 2) as u64 {
+            let objid = catalog_objid(seq);
+            stream.emit(
+                format!("SELECT {cols} FROM {t1} WHERE objid={objid}"),
+                1,
+                IntentKind::StifleDf,
+                group,
+            );
+            stream.gap(rng, 300, 1500);
+            stream.emit(
+                format!("SELECT {cols} FROM {t2} WHERE objid={objid}"),
+                1,
+                IntentKind::StifleDf,
+                group,
+            );
+            stream.gap(rng, 300, 1500);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlog_sql::parse_statement;
+
+    fn cfg() -> GenConfig {
+        GenConfig::with_scale(5_000, 42)
+    }
+
+    #[test]
+    fn dw_queries_parse_and_have_single_equality() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut groups = GroupCounter::default();
+        let entries = dw(&cfg, &mut rng, &mut groups);
+        assert!(!entries.is_empty());
+        for e in entries.iter().take(50) {
+            let stmt = parse_statement(&e.statement).expect("dw statement parses");
+            let q = stmt.as_select().expect("dw is a select");
+            let profile = sqlog_skeleton::PredicateProfile::of_select(&q.body);
+            let (col, _) = profile.single_equality().expect("single equality");
+            assert_eq!(col, "objid");
+        }
+    }
+
+    #[test]
+    fn dw_quota_roughly_met() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let entries = dw(&cfg, &mut rng, &mut GroupCounter::default());
+        let quota = cfg.quota(cfg.mix.stifle_dw);
+        assert!(
+            entries.len() as f64 > quota as f64 * 0.7
+                && (entries.len() as f64) < quota as f64 * 1.3,
+            "emitted {} for quota {quota}",
+            entries.len()
+        );
+    }
+
+    #[test]
+    fn ds_pairs_share_objid() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let entries = ds(&cfg, &mut rng, &mut GroupCounter::default());
+        // The first two entries of each major stream form a pair on one objid.
+        let a = &entries[0].statement;
+        let b = &entries[1].statement;
+        let objid_a = a.rsplit('=').next().unwrap();
+        let objid_b = b.rsplit('=').next().unwrap();
+        assert_eq!(objid_a, objid_b);
+        assert_ne!(a.split("FROM").next(), b.split("FROM").next());
+    }
+
+    #[test]
+    fn df_pairs_differ_in_table_only() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let entries = df(&cfg, &mut rng, &mut GroupCounter::default());
+        assert!(!entries.is_empty());
+        let a = parse_statement(&entries[0].statement).unwrap();
+        let b = parse_statement(&entries[1].statement).unwrap();
+        let ta = sqlog_skeleton::primary_table(&a.as_select().unwrap().body).unwrap();
+        let tb = sqlog_skeleton::primary_table(&b.as_select().unwrap().body).unwrap();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn all_stifle_entries_are_labeled() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut groups = GroupCounter::default();
+        for e in dw(&cfg, &mut rng, &mut groups) {
+            assert_eq!(e.truth.unwrap().kind, IntentKind::StifleDw);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Sliding-window-search robots: the Table-7 top patterns.
+//!
+//! The paper's most frequent patterns are *machine downloads*: one user (one
+//! IP) walks a spatial grid with consecutive, disjoint filter windows,
+//! copying a slice of the database piece by piece (§6.5). These are patterns
+//! — not antipatterns — but their frequency/userPopularity signature (huge
+//! frequency, 1–2 users) is what the SWS classifier keys on (Table 8).
+
+use crate::config::GenConfig;
+use crate::stream::{ip, GroupCounter, UserStream};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sqlog_log::{IntentKind, LogEntry};
+
+/// The five Table-7 families: (relative weight, distinct IPs).
+/// Weights are the paper's coverage percentages 8.69 / 8.0 / 5.65 / 5.44 / 1.75.
+const FAMILIES: &[(f64, u64)] = &[(8.69, 1), (8.0, 19), (5.65, 1), (5.44, 1), (1.75, 1)];
+
+/// Renders the `k`-th statement of family `fam` for a grid walker at
+/// position `pos`. Consecutive positions yield disjoint windows.
+fn statement(fam: usize, pos: u64, rng: &mut SmallRng) -> String {
+    match fam {
+        // Pattern 1: objects within @r arcmin of an equatorial point, with
+        // spectra outer-joined.
+        0 => {
+            let ra = (pos as f64 * 0.05) % 360.0;
+            let dec = ((pos / 7200) as f64) * 0.05 - 20.0;
+            format!(
+                "SELECT g.objid, g.ra, g.dec, g.u, g.g, g.r, g.i, g.z, s.specobjid \
+                 FROM photoobjall as g JOIN fgetnearbyobjeq({ra:.4}, {dec:.4}, 1.0) as gn \
+                 on g.objid=gn.objid left outer join specobj s on s.bestobjid=gn.objid"
+            )
+        }
+        // Pattern 2: rectangle scan with an r-magnitude band.
+        1 => {
+            let ra1 = (pos as f64 * 0.1) % 359.0;
+            let dec1 = ((pos / 3600) as f64) * 0.1 - 15.0;
+            let (rlo, rhi) = (14 + (pos % 4), 16 + (pos % 4));
+            format!(
+                "SELECT p.objid, p.ra, p.dec, p.r \
+                 FROM fgetobjfromrect({ra1:.4}, {dec1:.4}, {:.4}, {:.4}) n, photoprimary p \
+                 WHERE n.objid=p.objid and r between {rlo} and {rhi}",
+                ra1 + 0.1,
+                dec1 + 0.1,
+            )
+        }
+        // Pattern 3: count over an HTM-id range (disjoint windows).
+        2 => {
+            let base = 1_000_000_000u64 + pos * 10_000;
+            format!(
+                "SELECT count(*) FROM photoprimary WHERE htmid>={base} and htmid<={}",
+                base + 9_999
+            )
+        }
+        // Pattern 4: cone search on photoprimary.
+        3 => {
+            let ra = (pos as f64 * 0.08) % 360.0;
+            let dec = ((pos / 4500) as f64) * 0.08 - 10.0;
+            format!(
+                "SELECT p.objId, p.ra, p.dec, p.type \
+                 FROM fgetnearbyobjeq({ra:.4}, {dec:.4}, 2.0) n, photoprimary p \
+                 WHERE n.objid=p.objid"
+            )
+        }
+        // Pattern 5: scan-strip fraction search.
+        _ => {
+            let ra = (pos as f64 * 0.02) % 360.0;
+            let dec = rng.random_range(-1.25..1.25f64);
+            format!(
+                "SELECT ra, dec, u, g, r, i, z \
+                 FROM fgetnearbyobjeq({ra:.4}, {dec:.4}, 0.5) n, photoprimary p \
+                 WHERE n.objid=p.objid"
+            )
+        }
+    }
+}
+
+/// Columns used to build the minor window-scan long tail.
+const MINOR_COLS: &[&str] = &[
+    "objid, u",
+    "objid, g",
+    "objid, r",
+    "objid, i",
+    "objid, z",
+    "ra, dec",
+    "objid, ra",
+    "objid, dec",
+    "u, g, r",
+    "g, r, i",
+    "r, i, z",
+    "objid, run",
+    "objid, field",
+    "objid, flags",
+    "ra, dec, r",
+    "objid, htmid",
+];
+
+/// Number of minor single-user scan families (each a distinct template of
+/// medium frequency — the population that makes Table 8's coverage grow as
+/// the frequency threshold drops).
+const MINOR_FAMILIES: usize = 16;
+
+/// Share of the SWS quota that goes to the minor long tail.
+const MINOR_SHARE: f64 = 0.25;
+
+/// Emits the SWS robot traffic.
+pub fn sws(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let total_quota = cfg.quota(cfg.mix.sws);
+    let minor_quota = (total_quota as f64 * MINOR_SHARE) as usize;
+    let quota = total_quota - minor_quota;
+    let weight_sum: f64 = FAMILIES.iter().map(|f| f.0).sum();
+    let mut out = Vec::with_capacity(total_quota);
+    let mut user_seq = 60_000u64;
+
+    for (fam, (weight, ips)) in FAMILIES.iter().enumerate() {
+        let fam_quota = (quota as f64 * weight / weight_sum) as usize;
+        let per_ip = (fam_quota / *ips as usize).max(1);
+        for _ in 0..*ips {
+            user_seq += 1;
+            let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+            // All IPs of a family start at the same grid origin: a window
+            // recurs across IPs (multi-IP families cluster, §6.9) but never
+            // within one IP's walk — per §6.5, the queries of one SWS
+            // pattern access *disjoint* regions.
+            let mut pos: u64 = 0;
+            let mut emitted = 0usize;
+            while emitted < per_ip {
+                let burst = rng.random_range(200..1500).min(per_ip - emitted).max(1);
+                let group = groups.next();
+                for _ in 0..burst {
+                    let stmt = statement(fam, pos, rng);
+                    let rows = match fam {
+                        2 => 1, // count(*)
+                        _ => rng.random_range(50..5_000),
+                    };
+                    stream.emit(stmt, rows, IntentKind::Sws, group);
+                    pos += 1;
+                    stream.gap(rng, 500, 2500);
+                }
+                emitted += burst;
+                stream.new_session(cfg, rng);
+            }
+            out.append(&mut stream.entries);
+        }
+    }
+
+    // Minor long tail: each family is one user scanning disjoint htmid
+    // windows with its own projection (distinct template). Frequencies are
+    // geometric, so coverage keeps growing as the Table-8 frequency
+    // threshold is lowered.
+    let mut remaining = minor_quota;
+    for fam in 0..MINOR_FAMILIES {
+        let fam_quota = (remaining / 2).max(8).min(remaining);
+        if fam_quota == 0 {
+            break;
+        }
+        remaining -= fam_quota;
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let cols = MINOR_COLS[fam % MINOR_COLS.len()];
+        let table = ["photoobjall", "photoprimary"][fam % 2];
+        let mut pos: u64 = 0;
+        let mut emitted = 0usize;
+        while emitted < fam_quota {
+            let burst = rng.random_range(50..400).min(fam_quota - emitted).max(1);
+            let group = groups.next();
+            for _ in 0..burst {
+                let base = 2_000_000_000u64 + pos * 10_000;
+                stream.emit(
+                    format!(
+                        "SELECT {cols} FROM {table} WHERE htmid>={base} and htmid<={}",
+                        base + 9_999
+                    ),
+                    rng.random_range(10..2_000),
+                    IntentKind::Sws,
+                    group,
+                );
+                pos += 1;
+                stream.gap(rng, 500, 2500);
+            }
+            emitted += burst;
+            stream.new_session(cfg, rng);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlog_skeleton::QueryTemplate;
+    use sqlog_sql::parse_statement;
+
+    #[test]
+    fn sws_statements_parse_into_five_major_templates() {
+        let cfg = GenConfig::with_scale(20_000, 9);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let entries = sws(&cfg, &mut rng, &mut GroupCounter::default());
+        assert!(!entries.is_empty());
+        let mut fps = std::collections::HashSet::new();
+        for e in &entries {
+            let stmt = parse_statement(&e.statement)
+                .unwrap_or_else(|err| panic!("{:?}: {err}", e.statement));
+            let q = stmt.as_select().unwrap();
+            fps.insert(QueryTemplate::of_query(q).fingerprint);
+        }
+        // 5 major templates plus the minor long-tail families.
+        assert!(
+            fps.len() <= 8 + MINOR_FAMILIES,
+            "got {} fingerprints",
+            fps.len()
+        );
+        assert!(fps.len() >= 10);
+    }
+
+    #[test]
+    fn consecutive_windows_are_disjoint() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = statement(2, 100, &mut rng);
+        let b = statement(2, 101, &mut rng);
+        assert_ne!(a, b);
+        // HTM windows do not overlap.
+        assert!(a.contains("htmid>=1001000000 and htmid<=1001009999"));
+        assert!(b.contains("htmid>=1001010000 and htmid<=1001019999"));
+    }
+
+    #[test]
+    fn family_weights_respected() {
+        let cfg = GenConfig::with_scale(50_000, 11);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let entries = sws(&cfg, &mut rng, &mut GroupCounter::default());
+        let count_f3 = entries
+            .iter()
+            .filter(|e| e.statement.starts_with("SELECT count(*)"))
+            .count();
+        let share = count_f3 as f64 / entries.len() as f64;
+        // Family 3 weight: 5.65 / 29.53 ≈ 0.19.
+        assert!((0.10..=0.30).contains(&share), "share = {share}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Web-UI browsing sessions.
+//!
+//! The SkyServer web interface fires schema-metadata queries (`DBObjects`)
+//! as users click through the schema browser. Opening the same table's
+//! `description` and `text` in quick succession creates exactly the
+//! DS-Stifle-shaped pairs the paper found dominating the DS clusters of the
+//! §6.9 experiment — and page reloads create duplicates.
+
+use crate::config::GenConfig;
+use crate::stream::{ip, GroupCounter, UserStream};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sqlog_log::{IntentKind, LogEntry};
+
+const TABLES: &[&str] = &[
+    "photoobjall",
+    "photoprimary",
+    "specobjall",
+    "galaxy",
+    "star",
+    "field",
+    "neighbors",
+    "platex",
+];
+
+/// Emits the web-UI traffic.
+pub fn webui(cfg: &GenConfig, rng: &mut SmallRng, groups: &mut GroupCounter) -> Vec<LogEntry> {
+    let quota = cfg.quota(cfg.mix.webui);
+    let mut out = Vec::with_capacity(quota);
+    let mut user_seq = 200_000u64;
+    let mut emitted = 0usize;
+    while emitted < quota {
+        user_seq += 1;
+        let mut stream = UserStream::new(ip(user_seq), cfg, rng);
+        let group = groups.next();
+        // Landing page: list the schema.
+        stream.emit(
+            "SELECT name, type FROM DBObjects WHERE type='U' ORDER BY name".to_string(),
+            rng.random_range(40..90),
+            IntentKind::WebUi,
+            group,
+        );
+        emitted += 1;
+        stream.gap(rng, 3_000, 30_000);
+        // Click through a few distinct tables (a user rarely reopens the
+        // page they just read; re-reads would be duplicates).
+        let clicks = rng.random_range(1..6usize);
+        let start = rng.random_range(0..TABLES.len());
+        for c in 0..clicks {
+            let table = TABLES[(start + c) % TABLES.len()];
+            let pair = [
+                format!("SELECT description FROM DBObjects WHERE name='{table}'"),
+                format!("SELECT text FROM DBObjects WHERE name='{table}'"),
+            ];
+            for stmt in pair {
+                stream.emit(stmt.clone(), 1, IntentKind::WebUi, group);
+                emitted += 1;
+                if rng.random_bool(cfg.mix.duplicate_prob) {
+                    stream.gap(rng, 50, 900);
+                    stream.emit(stmt, 1, IntentKind::Duplicate, group);
+                    emitted += 1;
+                }
+                stream.gap(rng, 500, 2_000);
+            }
+            stream.gap(rng, 5_000, 40_000);
+        }
+        out.append(&mut stream.entries);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlog_sql::parse_statement;
+
+    #[test]
+    fn webui_statements_parse() {
+        let cfg = GenConfig::with_scale(2_000, 21);
+        let mut rng = SmallRng::seed_from_u64(21);
+        for e in webui(&cfg, &mut rng, &mut GroupCounter::default()) {
+            parse_statement(&e.statement).unwrap_or_else(|err| panic!("{:?}: {err}", e.statement));
+        }
+    }
+
+    #[test]
+    fn description_text_pairs_share_the_table() {
+        let cfg = GenConfig::with_scale(5_000, 22);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let entries = webui(&cfg, &mut rng, &mut GroupCounter::default());
+        let mut pairs = 0;
+        for w in entries.windows(2) {
+            if w[0].statement.starts_with("SELECT description")
+                && w[1].statement.starts_with("SELECT text")
+            {
+                let ta = w[0].statement.rsplit('=').next().unwrap();
+                let tb = w[1].statement.rsplit('=').next().unwrap();
+                assert_eq!(ta, tb);
+                pairs += 1;
+            }
+        }
+        assert!(pairs > 10);
+    }
+}

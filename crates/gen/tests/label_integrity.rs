@@ -1,0 +1,100 @@
+//! Ground-truth label integrity: the labels the experiments rely on must be
+//! internally consistent.
+
+use sqlog_gen::{generate, GenConfig};
+use sqlog_log::IntentKind;
+use std::collections::HashMap;
+
+#[test]
+fn every_entry_is_labeled_with_a_group() {
+    let log = generate(&GenConfig::with_scale(8_000, 555));
+    for e in &log.entries {
+        let t = e.truth.expect("synthetic entries carry ground truth");
+        assert!(t.group > 0, "group ids start at 1");
+        assert!(e.user.is_some(), "synthetic entries carry a user");
+    }
+}
+
+#[test]
+fn cth_followups_share_a_group_with_their_source() {
+    let log = generate(&GenConfig::with_scale(20_000, 556));
+    // group → kinds present.
+    let mut groups: HashMap<u64, Vec<IntentKind>> = HashMap::new();
+    for e in &log.entries {
+        let t = e.truth.unwrap();
+        groups.entry(t.group).or_default().push(t.kind);
+    }
+    let mut followup_groups = 0;
+    for kinds in groups.values() {
+        if kinds.contains(&IntentKind::CthFollowUp) {
+            followup_groups += 1;
+            assert!(
+                kinds.contains(&IntentKind::CthSource),
+                "follow-up without a source in its group"
+            );
+        }
+    }
+    assert!(
+        followup_groups > 10,
+        "too few CTH groups: {followup_groups}"
+    );
+}
+
+#[test]
+fn duplicates_follow_an_identical_statement_by_the_same_user() {
+    let log = generate(&GenConfig::with_scale(20_000, 557));
+    // Index entries per user in time order.
+    let mut per_user: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, e) in log.entries.iter().enumerate() {
+        per_user.entry(e.user_key()).or_default().push(i);
+    }
+    let mut dups = 0;
+    for stream in per_user.values() {
+        for w in stream.windows(2) {
+            let (prev, cur) = (&log.entries[w[0]], &log.entries[w[1]]);
+            if cur.truth.unwrap().kind == IntentKind::Duplicate {
+                assert_eq!(prev.statement, cur.statement, "duplicate differs");
+                assert!(
+                    cur.timestamp.abs_diff(prev.timestamp) < 1_000,
+                    "duplicate arrived too late"
+                );
+                dups += 1;
+            }
+        }
+    }
+    assert!(dups > 100, "too few duplicates: {dups}");
+}
+
+#[test]
+fn stifle_groups_are_single_user_runs() {
+    let log = generate(&GenConfig::with_scale(15_000, 558));
+    let mut group_users: HashMap<u64, &str> = HashMap::new();
+    for e in &log.entries {
+        let t = e.truth.unwrap();
+        if matches!(
+            t.kind,
+            IntentKind::StifleDw | IntentKind::StifleDs | IntentKind::StifleDf
+        ) {
+            let user = e.user_key();
+            let prev = group_users.insert(t.group, user);
+            if let Some(prev) = prev {
+                assert_eq!(prev, user, "stifle group {} spans users", t.group);
+            }
+        }
+    }
+    assert!(group_users.len() > 50);
+}
+
+#[test]
+fn malformed_entries_really_are_malformed() {
+    let log = generate(&GenConfig::with_scale(10_000, 559));
+    for e in &log.entries {
+        if e.truth.unwrap().kind == IntentKind::Malformed {
+            assert!(
+                sqlog_sql::parse_statement(&e.statement).is_err(),
+                "labeled malformed but parses: {}",
+                e.statement
+            );
+        }
+    }
+}

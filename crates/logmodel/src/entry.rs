@@ -1,0 +1,144 @@
+//! Log entries and (for synthetic logs) ground-truth labels.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// What the workload generator *meant* a statement to be.
+///
+/// Real logs never carry this; the synthetic SkyServer-like log attaches it
+/// so experiments can measure the detector against a known truth — most
+/// importantly the CTH precision experiment (§6.6: 28 of 50 candidates were
+/// judged real by domain experts; here the generator plays the expert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntentKind {
+    /// An ordinary human-issued query.
+    Human,
+    /// A query from the SkyServer-style web UI.
+    WebUi,
+    /// Part of a DW-Stifle run (bot crawler re-querying by key).
+    StifleDw,
+    /// Part of a DS-Stifle run.
+    StifleDs,
+    /// Part of a DF-Stifle run.
+    StifleDf,
+    /// First query of a truly dependent CTH sequence.
+    CthSource,
+    /// Follow-up query whose constant came from a previous result (real CTH).
+    CthFollowUp,
+    /// A CTH-*shaped* sequence with no actual dependency (false positive).
+    CthCoincidental,
+    /// Sliding-window-search robot download.
+    Sws,
+    /// An unintended resubmission (web-form reload).
+    Duplicate,
+    /// A DML/DDL statement.
+    NonSelect,
+    /// A statement with a syntax error.
+    Malformed,
+    /// `= NULL` / `<> NULL` misuse (SNC antipattern).
+    Snc,
+}
+
+/// Ground truth attached to a synthetic log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The generator's intent for this statement.
+    pub kind: IntentKind,
+    /// Groups the statements of one generated instance (e.g. the source and
+    /// follow-ups of one CTH occurrence share a group id).
+    pub group: u64,
+}
+
+/// One record of the query log.
+///
+/// Only `statement` and `timestamp` are required — the framework is designed
+/// to operate on minimal logs (§6.8). `user` is the client identity (an IP
+/// in SkyServer); `rows` is the reported result-row count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Position of the entry in the original log (stable identity).
+    pub id: u64,
+    /// The SQL statement as logged.
+    pub statement: String,
+    /// Submission time.
+    pub timestamp: Timestamp,
+    /// Client identity (IP address in the SkyServer log), if recorded.
+    pub user: Option<String>,
+    /// Session label, if recorded.
+    pub session: Option<String>,
+    /// Number of result rows, if recorded.
+    pub rows: Option<u64>,
+    /// Generator ground truth (synthetic logs only).
+    pub truth: Option<GroundTruth>,
+}
+
+impl LogEntry {
+    /// Creates a minimal entry (statement + timestamp only).
+    pub fn minimal(id: u64, statement: impl Into<String>, timestamp: Timestamp) -> Self {
+        LogEntry {
+            id,
+            statement: statement.into(),
+            timestamp,
+            user: None,
+            session: None,
+            rows: None,
+            truth: None,
+        }
+    }
+
+    /// Builder-style user assignment.
+    pub fn with_user(mut self, user: impl Into<String>) -> Self {
+        self.user = Some(user.into());
+        self
+    }
+
+    /// Builder-style row-count assignment.
+    pub fn with_rows(mut self, rows: u64) -> Self {
+        self.rows = Some(rows);
+        self
+    }
+
+    /// Builder-style ground-truth assignment.
+    pub fn with_truth(mut self, kind: IntentKind, group: u64) -> Self {
+        self.truth = Some(GroundTruth { kind, group });
+        self
+    }
+
+    /// The user key used for per-user grouping: the recorded user, or a
+    /// single synthetic user when the log has no user information (§4.1.1:
+    /// "if the log does not contain information on the users, we assume that
+    /// one user has issued all queries").
+    pub fn user_key(&self) -> &str {
+        self.user.as_deref().unwrap_or("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let e = LogEntry::minimal(7, "SELECT 1", Timestamp::from_secs(5))
+            .with_user("10.0.0.1")
+            .with_rows(12)
+            .with_truth(IntentKind::Human, 3);
+        assert_eq!(e.id, 7);
+        assert_eq!(e.user.as_deref(), Some("10.0.0.1"));
+        assert_eq!(e.rows, Some(12));
+        assert_eq!(
+            e.truth,
+            Some(GroundTruth {
+                kind: IntentKind::Human,
+                group: 3
+            })
+        );
+    }
+
+    #[test]
+    fn missing_user_maps_to_single_synthetic_user() {
+        let a = LogEntry::minimal(0, "SELECT 1", Timestamp::from_secs(0));
+        let b = LogEntry::minimal(1, "SELECT 2", Timestamp::from_secs(1));
+        assert_eq!(a.user_key(), b.user_key());
+    }
+}

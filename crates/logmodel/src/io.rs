@@ -1,0 +1,381 @@
+//! On-disk log format: tab-separated values, one entry per line.
+//!
+//! Column order: `id`, `timestamp_ms`, `user`, `session`, `rows`, `truth`,
+//! `statement`. Empty fields encode `None`. The statement comes last and is
+//! escaped (`\t`, `\n`, `\r`, `\\`) so multi-line SQL survives. Reading and
+//! writing are streaming (buffered), so multi-million-entry logs do not need
+//! to be materialized twice.
+
+use crate::entry::{GroundTruth, IntentKind, LogEntry};
+use crate::log::QueryLog;
+use crate::time::Timestamp;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from log I/O.
+#[derive(Debug)]
+pub enum IoFormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number and description).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoFormatError::Io(e) => write!(f, "I/O error: {e}"),
+            IoFormatError::Malformed { line, message } => {
+                write!(f, "malformed log line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoFormatError {}
+
+impl From<io::Error> for IoFormatError {
+    fn from(e: io::Error) -> Self {
+        IoFormatError::Io(e)
+    }
+}
+
+fn escape(statement: &str, out: &mut String) {
+    for c in statement.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn intent_to_str(kind: IntentKind) -> &'static str {
+    match kind {
+        IntentKind::Human => "human",
+        IntentKind::WebUi => "webui",
+        IntentKind::StifleDw => "stifle_dw",
+        IntentKind::StifleDs => "stifle_ds",
+        IntentKind::StifleDf => "stifle_df",
+        IntentKind::CthSource => "cth_source",
+        IntentKind::CthFollowUp => "cth_followup",
+        IntentKind::CthCoincidental => "cth_coincidental",
+        IntentKind::Sws => "sws",
+        IntentKind::Duplicate => "duplicate",
+        IntentKind::NonSelect => "non_select",
+        IntentKind::Malformed => "malformed",
+        IntentKind::Snc => "snc",
+    }
+}
+
+fn intent_from_str(s: &str) -> Option<IntentKind> {
+    Some(match s {
+        "human" => IntentKind::Human,
+        "webui" => IntentKind::WebUi,
+        "stifle_dw" => IntentKind::StifleDw,
+        "stifle_ds" => IntentKind::StifleDs,
+        "stifle_df" => IntentKind::StifleDf,
+        "cth_source" => IntentKind::CthSource,
+        "cth_followup" => IntentKind::CthFollowUp,
+        "cth_coincidental" => IntentKind::CthCoincidental,
+        "sws" => IntentKind::Sws,
+        "duplicate" => IntentKind::Duplicate,
+        "non_select" => IntentKind::NonSelect,
+        "malformed" => IntentKind::Malformed,
+        "snc" => IntentKind::Snc,
+        _ => return None,
+    })
+}
+
+/// Writes a log to any writer in the TSV format.
+pub fn write_log<W: Write>(log: &QueryLog, writer: W) -> Result<(), IoFormatError> {
+    let mut w = BufWriter::new(writer);
+    let mut buf = String::new();
+    for e in &log.entries {
+        buf.clear();
+        buf.push_str(&e.id.to_string());
+        buf.push('\t');
+        buf.push_str(&e.timestamp.millis().to_string());
+        buf.push('\t');
+        if let Some(u) = &e.user {
+            buf.push_str(u);
+        }
+        buf.push('\t');
+        if let Some(s) = &e.session {
+            buf.push_str(s);
+        }
+        buf.push('\t');
+        if let Some(r) = e.rows {
+            buf.push_str(&r.to_string());
+        }
+        buf.push('\t');
+        if let Some(t) = e.truth {
+            buf.push_str(intent_to_str(t.kind));
+            buf.push(':');
+            buf.push_str(&t.group.to_string());
+        }
+        buf.push('\t');
+        escape(&e.statement, &mut buf);
+        buf.push('\n');
+        w.write_all(buf.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a log from any reader in the TSV format.
+pub fn read_log<R: Read>(reader: R) -> Result<QueryLog, IoFormatError> {
+    let mut log = QueryLog::new();
+    for entry in LogReader::new(reader) {
+        log.push(entry?);
+    }
+    Ok(log)
+}
+
+/// Streaming reader: iterates entries one at a time with constant memory —
+/// the right tool for multi-gigabyte logs (the SkyServer log at full scale
+/// would not fit in RAM on a laptop).
+pub struct LogReader<R: Read> {
+    reader: BufReader<R>,
+    line: String,
+    lineno: usize,
+}
+
+impl<R: Read> LogReader<R> {
+    /// Wraps a reader.
+    pub fn new(reader: R) -> Self {
+        LogReader {
+            reader: BufReader::new(reader),
+            line: String::new(),
+            lineno: 0,
+        }
+    }
+}
+
+impl<R: Read> Iterator for LogReader<R> {
+    type Item = Result<LogEntry, IoFormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(IoFormatError::Io(e))),
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Some(parse_line(trimmed, self.lineno));
+        }
+    }
+}
+
+/// Parses one TSV line into an entry.
+fn parse_line(line: &str, lineno: usize) -> Result<LogEntry, IoFormatError> {
+    let mut fields = line.splitn(7, '\t');
+    let mut next = |name: &str| {
+        fields.next().ok_or(IoFormatError::Malformed {
+            line: lineno,
+            message: format!("missing field {name}"),
+        })
+    };
+    let id: u64 = next("id")?.parse().map_err(|e| IoFormatError::Malformed {
+        line: lineno,
+        message: format!("bad id: {e}"),
+    })?;
+    let ts: i64 = next("timestamp")?
+        .parse()
+        .map_err(|e| IoFormatError::Malformed {
+            line: lineno,
+            message: format!("bad timestamp: {e}"),
+        })?;
+    let user = next("user")?;
+    let session = next("session")?;
+    let rows = next("rows")?;
+    let truth = next("truth")?;
+    let statement = next("statement")?;
+    let truth = if truth.is_empty() {
+        None
+    } else {
+        let (kind, group) = truth.split_once(':').ok_or(IoFormatError::Malformed {
+            line: lineno,
+            message: "truth field must be kind:group".into(),
+        })?;
+        let kind = intent_from_str(kind).ok_or(IoFormatError::Malformed {
+            line: lineno,
+            message: format!("unknown intent kind {kind:?}"),
+        })?;
+        let group = group.parse().map_err(|e| IoFormatError::Malformed {
+            line: lineno,
+            message: format!("bad truth group: {e}"),
+        })?;
+        Some(GroundTruth { kind, group })
+    };
+    Ok(LogEntry {
+        id,
+        statement: unescape(statement),
+        timestamp: Timestamp::from_millis(ts),
+        user: (!user.is_empty()).then(|| user.to_string()),
+        session: (!session.is_empty()).then(|| session.to_string()),
+        rows: if rows.is_empty() {
+            None
+        } else {
+            Some(rows.parse().map_err(|e| IoFormatError::Malformed {
+                line: lineno,
+                message: format!("bad rows: {e}"),
+            })?)
+        },
+        truth,
+    })
+}
+
+/// Writes a log to a file path.
+pub fn write_log_file(log: &QueryLog, path: impl AsRef<Path>) -> Result<(), IoFormatError> {
+    write_log(log, std::fs::File::create(path)?)
+}
+
+/// Reads a log from a file path.
+pub fn read_log_file(path: impl AsRef<Path>) -> Result<QueryLog, IoFormatError> {
+    read_log(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::IntentKind;
+
+    fn sample_log() -> QueryLog {
+        QueryLog::from_entries(vec![
+            LogEntry::minimal(0, "SELECT a\nFROM t\tWHERE x = 1", Timestamp::from_secs(10))
+                .with_user("10.1.2.3")
+                .with_rows(5)
+                .with_truth(IntentKind::Human, 1),
+            LogEntry::minimal(1, "SELECT 'tab\\here'", Timestamp::from_millis(10_500)),
+        ])
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let back = read_log(&buf[..]).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn statement_escaping_round_trips() {
+        let nasty = "line1\nline2\ttab \\ backslash\rcr";
+        let mut out = String::new();
+        escape(nasty, &mut out);
+        assert!(!out.contains('\n'));
+        assert!(!out.contains('\t'));
+        assert_eq!(unescape(&out), nasty);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            read_log("not-a-number\t0\t\t\t\t\tSELECT 1\n".as_bytes()),
+            Err(IoFormatError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_log("0\t0\t\t\t\n".as_bytes()),
+            Err(IoFormatError::Malformed { .. })
+        ));
+        assert!(matches!(
+            read_log("0\t0\t\t\t\tbadtruth\tSELECT 1\n".as_bytes()),
+            Err(IoFormatError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let log = read_log("\n0\t0\t\t\t\t\tSELECT 1\n\n".as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn all_intents_round_trip() {
+        for kind in [
+            IntentKind::Human,
+            IntentKind::WebUi,
+            IntentKind::StifleDw,
+            IntentKind::StifleDs,
+            IntentKind::StifleDf,
+            IntentKind::CthSource,
+            IntentKind::CthFollowUp,
+            IntentKind::CthCoincidental,
+            IntentKind::Sws,
+            IntentKind::Duplicate,
+            IntentKind::NonSelect,
+            IntentKind::Malformed,
+            IntentKind::Snc,
+        ] {
+            assert_eq!(intent_from_str(intent_to_str(kind)), Some(kind));
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_batch_reader() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let streamed: Vec<LogEntry> = LogReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+        assert_eq!(streamed, log.entries);
+    }
+
+    #[test]
+    fn streaming_reader_reports_bad_lines_and_continues_if_asked() {
+        let data = "0\t0\t\t\t\t\tSELECT 1\nbroken line\n1\t5\t\t\t\t\tSELECT 2\n";
+        let results: Vec<_> = LogReader::new(data.as_bytes()).collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("sqlog_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.tsv");
+        let log = sample_log();
+        write_log_file(&log, &path).unwrap();
+        assert_eq!(read_log_file(&path).unwrap(), log);
+        std::fs::remove_file(&path).ok();
+    }
+}

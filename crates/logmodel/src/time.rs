@@ -1,0 +1,273 @@
+//! A minimal timestamp type.
+//!
+//! The framework needs timestamps for exactly two things (§6.8 of the
+//! paper): ordering statements and measuring the small time gaps that define
+//! duplicates and pattern instances. Millisecond resolution since the Unix
+//! epoch is plenty; civil-time conversion (for display and log parsing) is
+//! implemented here directly with the days-from-civil algorithm, keeping the
+//! workspace free of date-time dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Milliseconds since 1970-01-01T00:00:00Z.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// From whole seconds since the epoch.
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs * 1000)
+    }
+
+    /// From milliseconds since the epoch.
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (floor).
+    pub const fn secs(self) -> i64 {
+        self.0.div_euclid(1000)
+    }
+
+    /// Builds a timestamp from a civil date and time (UTC).
+    pub fn from_civil(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Self {
+        let days = days_from_civil(year, month, day);
+        Timestamp(
+            ((days * 86_400) + i64::from(hour) * 3600 + i64::from(min) * 60 + i64::from(sec))
+                * 1000,
+        )
+    }
+
+    /// Absolute difference to another timestamp, in milliseconds.
+    pub fn abs_diff(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// This timestamp shifted by a signed number of milliseconds.
+    pub fn offset_millis(self, ms: i64) -> Timestamp {
+        Timestamp(self.0 + ms)
+    }
+}
+
+/// Days since the epoch for a civil date (proleptic Gregorian).
+/// Howard Hinnant's `days_from_civil` algorithm.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since the epoch (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+/// Error from parsing a timestamp string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimestampParseError {
+    /// The offending input.
+    pub input: String,
+}
+
+impl fmt::Display for TimestampParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse timestamp {:?} (expected epoch seconds/millis or \
+             YYYY-MM-DD[ HH:MM:SS])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for TimestampParseError {}
+
+impl std::str::FromStr for Timestamp {
+    type Err = TimestampParseError;
+
+    /// Accepts `YYYY-MM-DD HH:MM:SS` (also with a `T` separator), a bare
+    /// date `YYYY-MM-DD`, or an integer (epoch seconds when < 10^11, epoch
+    /// milliseconds otherwise).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let err = || TimestampParseError {
+            input: s.to_string(),
+        };
+        if s.is_empty() {
+            return Err(err());
+        }
+        // Plain integer: epoch seconds or milliseconds. 10^11 separates the
+        // two cleanly (10^11 s is the year 5138; 10^11 ms is 1973).
+        if let Ok(n) = s.parse::<i64>() {
+            return Ok(if n.abs() < 100_000_000_000 {
+                Timestamp::from_secs(n)
+            } else {
+                Timestamp::from_millis(n)
+            });
+        }
+        // Civil date / datetime.
+        let (date, time) = match s.split_once([' ', 'T']) {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut dp = date.split('-');
+        let year: i32 = dp.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+        let month: u32 = dp.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+        let day: u32 = dp.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+        if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(err());
+        }
+        let (h, m, sec) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut tp = t.trim_end_matches('Z').split(':');
+                let h: u32 = tp.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                let m: u32 = tp.next().and_then(|v| v.parse().ok()).ok_or_else(err)?;
+                let sec: u32 = match tp.next() {
+                    // Fractional seconds are truncated.
+                    Some(v) => v
+                        .split('.')
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(err)?,
+                    None => 0,
+                };
+                if tp.next().is_some() || h > 23 || m > 59 || sec > 60 {
+                    return Err(err());
+                }
+                (h, m, sec)
+            }
+        };
+        Ok(Timestamp::from_civil(year, month, day, h, m, sec))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.secs();
+        let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+        let tod = secs.rem_euclid(86_400);
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+            tod / 3600,
+            (tod / 60) % 60,
+            tod % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_displays_correctly() {
+        assert_eq!(Timestamp(0).to_string(), "1970-01-01 00:00:00");
+    }
+
+    #[test]
+    fn civil_round_trip() {
+        // The SkyServer study spans 2003–2008.
+        let t = Timestamp::from_civil(2007, 6, 13, 12, 18, 46);
+        assert_eq!(t.to_string(), "2007-06-13 12:18:46");
+        let t = Timestamp::from_civil(2003, 1, 1, 0, 0, 0);
+        assert_eq!(t.to_string(), "2003-01-01 00:00:00");
+        // Leap day.
+        let t = Timestamp::from_civil(2004, 2, 29, 23, 59, 59);
+        assert_eq!(t.to_string(), "2004-02-29 23:59:59");
+    }
+
+    #[test]
+    fn known_epoch_values() {
+        // 2000-01-01 = 946684800 seconds after the epoch.
+        assert_eq!(
+            Timestamp::from_civil(2000, 1, 1, 0, 0, 0).secs(),
+            946_684_800
+        );
+    }
+
+    #[test]
+    fn diff_and_offset() {
+        let a = Timestamp::from_secs(100);
+        let b = a.offset_millis(1500);
+        assert_eq!(a.abs_diff(b), 1500);
+        assert_eq!(b.abs_diff(a), 1500);
+        assert_eq!(b.secs(), 101);
+    }
+
+    #[test]
+    fn parses_common_formats() {
+        let parse = |s: &str| s.parse::<Timestamp>().unwrap();
+        assert_eq!(
+            parse("2007-06-13 12:18:46").to_string(),
+            "2007-06-13 12:18:46"
+        );
+        assert_eq!(
+            parse("2007-06-13T12:18:46Z").to_string(),
+            "2007-06-13 12:18:46"
+        );
+        assert_eq!(
+            parse("2007-06-13"),
+            Timestamp::from_civil(2007, 6, 13, 0, 0, 0)
+        );
+        assert_eq!(parse("946684800"), Timestamp::from_secs(946_684_800));
+        assert_eq!(
+            parse("946684800123"),
+            Timestamp::from_millis(946_684_800_123)
+        );
+        assert_eq!(
+            parse("2007-06-13 12:18:46.750"),
+            parse("2007-06-13 12:18:46")
+        );
+    }
+
+    #[test]
+    fn rejects_bad_timestamps() {
+        for bad in [
+            "",
+            "yesterday",
+            "2007-13-01",
+            "2007-06-32",
+            "2007-06-13 25:00:00",
+            "2007-06-13 12:61:00",
+            "2007/06/13",
+        ] {
+            assert!(bad.parse::<Timestamp>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn pre_epoch_dates_work() {
+        let t = Timestamp::from_civil(1969, 12, 31, 23, 59, 59);
+        assert_eq!(t.millis(), -1000);
+        assert_eq!(t.to_string(), "1969-12-31 23:59:59");
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Timestamp::from_secs(10) < Timestamp::from_secs(11));
+    }
+}

@@ -1,0 +1,237 @@
+//! Grouped / aggregate execution: `GROUP BY`, `HAVING`, and the aggregate
+//! functions `count`, `sum`, `avg`, `min`, `max`.
+//!
+//! This is the engine piece behind the paper's own rewrite target — the
+//! introduction's merged query ends in
+//! `(SELECT empId, count(orders) AS oCount FROM Orders GROUP BY empId)`.
+
+use crate::exec::{ExecError, RowCtxView};
+use crate::value::Value;
+use sqlog_sql::ast::*;
+
+/// True if the expression tree contains an aggregate function call.
+pub fn contains_aggregate(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |node| {
+        if let Expr::Function { name, .. } = node {
+            if is_aggregate_name(&name.last().normalized()) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// True if any projection item uses an aggregate.
+pub fn projection_has_aggregate(projection: &[SelectItem]) -> bool {
+    projection.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+        _ => false,
+    })
+}
+
+fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "avg" | "min" | "max")
+}
+
+/// Computes one aggregate call over the rows of a group.
+fn eval_aggregate(
+    name: &str,
+    args: &[Expr],
+    distinct: bool,
+    group: &[&RowCtxView<'_, '_>],
+) -> Result<Value, ExecError> {
+    // Collect the argument values (None for `count(*)`).
+    let arg = match args {
+        [Expr::Wildcard] | [] => None,
+        [e] => Some(e),
+        _ => {
+            return Err(ExecError::Unsupported(format!(
+                "aggregate {name} with {} arguments",
+                args.len()
+            )))
+        }
+    };
+    let mut values: Vec<Value> = Vec::with_capacity(group.len());
+    for ctx in group {
+        match arg {
+            None => values.push(Value::Int(1)),
+            Some(e) => values.push(crate::exec::eval_scalar_pub(e, ctx)?),
+        }
+    }
+    if arg.is_some() {
+        // SQL aggregates skip NULLs.
+        values.retain(|v| !v.is_null());
+    }
+    if distinct {
+        let mut seen: Vec<Value> = Vec::new();
+        values.retain(|v| {
+            if seen.iter().any(|s| s.sql_eq(v)) {
+                false
+            } else {
+                seen.push(v.clone());
+                true
+            }
+        });
+    }
+    let numeric = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    };
+    Ok(match name {
+        "count" => Value::Int(values.len() as i64),
+        "sum" => {
+            let mut acc = 0.0;
+            for v in &values {
+                acc += numeric(v)
+                    .ok_or_else(|| ExecError::Unsupported("SUM over non-numeric values".into()))?;
+            }
+            Value::Float(acc)
+        }
+        "avg" => {
+            if values.is_empty() {
+                Value::Null
+            } else {
+                let mut acc = 0.0;
+                for v in &values {
+                    acc += numeric(v).ok_or_else(|| {
+                        ExecError::Unsupported("AVG over non-numeric values".into())
+                    })?;
+                }
+                Value::Float(acc / values.len() as f64)
+            }
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => match v.compare(&b) {
+                        Some(std::cmp::Ordering::Less) if name == "min" => v,
+                        Some(std::cmp::Ordering::Greater) if name == "max" => v,
+                        _ => b,
+                    },
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+        other => return Err(ExecError::Unsupported(format!("aggregate {other}"))),
+    })
+}
+
+/// Evaluates an expression in group context: aggregate calls range over the
+/// whole group; everything else is evaluated on the group's first row
+/// (i.e. must be group-constant, which GROUP BY columns are).
+pub fn eval_group_scalar(e: &Expr, group: &[&RowCtxView<'_, '_>]) -> Result<Value, ExecError> {
+    match e {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } if is_aggregate_name(&name.last().normalized()) => {
+            eval_aggregate(&name.last().normalized(), args, *distinct, group)
+        }
+        Expr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+            ) =>
+        {
+            let (a, b) = (
+                eval_group_scalar(left, group)?,
+                eval_group_scalar(right, group)?,
+            );
+            let (x, y) = match (a, b) {
+                (Value::Int(a), Value::Int(b)) => (a as f64, b as f64),
+                (Value::Float(a), Value::Float(b)) => (a, b),
+                (Value::Int(a), Value::Float(b)) => (a as f64, b),
+                (Value::Float(a), Value::Int(b)) => (a, b as f64),
+                _ => return Ok(Value::Null),
+            };
+            Ok(match op {
+                BinaryOp::Plus => Value::Float(x + y),
+                BinaryOp::Minus => Value::Float(x - y),
+                BinaryOp::Multiply => Value::Float(x * y),
+                _ => {
+                    if y == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(x / y)
+                    }
+                }
+            })
+        }
+        Expr::Nested(inner) => eval_group_scalar(inner, group),
+        other => {
+            let first = group
+                .first()
+                .ok_or_else(|| ExecError::Unsupported("empty group".into()))?;
+            crate::exec::eval_scalar_pub(other, first)
+        }
+    }
+}
+
+/// Evaluates a HAVING predicate over a group (three-valued; `None` = drop).
+pub fn eval_group_pred(e: &Expr, group: &[&RowCtxView<'_, '_>]) -> Result<Option<bool>, ExecError> {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let (a, b) = (
+                eval_group_pred(left, group)?,
+                eval_group_pred(right, group)?,
+            );
+            Ok(match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            })
+        }
+        Expr::Binary {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => {
+            let (a, b) = (
+                eval_group_pred(left, group)?,
+                eval_group_pred(right, group)?,
+            );
+            Ok(match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => Ok(eval_group_pred(expr, group)?.map(|b| !b)),
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let (a, b) = (
+                eval_group_scalar(left, group)?,
+                eval_group_scalar(right, group)?,
+            );
+            let Some(ord) = a.compare(&b) else {
+                return Ok(None);
+            };
+            Ok(Some(match op {
+                BinaryOp::Eq => ord.is_eq(),
+                BinaryOp::NotEq => !ord.is_eq(),
+                BinaryOp::Lt => ord.is_lt(),
+                BinaryOp::LtEq => ord.is_le(),
+                BinaryOp::Gt => ord.is_gt(),
+                BinaryOp::GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        Expr::Nested(inner) => eval_group_pred(inner, group),
+        other => Err(ExecError::Unsupported(format!(
+            "HAVING predicate {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,101 @@
+//! The database engine: tables + executor + cost accounting.
+
+use crate::cost::CostModel;
+use crate::exec::{execute, ExecError, ExecResult};
+use crate::table::Table;
+use sqlog_sql::ast::{Query, Statement};
+use sqlog_sql::parse_statement;
+use std::collections::HashMap;
+
+/// An in-memory database with a round-trip cost model.
+#[derive(Debug, Default)]
+pub struct MiniDb {
+    tables: HashMap<String, Table>,
+    /// The cost model used by [`MiniDb::execute_sql`].
+    pub cost: CostModel,
+}
+
+impl MiniDb {
+    /// An empty database with the default cost model.
+    pub fn new() -> Self {
+        MiniDb {
+            tables: HashMap::new(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Executes a parsed query.
+    pub fn execute_query(&self, query: &Query) -> Result<ExecResult, ExecError> {
+        execute(query, &self.tables)
+    }
+
+    /// Parses and executes one SQL statement, returning the result and its
+    /// simulated cost in milliseconds.
+    pub fn execute_sql(&self, sql: &str) -> Result<(ExecResult, f64), ExecError> {
+        let stmt = parse_statement(sql)
+            .map_err(|e| ExecError::Unsupported(format!("parse error: {e}")))?;
+        let Statement::Select(q) = stmt else {
+            return Err(ExecError::Unsupported("non-SELECT statement".into()));
+        };
+        let result = self.execute_query(&q)?;
+        let cost = self.cost.simulated_ms(&result);
+        Ok((result, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnData;
+
+    fn db() -> MiniDb {
+        let mut t = Table::new("t");
+        t.add_column("id", ColumnData::Int((0..100).map(Some).collect()));
+        t.add_column(
+            "v",
+            ColumnData::Float((0..100).map(|i| Some(i as f64 / 10.0)).collect()),
+        );
+        t.build_index("id");
+        let mut db = MiniDb::new();
+        db.add_table(t);
+        db
+    }
+
+    #[test]
+    fn execute_sql_returns_cost() {
+        let db = db();
+        let (result, cost) = db.execute_sql("SELECT v FROM t WHERE id = 7").unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert!(cost >= db.cost.per_statement_ms);
+    }
+
+    #[test]
+    fn non_select_rejected() {
+        let db = db();
+        assert!(db.execute_sql("DELETE FROM t WHERE id = 1").is_err());
+        assert!(db.execute_sql("SELECT FROM t").is_err());
+    }
+
+    #[test]
+    fn table_accessors() {
+        let db = db();
+        assert_eq!(db.table_count(), 1);
+        assert!(db.table("T").is_some());
+        assert!(db.table("nope").is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Text-level normalization used by duplicate detection.
+//!
+//! The paper defines duplicates as *identical statements* from the same user
+//! within a small time window (§5.2). "Identical" is judged on a lightly
+//! normalized form — collapsed whitespace, comments removed, case-folded
+//! outside string literals — so that a web form that re-submits the same
+//! query with different line breaks still counts as a duplicate, while any
+//! change to a constant does not.
+
+use crate::fingerprint::Fingerprint;
+
+/// Normalizes raw SQL text for duplicate comparison.
+///
+/// * runs of whitespace collapse to a single space,
+/// * `--` and `/* */` comments are dropped,
+/// * characters outside single-quoted strings are lower-cased,
+/// * string literals are preserved byte-for-byte,
+/// * leading/trailing whitespace and trailing semicolons are trimmed.
+pub fn normalize_sql_text(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut pending_space = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => {
+                pending_space = !out.is_empty();
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment (non-nested here: normalization must not
+                // fail on malformed input, so an unterminated comment simply
+                // swallows the rest).
+                i += 2;
+                while i < bytes.len() {
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                // Copy the string literal verbatim (as a byte slice, so
+                // multi-byte characters survive), honoring '' escapes.
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    i += 1;
+                    if c == b'\'' {
+                        if bytes.get(i) == Some(&b'\'') {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                out.push_str(&sql[start..i]);
+            }
+            _ => {
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                if b < 0x80 {
+                    out.push(b.to_ascii_lowercase() as char);
+                    i += 1;
+                } else {
+                    // Copy a whole multi-byte UTF-8 character verbatim
+                    // (case folding beyond ASCII is not needed for SQL).
+                    let mut end = i + 1;
+                    while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(&sql[i..end]);
+                    i = end;
+                }
+            }
+        }
+    }
+    while out.ends_with(';') || out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Fingerprint of the normalized text — the duplicate-detection identity.
+pub fn text_fingerprint(sql: &str) -> Fingerprint {
+    Fingerprint::of_str(&normalize_sql_text(sql))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_whitespace_and_case() {
+        assert_eq!(
+            normalize_sql_text("SELECT  a\n FROM\tT  WHERE x=1 ;"),
+            "select a from t where x=1"
+        );
+    }
+
+    #[test]
+    fn preserves_string_literals() {
+        assert_eq!(
+            normalize_sql_text("SELECT 'It''s  HERE' FROM t"),
+            "select 'It''s  HERE' from t"
+        );
+    }
+
+    #[test]
+    fn strips_comments() {
+        assert_eq!(
+            normalize_sql_text("SELECT a -- comment\nFROM t /* block */ WHERE x = 1"),
+            "select a from t where x = 1"
+        );
+    }
+
+    #[test]
+    fn reload_variants_share_a_fingerprint() {
+        // A web-form reload often differs only in whitespace/casing.
+        assert_eq!(
+            text_fingerprint("SELECT objid FROM photoprimary WHERE objid = 5"),
+            text_fingerprint("select OBJID\n  from PhotoPrimary where objid = 5")
+        );
+    }
+
+    #[test]
+    fn different_constants_differ() {
+        assert_ne!(
+            text_fingerprint("SELECT a FROM t WHERE x = 1"),
+            text_fingerprint("SELECT a FROM t WHERE x = 2")
+        );
+    }
+
+    #[test]
+    fn preserves_multibyte_characters() {
+        assert_eq!(
+            normalize_sql_text("SELECT Größe FROM Tabelle -- ¡hola!"),
+            "select gröSSe from tabelle".replace("SS", "ß")
+        );
+        // Idempotence on non-ASCII input.
+        let once = normalize_sql_text("¡SELECT α FROM t!");
+        assert_eq!(normalize_sql_text(&once), once);
+    }
+
+    #[test]
+    fn survives_malformed_input() {
+        // Normalization is used *before* parsing; it must accept anything.
+        assert_eq!(normalize_sql_text("/* unterminated"), "");
+        assert_eq!(normalize_sql_text("'unterminated"), "'unterminated");
+        assert_eq!(normalize_sql_text(""), "");
+        assert_eq!(normalize_sql_text("   "), "");
+    }
+}

@@ -1,0 +1,137 @@
+//! Query templates (Definition 4): the triple of clause skeletons
+//! (SFC, SWC, SSC), plus the canonical clause forms used by the Stifle class
+//! definitions (Defs. 12–14).
+
+use crate::fingerprint::Fingerprint;
+use crate::skeleton::{
+    render_from_clause, render_query, render_select_clause, render_tail, render_where_clause, Mode,
+};
+use serde::{Deserialize, Serialize};
+use sqlog_sql::ast::Query;
+
+/// A query template: skeleton and canonical clause renderings of one query.
+///
+/// *Skeleton* fields (`ssc`, `sfc`, `swc`) have literals replaced with
+/// placeholders; *canonical* fields (`sc`, `fc`, `wc`) keep the constants.
+/// Definition 5 equality compares the skeleton triple; the Stifle class
+/// definitions additionally compare the canonical clauses (e.g. a DW-Stifle
+/// has equal `swc` but pairwise-different `wc`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// Skeleton of the SELECT clause (Def. 2's SSC).
+    pub ssc: String,
+    /// Skeleton of the FROM clause (SFC).
+    pub sfc: String,
+    /// Skeleton of the WHERE clause (SWC); empty when absent.
+    pub swc: String,
+    /// Canonical SELECT clause with constants (Def. 3's SC).
+    pub sc: String,
+    /// Canonical FROM clause (FC).
+    pub fc: String,
+    /// Canonical WHERE clause (WC); empty when absent.
+    pub wc: String,
+    /// Skeleton of everything outside the triple (GROUP BY, ORDER BY, …).
+    pub tail: String,
+    /// Full skeleton text of the whole query.
+    pub full: String,
+    /// Fingerprint of the full skeleton text — the template's identity in
+    /// the template store.
+    pub fingerprint: Fingerprint,
+    /// Fingerprint of the (SFC, SWC, SSC) triple only (Def. 4 identity).
+    pub triple_fingerprint: Fingerprint,
+}
+
+impl QueryTemplate {
+    /// Builds the template of a query.
+    pub fn of_query(q: &Query) -> Self {
+        let ssc = render_select_clause(&q.body, Mode::Skeleton);
+        let sfc = render_from_clause(&q.body, Mode::Skeleton);
+        let swc = render_where_clause(&q.body, Mode::Skeleton);
+        let sc = render_select_clause(&q.body, Mode::Canonical);
+        let fc = render_from_clause(&q.body, Mode::Canonical);
+        let wc = render_where_clause(&q.body, Mode::Canonical);
+        let tail = render_tail(q, Mode::Skeleton);
+        let full = render_query(q, Mode::Skeleton);
+        let fingerprint = Fingerprint::of_str(&full);
+        let triple_fingerprint = Fingerprint::of_sequence([
+            Fingerprint::of_str(&sfc),
+            Fingerprint::of_str(&swc),
+            Fingerprint::of_str(&ssc),
+        ]);
+        QueryTemplate {
+            ssc,
+            sfc,
+            swc,
+            sc,
+            fc,
+            wc,
+            tail,
+            full,
+            fingerprint,
+            triple_fingerprint,
+        }
+    }
+
+    /// Definition 5: two skeletons are equal iff their SFC, SWC and SSC are
+    /// pairwise equal.
+    pub fn skeleton_equal(&self, other: &QueryTemplate) -> bool {
+        self.sfc == other.sfc && self.swc == other.swc && self.ssc == other.ssc
+    }
+
+    /// Definition 6: two queries are *similar* iff their skeletons are equal.
+    /// Alias of [`Self::skeleton_equal`], kept for readability at call sites.
+    pub fn similar(&self, other: &QueryTemplate) -> bool {
+        self.skeleton_equal(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_sql::parse_query;
+
+    fn tpl(sql: &str) -> QueryTemplate {
+        QueryTemplate::of_query(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn same_shape_same_fingerprint() {
+        let a = tpl("SELECT name FROM Employee WHERE empId = 8");
+        let b = tpl("SELECT name FROM Employee WHERE empId = 1");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(a.skeleton_equal(&b));
+        assert!(a.similar(&b));
+        // Canonical WHERE clauses differ — this is what DW-Stifle checks.
+        assert_ne!(a.wc, b.wc);
+    }
+
+    #[test]
+    fn different_projection_different_fingerprint() {
+        let a = tpl("SELECT name FROM Employee WHERE empId = 8");
+        let b = tpl("SELECT address, phone FROM Employee WHERE empId = 8");
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert!(!a.skeleton_equal(&b));
+        // Same FROM + WHERE with constants — this is what DS-Stifle checks.
+        assert_eq!(a.fc, b.fc);
+        assert_eq!(a.wc, b.wc);
+    }
+
+    #[test]
+    fn triple_fingerprint_ignores_tail() {
+        let a = tpl("SELECT a FROM t WHERE x = 1");
+        let b = tpl("SELECT a FROM t WHERE x = 1 ORDER BY a DESC");
+        assert_eq!(a.triple_fingerprint, b.triple_fingerprint);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(b.tail, "ORDER BY a DESC");
+    }
+
+    #[test]
+    fn triple_components_are_separated() {
+        // Moving text between clauses must change the triple fingerprint:
+        // (sfc="t x", swc="") vs (sfc="t", swc="x") style collisions are
+        // prevented by hashing components separately.
+        let a = tpl("SELECT a FROM t WHERE b = 1");
+        let b = tpl("SELECT a, b FROM t");
+        assert_ne!(a.triple_fingerprint, b.triple_fingerprint);
+    }
+}

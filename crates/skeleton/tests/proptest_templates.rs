@@ -1,0 +1,129 @@
+//! Property tests for skeleton/template invariants (Defs. 2–6).
+
+use proptest::prelude::*;
+use sqlog_skeleton::{normalize_sql_text, QueryTemplate};
+use sqlog_sql::parse_query;
+
+/// A template shape with holes for constants.
+#[derive(Debug, Clone)]
+enum Shape {
+    PointLookup,
+    Window,
+    TwoPredicates,
+    StringFilter,
+    InListLookup,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::PointLookup),
+        Just(Shape::Window),
+        Just(Shape::TwoPredicates),
+        Just(Shape::StringFilter),
+        Just(Shape::InListLookup),
+    ]
+}
+
+fn render(shape: &Shape, a: u64, b: u64, s: &str) -> String {
+    match shape {
+        Shape::PointLookup => format!("SELECT x FROM t WHERE id = {a}"),
+        Shape::Window => {
+            format!("SELECT x FROM t WHERE h >= {a} AND h <= {}", a + b)
+        }
+        Shape::TwoPredicates => {
+            format!("SELECT x, y FROM t WHERE id = {a} AND r > {b}")
+        }
+        Shape::StringFilter => format!("SELECT x FROM t WHERE name = '{s}'"),
+        Shape::InListLookup => format!("SELECT x FROM t WHERE id IN ({a}, {b})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Def. 6: two instances of one shape are similar — equal skeletons,
+    /// equal fingerprints — no matter the constants.
+    #[test]
+    fn same_shape_same_template(
+        shape in shape_strategy(),
+        a1 in 0u64..1_000_000, b1 in 0u64..1_000,
+        a2 in 0u64..1_000_000, b2 in 0u64..1_000,
+        s1 in "[a-z]{1,8}", s2 in "[a-z]{1,8}",
+    ) {
+        let q1 = parse_query(&render(&shape, a1, b1, &s1)).unwrap();
+        let q2 = parse_query(&render(&shape, a2, b2, &s2)).unwrap();
+        let t1 = QueryTemplate::of_query(&q1);
+        let t2 = QueryTemplate::of_query(&q2);
+        prop_assert!(t1.similar(&t2));
+        prop_assert_eq!(t1.fingerprint, t2.fingerprint);
+        prop_assert_eq!(&t1.full, &t2.full);
+    }
+
+    /// Different shapes never collide on the skeleton text.
+    #[test]
+    fn different_shapes_different_templates(
+        a in 0u64..1_000_000, b in 0u64..1_000, s in "[a-z]{1,8}",
+    ) {
+        let shapes = [
+            Shape::PointLookup,
+            Shape::Window,
+            Shape::TwoPredicates,
+            Shape::StringFilter,
+            Shape::InListLookup,
+        ];
+        let templates: Vec<QueryTemplate> = shapes
+            .iter()
+            .map(|sh| QueryTemplate::of_query(&parse_query(&render(sh, a, b, &s)).unwrap()))
+            .collect();
+        for i in 0..templates.len() {
+            for j in (i + 1)..templates.len() {
+                prop_assert_ne!(&templates[i].full, &templates[j].full);
+                prop_assert!(!templates[i].similar(&templates[j]));
+            }
+        }
+    }
+
+    /// Template construction is idempotent over the printed form: printing
+    /// the query and re-templating yields the same template.
+    #[test]
+    fn template_stable_under_printing(
+        shape in shape_strategy(),
+        a in 0u64..1_000_000, b in 0u64..1_000, s in "[a-z]{1,8}",
+    ) {
+        let q = parse_query(&render(&shape, a, b, &s)).unwrap();
+        let t1 = QueryTemplate::of_query(&q);
+        let q2 = parse_query(&q.to_string()).unwrap();
+        let t2 = QueryTemplate::of_query(&q2);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Text normalization is idempotent and case/whitespace-insensitive
+    /// outside string literals.
+    #[test]
+    fn normalization_idempotent(sql in ".{0,120}") {
+        let once = normalize_sql_text(&sql);
+        let twice = normalize_sql_text(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalization_collapses_case_and_space(
+        shape in shape_strategy(),
+        a in 0u64..1_000_000, b in 0u64..1_000, s in "[a-z]{1,8}",
+    ) {
+        let sql = render(&shape, a, b, &s);
+        let spaced = sql.replace(' ', "   ");
+        let upper = sql.to_uppercase();
+        prop_assert_eq!(
+            normalize_sql_text(&sql),
+            normalize_sql_text(&spaced)
+        );
+        // Upper-casing is only safe when no string literal is involved.
+        if !matches!(shape, Shape::StringFilter) {
+            prop_assert_eq!(
+                normalize_sql_text(&sql),
+                normalize_sql_text(&upper)
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for lexing and parsing.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing a statement.
+///
+/// Carries the byte offset into the original input so that callers (and the
+/// pipeline's per-statement error statistics) can point at the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates a new error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 17);
+        assert_eq!(e.to_string(), "syntax error at byte 17: unexpected token");
+    }
+}

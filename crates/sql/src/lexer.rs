@@ -1,0 +1,502 @@
+//! Hand-written SQL lexer.
+//!
+//! Supports the lexical quirks seen in real query logs:
+//!
+//! * `--` line comments and `/* ... */` block comments (nested blocks too,
+//!   which some SkyServer tools emit),
+//! * single-quoted strings with `''` escaping,
+//! * `[bracket]`- and `"double"`-quoted identifiers (SQL Server style),
+//! * `@variables`,
+//! * integer / decimal / scientific-notation numbers,
+//! * the two spellings of "not equal": `<>` and `!=`.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Keyword, SpannedToken, Token};
+
+/// Tokenizes `input` into a vector of spanned tokens.
+///
+/// Whitespace and comments are skipped. Errors are reported with the byte
+/// offset of the offending character.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<SpannedToken>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            // A token every ~5 bytes is a good estimate for SQL text.
+            out: Vec::with_capacity(input.len() / 5 + 4),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, token: Token, offset: usize) {
+        self.out.push(SpannedToken { token, offset });
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedToken>> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => {
+                    self.pos += 1;
+                }
+                b'-' if self.peek2() == Some(b'-') => self.skip_line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.skip_block_comment()?,
+                b'\'' => self.lex_string()?,
+                b'"' => self.lex_quoted_ident(b'"', b'"')?,
+                b'[' => self.lex_quoted_ident(b'[', b']')?,
+                b'@' => self.lex_variable()?,
+                b'0'..=b'9' => self.lex_number(),
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number(),
+                b',' => self.single(Token::Comma),
+                b'.' => self.single(Token::Dot),
+                b'(' => self.single(Token::LParen),
+                b')' => self.single(Token::RParen),
+                b';' => self.single(Token::Semicolon),
+                b'*' => self.single(Token::Star),
+                b'+' => self.single(Token::Plus),
+                b'-' => self.single(Token::Minus),
+                b'/' => self.single(Token::Slash),
+                b'%' => self.single(Token::Percent),
+                b'&' => self.single(Token::Ampersand),
+                b'|' => self.single(Token::Pipe),
+                b'^' => self.single(Token::Caret),
+                b'=' => {
+                    // Accept `==` leniently as `=` (seen in hand-typed logs).
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                    }
+                    self.push(Token::Eq, start);
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            self.push(Token::LtEq, start);
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            self.push(Token::Neq, start);
+                        }
+                        _ => self.push(Token::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(Token::GtEq, start);
+                    } else {
+                        self.push(Token::Gt, start);
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(Token::Neq, start);
+                    } else {
+                        return Err(ParseError::new("unexpected character '!'", start));
+                    }
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'#' => self.lex_word(),
+                _ if b >= 0x80 => {
+                    // Allow non-ASCII letters in identifiers (UTF-8 safe:
+                    // word continuation consumes whole multi-byte chars).
+                    self.lex_word()
+                }
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character {:?}", other as char),
+                        start,
+                    ));
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn single(&mut self, token: Token) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(token, start);
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self) -> Result<()> {
+        let start = self.pos;
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    self.pos += 2;
+                    depth -= 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.pos += 2;
+                    depth += 1;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(ParseError::new("unterminated block comment", start)),
+            }
+        }
+        Ok(())
+    }
+
+    fn lex_string(&mut self) -> Result<()> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(_) => {
+                    // Re-slice to preserve UTF-8 sequences byte-for-byte.
+                    let ch_start = self.pos - 1;
+                    let ch_end = self.next_char_boundary(ch_start);
+                    value.push_str(&self.input[ch_start..ch_end]);
+                    self.pos = ch_end;
+                }
+                None => return Err(ParseError::new("unterminated string literal", start)),
+            }
+        }
+        self.push(Token::String(value), start);
+        Ok(())
+    }
+
+    /// Given the byte index of the first byte of a char, returns the index one
+    /// past its final byte.
+    fn next_char_boundary(&self, start: usize) -> usize {
+        let mut end = start + 1;
+        while end < self.input.len() && !self.input.is_char_boundary(end) {
+            end += 1;
+        }
+        end
+    }
+
+    fn lex_quoted_ident(&mut self, open: u8, close: u8) -> Result<()> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some(open));
+        self.pos += 1;
+        let ident_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == close {
+                let value = self.input[ident_start..self.pos].to_string();
+                self.pos += 1;
+                // Quoted identifiers never become keywords.
+                self.push(
+                    Token::Word {
+                        value,
+                        keyword: None,
+                    },
+                    start,
+                );
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::new("unterminated quoted identifier", start))
+    }
+
+    fn lex_variable(&mut self) -> Result<()> {
+        let start = self.pos;
+        self.pos += 1; // `@`
+                       // SQL Server also has `@@rowcount`-style globals.
+        if self.peek() == Some(b'@') {
+            self.pos += 1;
+        }
+        let ident_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == ident_start {
+            return Err(ParseError::new("expected variable name after '@'", start));
+        }
+        let name = self.input[start + 1..self.pos].to_string();
+        self.push(Token::Variable(name), start);
+        Ok(())
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.pos;
+        // Hex literals (SkyServer objids sometimes appear as 0x...).
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+            && self
+                .bytes
+                .get(self.pos + 2)
+                .is_some_and(|b| b.is_ascii_hexdigit())
+        {
+            self.pos += 2;
+            while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            let text = self.input[start..self.pos].to_string();
+            self.push(Token::Number(text), start);
+            return;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && self.peek2().is_none_or(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // Only treat as exponent when followed by digits (or sign+digits);
+            // otherwise `1e` would swallow a following identifier.
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+') | Some(b'-')) {
+                look += 1;
+            }
+            if self.bytes.get(look).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos = look;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = self.input[start..self.pos].to_string();
+        self.push(Token::Number(text), start);
+    }
+
+    fn lex_word(&mut self) {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'_' || b == b'#' || b == b'$' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // `pos` can land mid-char for multi-byte letters; advance to boundary.
+        while self.pos < self.input.len() && !self.input.is_char_boundary(self.pos) {
+            self.pos += 1;
+        }
+        let value = self.input[start..self.pos].to_string();
+        let keyword = Keyword::lookup(&value);
+        self.push(Token::Word { value, keyword }, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT a, b FROM t WHERE a = 1");
+        assert_eq!(t.len(), 10);
+        assert!(t[0].is_keyword(Keyword::Select));
+        assert_eq!(
+            t[1],
+            Token::Word {
+                value: "a".into(),
+                keyword: None
+            }
+        );
+        assert_eq!(t[8], Token::Eq);
+        assert_eq!(t[9], Token::Number("1".into()));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let t = toks("SELECT 'it''s'");
+        assert_eq!(t[1], Token::String("it's".into()));
+    }
+
+    #[test]
+    fn lexes_unicode_string_contents() {
+        let t = toks("SELECT 'αβγ🌌'");
+        assert_eq!(t[1], Token::String("αβγ🌌".into()));
+    }
+
+    #[test]
+    fn lexes_bracket_and_double_quoted_identifiers() {
+        let t = toks("SELECT [My Col], \"Other\" FROM [photo primary]");
+        assert_eq!(
+            t[1],
+            Token::Word {
+                value: "My Col".into(),
+                keyword: None
+            }
+        );
+        assert_eq!(
+            t[3],
+            Token::Word {
+                value: "Other".into(),
+                keyword: None
+            }
+        );
+        assert_eq!(
+            t[5],
+            Token::Word {
+                value: "photo primary".into(),
+                keyword: None
+            }
+        );
+    }
+
+    #[test]
+    fn quoted_keyword_is_not_a_keyword() {
+        let t = toks("[select]");
+        assert_eq!(t[0].keyword(), None);
+    }
+
+    #[test]
+    fn lexes_variables() {
+        let t = toks("WHERE ra = @ra AND n = @@rowcount");
+        assert_eq!(t[3], Token::Variable("ra".into()));
+        assert_eq!(t[7], Token::Variable("@rowcount".into()));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("1")[0], Token::Number("1".into()));
+        assert_eq!(toks("3.25")[0], Token::Number("3.25".into()));
+        assert_eq!(toks(".5")[0], Token::Number(".5".into()));
+        assert_eq!(toks("1e10")[0], Token::Number("1e10".into()));
+        assert_eq!(toks("2.5E-3")[0], Token::Number("2.5E-3".into()));
+        assert_eq!(toks("0x1AF")[0], Token::Number("0x1AF".into()));
+        // `12.` style trailing-dot decimals.
+        assert_eq!(toks("12.")[0], Token::Number("12.".into()));
+    }
+
+    #[test]
+    fn exponent_requires_digits() {
+        // `1e` is a number `1` followed by identifier `e`.
+        let t = toks("1e");
+        assert_eq!(t[0], Token::Number("1".into()));
+        assert_eq!(
+            t[1],
+            Token::Word {
+                value: "e".into(),
+                keyword: None
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let t = toks("a <> b != c <= d >= e < f > g = h");
+        let ops: Vec<_> = t
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    Token::Neq | Token::LtEq | Token::GtEq | Token::Lt | Token::Gt | Token::Eq
+                )
+            })
+            .cloned()
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                Token::Neq,
+                Token::Neq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = toks("SELECT a -- trailing comment\nFROM /* block /* nested */ */ t");
+        assert_eq!(t.len(), 4);
+        assert!(t[2].is_keyword(Keyword::From));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("SELECT 'oops").is_err());
+        assert!(tokenize("SELECT [oops").is_err());
+        assert!(tokenize("SELECT /* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        let err = tokenize("SELECT a ! b").unwrap_err();
+        assert_eq!(err.offset, 9);
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let spanned = tokenize("SELECT  a").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 8);
+    }
+
+    #[test]
+    fn lexes_unicode_identifiers() {
+        let t = toks("SELECT größe FROM tabelle");
+        assert_eq!(
+            t[1],
+            Token::Word {
+                value: "größe".into(),
+                keyword: None
+            }
+        );
+    }
+}

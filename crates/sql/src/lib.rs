@@ -1,0 +1,48 @@
+//! # sqlog-sql — SQL lexer, parser, AST and printer
+//!
+//! A from-scratch SQL front end for query-log analysis, covering the
+//! SELECT-centric dialect found in public scientific database logs (the
+//! SkyServer dialect in particular: SQL Server flavored `TOP`, bracket
+//! quoting, `@variables`, table-valued functions).
+//!
+//! This crate is the bottom-most substrate of the `sqlog` workspace — the
+//! reproduction of *"Cleaning Antipatterns in an SQL Query Log"*
+//! (Arzamasova, Schäler, Böhm, 2018). The paper's framework parses every
+//! statement of a log into a syntax tree (§5.3); everything downstream
+//! (skeletons, templates, patterns, antipattern detection and solving)
+//! operates on the [`ast`] defined here.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sqlog_sql::{parse_statement, Statement};
+//!
+//! let stmt = parse_statement(
+//!     "SELECT name, surname FROM Employees WHERE id = 12",
+//! ).unwrap();
+//! let Statement::Select(query) = stmt else { unreachable!() };
+//! assert_eq!(query.body.projection.len(), 2);
+//! // The printer produces canonical SQL:
+//! assert_eq!(
+//!     query.to_string(),
+//!     "SELECT name, surname FROM Employees WHERE id = 12",
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::{
+    BinaryOp, Expr, Ident, JoinKind, Literal, ObjectName, OrderByItem, Query, Select, SelectItem,
+    SetOperator, Statement, StatementKind, TableRef, UnaryOp,
+};
+pub use error::{ParseError, Result};
+pub use lexer::tokenize;
+pub use parser::{parse_query, parse_statement, parse_statements};
+pub use token::{Keyword, Token};

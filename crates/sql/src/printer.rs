@@ -1,0 +1,514 @@
+//! Canonical SQL rendering of the AST.
+//!
+//! `Display` impls produce a normalized single-line form: keywords upper-case,
+//! single spaces, identifiers as written. The *clean log* the pipeline emits
+//! is made of strings produced here, and the property tests rely on
+//! `parse(print(ast)) == ast` (modulo nothing — the printer is exact).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Re-quote identifiers that would not survive lexing as a single word.
+        let needs_quoting = self.value.is_empty()
+            || self
+                .value
+                .chars()
+                .any(|c| !(c.is_alphanumeric() || c == '_' || c == '#' || c == '$'))
+            || self
+                .value
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+            || crate::token::Keyword::lookup(&self.value).is_some();
+        if needs_quoting {
+            write!(f, "[{}]", self.value)
+        } else {
+            write!(f, "{}", self.value)
+        }
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Other(kind) => write!(f, "-- <{kind:?} statement>"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        for (op, all, body) in &self.set_ops {
+            let op = match op {
+                SetOperator::Union => "UNION",
+                SetOperator::Except => "EXCEPT",
+                SetOperator::Intersect => "INTERSECT",
+            };
+            write!(f, " {op}")?;
+            if *all {
+                write!(f, " ALL")?;
+            }
+            write!(f, " {body}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", item.expr)?;
+                match item.asc {
+                    Some(true) => write!(f, " ASC")?,
+                    Some(false) => write!(f, " DESC")?,
+                    None => {}
+                }
+            }
+        }
+        if let Some(limit) = &self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT")?;
+        if self.distinct {
+            write!(f, " DISTINCT")?;
+        }
+        if let Some(top) = &self.top {
+            write!(f, " TOP {top}")?;
+            if self.top_percent {
+                write!(f, " PERCENT")?;
+            }
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            write!(f, "{}", if i == 0 { " " } else { ", " })?;
+            write!(f, "{item}")?;
+        }
+        if let Some(into) = &self.into {
+            write!(f, " INTO {into}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(name) => write!(f, "{name}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Function { name, args, alias } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Derived { subquery, alias } => {
+                write!(f, "({subquery})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
+                let kw = match kind {
+                    JoinKind::Inner => "INNER JOIN",
+                    JoinKind::Left => "LEFT OUTER JOIN",
+                    JoinKind::Right => "RIGHT OUTER JOIN",
+                    JoinKind::Full => "FULL OUTER JOIN",
+                    JoinKind::Cross => "CROSS JOIN",
+                    JoinKind::CrossApply => "CROSS APPLY",
+                    JoinKind::OuterApply => "OUTER APPLY",
+                };
+                // The parser builds left-deep join trees; a join on the right
+                // side must be parenthesized to re-parse with the same shape.
+                if matches!(right.as_ref(), TableRef::Join { .. }) {
+                    write!(f, "{left} {kw} ({right})")?;
+                } else {
+                    write!(f, "{left} {kw} {right}")?;
+                }
+                if let Some(on) = constraint {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+            Literal::Boolean(true) => write!(f, "TRUE"),
+            Literal::Boolean(false) => write!(f, "FALSE"),
+        }
+    }
+}
+
+/// Precedence used only to decide where the printer must parenthesize so the
+/// output re-parses to the same tree. Mirrors the parser's levels.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            op if op.is_comparison() => 4,
+            BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor => 5,
+            BinaryOp::Plus | BinaryOp::Minus => 6,
+            _ => 7,
+        },
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
+        Expr::IsNull { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. } => 4,
+        Expr::Unary { .. } => 8,
+        _ => 9,
+    }
+}
+
+/// Writes `child`, parenthesizing when its precedence is lower than the
+/// context requires.
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, min: u8) -> fmt::Result {
+    if precedence(child) < min {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{name}"),
+            Expr::Literal(lit) => write!(f, "{lit}"),
+            Expr::Variable(v) => write!(f, "@{v}"),
+            Expr::Binary { left, op, right } => {
+                let prec = precedence(self);
+                write_child(f, left, prec)?;
+                write!(f, " {op} ")?;
+                // Right child needs strictly higher precedence for
+                // non-associative re-parse fidelity (parser is left-assoc).
+                write_child(f, right, prec + 1)?;
+                Ok(())
+            }
+            Expr::Unary { op, expr } => {
+                match op {
+                    UnaryOp::Not => write!(f, "NOT ")?,
+                    UnaryOp::Minus => write!(f, "-")?,
+                    UnaryOp::Plus => write!(f, "+")?,
+                }
+                write_child(f, expr, precedence(self))
+            }
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Wildcard => write!(f, "*"),
+            Expr::IsNull { expr, negated } => {
+                write_child(f, expr, 4)?;
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write_child(f, expr, 4)?;
+                write!(f, "{} (", if *negated { " NOT IN" } else { " IN" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                write_child(f, expr, 4)?;
+                write!(
+                    f,
+                    "{} ({subquery})",
+                    if *negated { " NOT IN" } else { " IN" }
+                )
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write_child(f, expr, 4)?;
+                write!(f, "{} ", if *negated { " NOT BETWEEN" } else { " BETWEEN" })?;
+                write_child(f, low, 5)?;
+                write!(f, " AND ")?;
+                write_child(f, high, 5)
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write_child(f, expr, 4)?;
+                write!(f, "{} ", if *negated { " NOT LIKE" } else { " LIKE" })?;
+                write_child(f, pattern, 5)
+            }
+            Expr::Nested(inner) => write!(f, "({inner})"),
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::Exists { subquery, negated } => {
+                if *negated {
+                    write!(f, "NOT EXISTS ({subquery})")
+                } else {
+                    write!(f, "EXISTS ({subquery})")
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Statement;
+    use crate::parser::{parse_query, parse_statement};
+
+    /// Parse → print → parse must be the identity on the AST.
+    fn round_trip(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let printed = q1.to_string();
+        let q2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?} failed: {e}"));
+        assert_eq!(q1, q2, "round trip changed the AST for {printed:?}");
+    }
+
+    #[test]
+    fn round_trips_paper_examples() {
+        // Table 1 of the paper.
+        round_trip("SELECT E.empId FROM Employees E WHERE E.department = 'sales'");
+        round_trip("SELECT E.name, E.surname FROM Employees E WHERE E.id = 12");
+        round_trip("SELECT count(orders) FROM Orders O WHERE O.empId = 12");
+        // Example 10 (DW solving solution).
+        round_trip("SELECT empId, name FROM Employee WHERE empId IN (8, 1)");
+        // Example 14 (DF solving solution).
+        round_trip(
+            "SELECT E.name, EI.address FROM Employee AS E INNER JOIN EmployeeInfo AS EI \
+             ON E.empId = EI.empId WHERE E.empId = 8",
+        );
+        // Intro rewrite with derived table.
+        round_trip(
+            "SELECT E.empId, E.name, O.oCount FROM Employees E INNER JOIN \
+             (SELECT empId, count(orders) AS oCount FROM Orders GROUP BY empId) O \
+             ON O.empId = E.empId",
+        );
+    }
+
+    #[test]
+    fn round_trips_skyserver_shapes() {
+        round_trip(
+            "SELECT g.objid FROM photoobjall AS g INNER JOIN \
+             fgetnearbyobjeq(@ra, @dec, @r) AS gn ON g.objid = gn.objid \
+             LEFT OUTER JOIN specobj AS s ON s.bestobjid = gn.objid",
+        );
+        round_trip("SELECT count(*) FROM photoprimary WHERE htmid >= @htm1 AND htmid <= @htm2");
+        round_trip("SELECT * FROM dbo.fGetNearestObjEq(145.38708, 0.12532, 0.1)");
+        round_trip("SELECT TOP 10 objid, ra, [dec] FROM photoprimary ORDER BY r DESC");
+    }
+
+    #[test]
+    fn round_trips_operator_precedence_edge_cases() {
+        round_trip("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        round_trip("SELECT (1 + 2) * 3 FROM t");
+        round_trip("SELECT -(1 + 2) FROM t");
+        round_trip("SELECT a FROM t WHERE NOT (a = 1 AND b = 2)");
+        round_trip("SELECT 1 - (2 - 3) FROM t");
+        round_trip("SELECT a FROM t WHERE x NOT LIKE 'a%' AND y NOT BETWEEN 1 AND 2");
+    }
+
+    #[test]
+    fn reserved_identifiers_are_requoted() {
+        // `dec` (declination!) collides with the DECLARE-family keywords in
+        // some dialects; our printer quotes any identifier matching a keyword.
+        let q = parse_query("SELECT [select] FROM [from]").unwrap();
+        let printed = q.to_string();
+        assert_eq!(printed, "SELECT [select] FROM [from]");
+        round_trip("SELECT [select] FROM [from]");
+    }
+
+    #[test]
+    fn prints_union_and_order() {
+        let q = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 DESC").unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 DESC"
+        );
+    }
+
+    #[test]
+    fn non_select_prints_as_comment() {
+        let s = parse_statement("DELETE FROM t WHERE a = 1").unwrap();
+        assert!(matches!(s, Statement::Other(_)));
+        assert!(s.to_string().starts_with("--"));
+    }
+
+    #[test]
+    fn round_trips_apply_and_top_percent() {
+        round_trip(
+            "SELECT p.objid FROM photoprimary AS p              CROSS APPLY fGetNearbyObjEq(p.ra, p.dec, 1.0) AS n",
+        );
+        round_trip("SELECT * FROM t OUTER APPLY f(t.x) AS a");
+        round_trip("SELECT TOP 5 PERCENT objid FROM photoprimary ORDER BY r DESC");
+    }
+
+    #[test]
+    fn round_trips_case_cast_exists() {
+        round_trip(
+            "SELECT CASE WHEN r > 20 THEN 'f' ELSE 'b' END FROM p \
+             WHERE EXISTS (SELECT 1 FROM s) AND CAST(ra AS varchar(32)) LIKE '1%'",
+        );
+        round_trip("SELECT CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM t");
+    }
+}

@@ -1,0 +1,337 @@
+//! Token model produced by the [`lexer`](crate::lexer).
+//!
+//! The lexer is deliberately permissive: anything that looks like a word
+//! becomes a [`Token::Word`], and keyword recognition is case-insensitive so
+//! that real-world logs (which mix `SELECT`, `select`, `Select`) normalize to
+//! one token stream.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SQL keywords recognized by the parser.
+///
+/// The set covers the SELECT-centric dialect observed in the SkyServer log
+/// (SQL Server flavored: `TOP`, bracket quoting, `@variables`) plus the
+/// leading keywords of DML/DDL statements, which the pipeline only needs to
+/// *classify*, not to understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    Having,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Is,
+    Null,
+    Like,
+    Between,
+    Exists,
+    Distinct,
+    All,
+    Top,
+    Limit,
+    Offset,
+    Asc,
+    Desc,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
+    On,
+    Union,
+    Except,
+    Intersect,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
+    Into,
+    True,
+    False,
+    Apply,
+    Percent,
+    // Leading keywords used only for statement classification.
+    Insert,
+    Update,
+    Delete,
+    Create,
+    Drop,
+    Alter,
+    Truncate,
+    Exec,
+    Execute,
+    Declare,
+    Set,
+    Use,
+    Grant,
+    Revoke,
+    With,
+}
+
+impl Keyword {
+    /// Looks up a keyword from a raw (arbitrarily cased) word.
+    pub fn lookup(word: &str) -> Option<Keyword> {
+        // Keywords are short; an ASCII uppercase copy on the stack would need
+        // allocation for arbitrary input, so match case-insensitively instead.
+        macro_rules! kw {
+            ($($text:literal => $variant:ident),+ $(,)?) => {
+                $(if word.eq_ignore_ascii_case($text) { return Some(Keyword::$variant); })+
+            };
+        }
+        kw! {
+            "SELECT" => Select, "FROM" => From, "WHERE" => Where, "GROUP" => Group,
+            "ORDER" => Order, "BY" => By, "HAVING" => Having, "AS" => As,
+            "AND" => And, "OR" => Or, "NOT" => Not, "IN" => In, "IS" => Is,
+            "NULL" => Null, "LIKE" => Like, "BETWEEN" => Between, "EXISTS" => Exists,
+            "DISTINCT" => Distinct, "ALL" => All, "TOP" => Top, "LIMIT" => Limit,
+            "OFFSET" => Offset, "ASC" => Asc, "DESC" => Desc, "JOIN" => Join,
+            "INNER" => Inner, "LEFT" => Left, "RIGHT" => Right, "FULL" => Full,
+            "OUTER" => Outer, "CROSS" => Cross, "ON" => On, "UNION" => Union,
+            "EXCEPT" => Except, "INTERSECT" => Intersect, "CASE" => Case,
+            "WHEN" => When, "THEN" => Then, "ELSE" => Else, "END" => End,
+            "CAST" => Cast, "INTO" => Into, "TRUE" => True, "FALSE" => False,
+            "APPLY" => Apply, "PERCENT" => Percent,
+            "INSERT" => Insert, "UPDATE" => Update, "DELETE" => Delete,
+            "CREATE" => Create, "DROP" => Drop, "ALTER" => Alter,
+            "TRUNCATE" => Truncate, "EXEC" => Exec, "EXECUTE" => Execute,
+            "DECLARE" => Declare, "SET" => Set, "USE" => Use, "GRANT" => Grant,
+            "REVOKE" => Revoke, "WITH" => With,
+        }
+        None
+    }
+
+    /// Canonical upper-case spelling, used by the printer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::Order => "ORDER",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::As => "AS",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::Like => "LIKE",
+            Keyword::Between => "BETWEEN",
+            Keyword::Exists => "EXISTS",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::All => "ALL",
+            Keyword::Top => "TOP",
+            Keyword::Limit => "LIMIT",
+            Keyword::Offset => "OFFSET",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+            Keyword::Outer => "OUTER",
+            Keyword::Cross => "CROSS",
+            Keyword::On => "ON",
+            Keyword::Union => "UNION",
+            Keyword::Except => "EXCEPT",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Cast => "CAST",
+            Keyword::Into => "INTO",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::Apply => "APPLY",
+            Keyword::Percent => "PERCENT",
+            Keyword::Insert => "INSERT",
+            Keyword::Update => "UPDATE",
+            Keyword::Delete => "DELETE",
+            Keyword::Create => "CREATE",
+            Keyword::Drop => "DROP",
+            Keyword::Alter => "ALTER",
+            Keyword::Truncate => "TRUNCATE",
+            Keyword::Exec => "EXEC",
+            Keyword::Execute => "EXECUTE",
+            Keyword::Declare => "DECLARE",
+            Keyword::Set => "SET",
+            Keyword::Use => "USE",
+            Keyword::Grant => "GRANT",
+            Keyword::Revoke => "REVOKE",
+            Keyword::With => "WITH",
+        }
+    }
+}
+
+/// One lexical token with its source span start (byte offset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub token: Token,
+    /// Byte offset of the first character of the token in the input.
+    pub offset: usize,
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// A word: identifier or keyword. `keyword` is set when the word matches
+    /// a known keyword (case-insensitively); the parser may still treat such
+    /// a word as a plain identifier in non-reserved positions.
+    Word {
+        /// Raw text as written (quotes stripped for quoted identifiers).
+        value: String,
+        /// Recognized keyword, if any. Always `None` for quoted identifiers.
+        keyword: Option<Keyword>,
+    },
+    /// Numeric literal (integer, decimal or scientific notation), kept as
+    /// written so no precision is lost.
+    Number(String),
+    /// Single-quoted string literal, with `''` escapes already folded.
+    String(String),
+    /// Host variable such as `@ra`.
+    Variable(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&` (bitwise AND — SkyServer flag masks)
+    Ampersand,
+    /// `|` (bitwise OR)
+    Pipe,
+    /// `^` (bitwise XOR)
+    Caret,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl Token {
+    /// Returns the keyword if this token is an unquoted word matching one.
+    pub fn keyword(&self) -> Option<Keyword> {
+        match self {
+            Token::Word { keyword, .. } => *keyword,
+            _ => None,
+        }
+    }
+
+    /// True if the token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        self.keyword() == Some(kw)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word { value, .. } => write!(f, "{value}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Variable(v) => write!(f, "@{v}"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Ampersand => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("BETWEEN"), Some(Keyword::Between));
+        assert_eq!(Keyword::lookup("objid"), None);
+    }
+
+    #[test]
+    fn keyword_round_trips_through_as_str() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Between,
+            Keyword::Intersect,
+            Keyword::Revoke,
+            Keyword::With,
+        ] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn token_display_escapes_strings() {
+        assert_eq!(Token::String("O'Neil".into()).to_string(), "'O''Neil'");
+    }
+
+    #[test]
+    fn token_keyword_accessor() {
+        let t = Token::Word {
+            value: "FROM".into(),
+            keyword: Some(Keyword::From),
+        };
+        assert!(t.is_keyword(Keyword::From));
+        assert!(!t.is_keyword(Keyword::Select));
+        assert_eq!(Token::Comma.keyword(), None);
+    }
+}

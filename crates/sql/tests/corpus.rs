@@ -1,0 +1,160 @@
+//! Parser corpus: a battery of SkyServer-style statements collected from the
+//! query shapes the paper and the SkyServer documentation show. Every entry
+//! must parse, print, and re-parse to the same canonical form.
+
+use sqlog_sql::{parse_statement, parse_statements, Statement};
+
+/// Statements that must parse as SELECTs.
+const SELECT_CORPUS: &[&str] = &[
+    // Paper Table 1 / Table 2.
+    "SELECT E.empId FROM Employees E WHERE E.department = 'sales'",
+    "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12",
+    "SELECT E.birthday, E.phone FROM Employees E WHERE E.id = 12",
+    "SELECT count(orders) FROM Orders O WHERE O.empId = 12",
+    // Paper intro rewrite.
+    "SELECT E.empId, E.name, E.surname, E.birthday, E.phone, O.oCount \
+     FROM Employees E INNER JOIN \
+     (SELECT empId, count(orders) as oCount FROM Orders GROUP BY empId) O \
+     ON O.empId = E.empId",
+    // Paper Examples 5–14.
+    "SELECT * FROM T WHERE Id = 5",
+    "SELECT name FROM Employee WHERE empId = 8",
+    "SELECT empId, name FROM Employee WHERE empId IN (8, 1)",
+    "SELECT name, address, phoneNumber FROM Employee WHERE empId = 8",
+    "SELECT address FROM EmployeeInfo WHERE empId = 8",
+    "SELECT E.name, EI.address FROM Employee as E INNER JOIN EmployeeInfo as EI \
+     ON E.empId = EI.empId WHERE E.empId = 8",
+    // Paper SNC examples.
+    "SELECT * FROM Bugs WHERE assigned_to = NULL",
+    "SELECT * FROM Bugs WHERE assigned_to <> NULL",
+    "SELECT * FROM Bugs WHERE assigned_to IS NULL",
+    "SELECT * FROM Bugs WHERE assigned_to IS NOT NULL",
+    // Paper Tables 6/7 skeleton shapes with constants.
+    "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=587722982829850899",
+    "SELECT rowc_r, colc_r FROM photoprimary WHERE objid=587722982829850900",
+    "SELECT g.objid, g.ra, g.dec FROM photoobjall as g \
+     JOIN fgetnearbyobjeq(180.5, 2.1, 3.0) as gn on g.objid=gn.objid \
+     left outer join specobj s on s.bestobjid=gn.objid",
+    "SELECT p.objid FROM fgetobjfromrect(180.0, 1.0, 180.1, 1.1) n, photoprimary p \
+     WHERE n.objid=p.objid and r between 14 and 16",
+    "SELECT count(*) FROM photoprimary WHERE htmid>=14000000000 and htmid<=14000099999",
+    // Paper Tables 9/10.
+    "SELECT name, type FROM DBObjects WHERE type='U' AND name NOT IN \
+     ('LoadEvents', 'QueryResults') ORDER BY name",
+    "SELECT description FROM DBObjects WHERE name='Galaxy'",
+    "SELECT * FROM dbo.fGetNearestObjEq(145.38708,0.12532,0.1)",
+    "SELECT plate, fiberID, mjd, SpecObjID FROM SpecObjAll WHERE SpecObjID=75094094447116288",
+    "SELECT text FROM DBObjects WHERE name='photoobjall'",
+    // SkyServer sample-query idioms (docs / SQL tutorial shapes).
+    "SELECT TOP 10 ra, [dec], objid FROM photoprimary WHERE type = 6 ORDER BY r",
+    "SELECT TOP 10 PERCENT objid FROM galaxy WHERE r < 17.5 ORDER BY r DESC",
+    "SELECT objID, ra, [dec], u, g, r, i, z FROM PhotoObjAll \
+     WHERE ra BETWEEN 179.5 AND 182.3 AND [dec] BETWEEN -1.0 AND 1.8",
+    "SELECT p.objid, s.z AS redshift FROM photoobjall p \
+     JOIN specobjall s ON s.bestobjid = p.objid WHERE s.z BETWEEN 0.03 AND 0.1",
+    "SELECT count(*) AS n, type FROM photoprimary GROUP BY type HAVING count(*) > 1000",
+    "SELECT u - g AS ug, g - r AS gr FROM star WHERE u - g < 0.4 AND g - r < 0.7",
+    "SELECT p.objid FROM photoprimary p CROSS APPLY dbo.fGetNearbyObjEq(p.ra, p.dec, 0.5) n",
+    "SELECT objid FROM galaxy WHERE (flags & 0x10000000) = 0 OR r > 20",
+    "SELECT DISTINCT run, camcol, field FROM photoobjall WHERE run = 756",
+    "SELECT s.plate, s.mjd, s.fiberid FROM specobjall s \
+     WHERE s.specclass = 3 AND s.zerr < 0.01 ORDER BY s.plate ASC, s.mjd DESC",
+    "SELECT objid, str(ra, 10, 4) AS ra_text FROM photoprimary WHERE objid = 1237650000000000000",
+    "SELECT CASE WHEN z < 0.1 THEN 'near' WHEN z < 0.3 THEN 'mid' ELSE 'far' END AS bucket, \
+     count(*) FROM specobjall GROUP BY CASE WHEN z < 0.1 THEN 'near' WHEN z < 0.3 THEN 'mid' \
+     ELSE 'far' END",
+    "SELECT a.objid FROM photoprimary a WHERE EXISTS \
+     (SELECT 1 FROM specobjall s WHERE s.bestobjid = a.objid)",
+    "SELECT objid FROM photoprimary WHERE objid NOT IN \
+     (SELECT bestobjid FROM specobjall WHERE bestobjid IS NOT NULL)",
+    "SELECT TOP 100 * FROM photoprimary WHERE r BETWEEN 15 AND 16 \
+     AND (type = 3 OR type = 6)",
+    "SELECT cast(ra AS varchar(32)) FROM photoprimary WHERE objid = 42",
+    "SELECT 1",
+    "SELECT @rowlimit",
+    // A bare word after an expression is an alias — this is `objid AS
+    // photoprimary` with no FROM, syntactically valid.
+    "SELECT objid photoprimary",
+    // Comments, odd whitespace, semicolons.
+    "SELECT objid -- the identifier\nFROM photoprimary /* primary only */ WHERE objid = 7;",
+    // Set operations.
+    "SELECT objid FROM galaxy WHERE r < 16 UNION SELECT objid FROM star WHERE r < 16",
+    "SELECT objid FROM galaxy EXCEPT SELECT objid FROM star",
+];
+
+/// Statements that must classify as non-SELECT.
+const OTHER_CORPUS: &[&str] = &[
+    "INSERT INTO mydb.results SELECT objid FROM photoprimary WHERE r < 15",
+    "UPDATE mydb.flags SET checked = 1 WHERE objid = 5",
+    "DELETE FROM mydb.scratch",
+    "CREATE TABLE mydb.scratch (objid bigint)",
+    "DROP TABLE mydb.scratch",
+    "EXEC spGetNeighbors 180.0, 1.0",
+    "DECLARE @x int",
+];
+
+/// Statements that must be rejected.
+const ERROR_CORPUS: &[&str] = &[
+    "",
+    "SELECT",
+    "SELECT FROM photoprimary",
+    "SELECT objid FROM",
+    "SELECT objid FROM photoprimary WHERE",
+    "SELECT objid FROM photoprimary WHERE ra > 'unterminated",
+    "SELECT objid FROM photoprimary WHERE (ra > 1",
+    "FROBNICATE THE DATABASE",
+    "WITH cte AS (SELECT 1) SELECT * FROM cte",
+];
+
+#[test]
+fn select_corpus_parses_and_round_trips() {
+    for sql in SELECT_CORPUS {
+        let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("{sql:?}: {e}"));
+        let Statement::Select(q) = &stmt else {
+            panic!("not classified as SELECT: {sql}");
+        };
+        // Canonical printing re-parses to the same canonical form.
+        let printed = q.to_string();
+        let reparsed =
+            parse_statement(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?}: {e}"));
+        let Statement::Select(q2) = &reparsed else {
+            panic!("re-parse changed the classification: {printed}");
+        };
+        assert_eq!(
+            printed,
+            q2.to_string(),
+            "printing is not a fixpoint for {sql}"
+        );
+    }
+}
+
+#[test]
+fn other_corpus_classifies() {
+    for sql in OTHER_CORPUS {
+        let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("{sql:?}: {e}"));
+        assert!(
+            matches!(stmt, Statement::Other(_)),
+            "misclassified as SELECT: {sql}"
+        );
+    }
+}
+
+#[test]
+fn error_corpus_rejects() {
+    for sql in ERROR_CORPUS {
+        assert!(
+            parse_statement(sql).is_err(),
+            "unexpectedly parsed: {sql:?}"
+        );
+    }
+}
+
+#[test]
+fn batches_of_corpus_statements_parse() {
+    let batch = format!(
+        "{}; {}; {}",
+        SELECT_CORPUS[0], OTHER_CORPUS[0], SELECT_CORPUS[1]
+    );
+    let stmts = parse_statements(&batch).unwrap();
+    assert_eq!(stmts.len(), 3);
+}

@@ -1,0 +1,411 @@
+//! Property tests: for every AST we can generate, `parse(print(ast)) == ast`.
+//!
+//! This pins down the printer/parser pair: the clean log the pipeline emits
+//! is printed SQL, and it must mean exactly what the rewriter built.
+
+use proptest::prelude::*;
+use sqlog_sql::ast::*;
+use sqlog_sql::parse_query;
+
+/// Removes `Expr::Nested` wrappers everywhere in a query.
+///
+/// The printer inserts parentheses wherever re-parsing would otherwise change
+/// the tree; the parser records those parentheses as `Nested` nodes. The
+/// round-trip property therefore holds *modulo* `Nested`: parenthesization is
+/// exactly the information the printer is allowed to add.
+fn strip_query(q: Query) -> Query {
+    Query {
+        body: strip_select(q.body),
+        set_ops: q
+            .set_ops
+            .into_iter()
+            .map(|(op, all, s)| (op, all, strip_select(s)))
+            .collect(),
+        order_by: q
+            .order_by
+            .into_iter()
+            .map(|o| OrderByItem {
+                expr: strip_expr(o.expr),
+                asc: o.asc,
+            })
+            .collect(),
+        limit: q.limit.map(strip_expr),
+    }
+}
+
+fn strip_select(s: Select) -> Select {
+    Select {
+        distinct: s.distinct,
+        top: s.top.map(strip_expr),
+        top_percent: s.top_percent,
+        projection: s
+            .projection
+            .into_iter()
+            .map(|p| match p {
+                SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                    expr: strip_expr(expr),
+                    alias,
+                },
+                other => other,
+            })
+            .collect(),
+        into: s.into,
+        from: s.from.into_iter().map(strip_table).collect(),
+        selection: s.selection.map(strip_expr),
+        group_by: s.group_by.into_iter().map(strip_expr).collect(),
+        having: s.having.map(strip_expr),
+    }
+}
+
+fn strip_table(t: TableRef) -> TableRef {
+    match t {
+        TableRef::Table { .. } => t,
+        TableRef::Function { name, args, alias } => TableRef::Function {
+            name,
+            args: args.into_iter().map(strip_expr).collect(),
+            alias,
+        },
+        TableRef::Derived { subquery, alias } => TableRef::Derived {
+            subquery: Box::new(strip_query(*subquery)),
+            alias,
+        },
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            constraint,
+        } => TableRef::Join {
+            left: Box::new(strip_table(*left)),
+            right: Box::new(strip_table(*right)),
+            kind,
+            constraint: constraint.map(strip_expr),
+        },
+    }
+}
+
+fn strip_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Nested(inner) => strip_expr(*inner),
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(strip_expr(*left)),
+            op,
+            right: Box::new(strip_expr(*right)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(strip_expr(*expr)),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => Expr::Function {
+            name,
+            args: args.into_iter().map(strip_expr).collect(),
+            distinct,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_expr(*expr)),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(strip_expr(*expr)),
+            list: list.into_iter().map(strip_expr).collect(),
+            negated,
+        },
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(strip_expr(*expr)),
+            subquery: Box::new(strip_query(*subquery)),
+            negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(strip_expr(*expr)),
+            low: Box::new(strip_expr(*low)),
+            high: Box::new(strip_expr(*high)),
+            negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(strip_expr(*expr)),
+            pattern: Box::new(strip_expr(*pattern)),
+            negated,
+        },
+        Expr::Subquery(q) => Expr::Subquery(Box::new(strip_query(*q))),
+        Expr::Exists { subquery, negated } => Expr::Exists {
+            subquery: Box::new(strip_query(*subquery)),
+            negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => Expr::Case {
+            operand: operand.map(|o| Box::new(strip_expr(*o))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (strip_expr(w), strip_expr(t)))
+                .collect(),
+            else_result: else_result.map(|e| Box::new(strip_expr(*e))),
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(strip_expr(*expr)),
+            ty,
+        },
+        leaf @ (Expr::Column(_) | Expr::Literal(_) | Expr::Variable(_) | Expr::Wildcard) => leaf,
+    }
+}
+
+/// Identifiers that survive printing without quoting and are not keywords.
+fn ident_strategy() -> impl Strategy<Value = Ident> {
+    prop_oneof![
+        Just("objid"),
+        Just("ra"),
+        Just("name"),
+        Just("photoprimary"),
+        Just("rowc_g"),
+        Just("colc_g"),
+        Just("empId"),
+        Just("T1"),
+        Just("x_9"),
+    ]
+    .prop_map(Ident::new)
+}
+
+fn object_name_strategy() -> impl Strategy<Value = ObjectName> {
+    prop::collection::vec(ident_strategy(), 1..3).prop_map(ObjectName)
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (0u64..=u64::MAX).prop_map(|n| Literal::Number(n.to_string())),
+        // The lexer only ever produces unsigned number tokens (a leading `-`
+        // is a separate Minus token), so generate strictly non-negative,
+        // non-signed-zero numbers here.
+        (any::<f32>().prop_filter("finite, sign-positive", |f| f.is_finite()
+            && f.is_sign_positive()))
+        .prop_map(|f| Literal::Number(format!("{f:?}"))),
+        "[a-z '%_]{0,12}".prop_map(Literal::String),
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Boolean),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Multiply),
+        Just(BinaryOp::Divide),
+        Just(BinaryOp::Modulo),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        object_name_strategy().prop_map(Expr::Column),
+        literal_strategy().prop_map(Expr::Literal),
+        "[a-z][a-z0-9]{0,5}".prop_map(Expr::Variable),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
+                Expr::Binary {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r),
+                }
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec(literal_strategy().prop_map(Expr::Literal), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (
+                object_name_strategy(),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(name, args)| Expr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                }),
+        ]
+    })
+}
+
+fn select_item_strategy() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Wildcard),
+        object_name_strategy().prop_map(SelectItem::QualifiedWildcard),
+        (expr_strategy(), prop::option::of(ident_strategy()))
+            .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+    ]
+}
+
+fn table_ref_strategy() -> impl Strategy<Value = TableRef> {
+    let base = prop_oneof![
+        (object_name_strategy(), prop::option::of(ident_strategy()))
+            .prop_map(|(name, alias)| TableRef::Table { name, alias }),
+        (
+            object_name_strategy(),
+            prop::collection::vec(literal_strategy().prop_map(Expr::Literal), 0..3),
+            prop::option::of(ident_strategy()),
+        )
+            .prop_map(|(name, args, alias)| TableRef::Function { name, args, alias }),
+    ];
+    base.prop_recursive(2, 6, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(JoinKind::Inner),
+                Just(JoinKind::Left),
+                Just(JoinKind::Right),
+                Just(JoinKind::Full),
+            ],
+            prop::option::of(expr_strategy()),
+        )
+            .prop_map(|(l, r, kind, constraint)| TableRef::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind,
+                constraint,
+            })
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        prop::collection::vec(select_item_strategy(), 1..4),
+        prop::collection::vec(table_ref_strategy(), 0..3),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec(expr_strategy(), 0..2),
+        prop::collection::vec(
+            (expr_strategy(), prop::option::of(any::<bool>()))
+                .prop_map(|(expr, asc)| OrderByItem { expr, asc }),
+            0..2,
+        ),
+    )
+        .prop_map(
+            |(distinct, projection, from, selection, group_by, order_by)| Query {
+                body: Select {
+                    distinct,
+                    top: None,
+                    top_percent: false,
+                    projection,
+                    into: None,
+                    from,
+                    selection,
+                    group_by,
+                    having: None,
+                },
+                set_ops: Vec::new(),
+                order_by,
+                limit: None,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(q in query_strategy()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to re-parse {printed:?}: {e}"));
+        prop_assert_eq!(
+            strip_query(q),
+            strip_query(reparsed),
+            "printed form: {}",
+            printed
+        );
+    }
+
+    /// A second print after one round trip must be byte-identical: printing
+    /// reaches a fixpoint after at most one normalization pass.
+    #[test]
+    fn printing_reaches_fixpoint(q in query_strategy()) {
+        let once = q.to_string();
+        let reparsed = parse_query(&once)
+            .unwrap_or_else(|e| panic!("failed to re-parse {once:?}: {e}"));
+        let twice = reparsed.to_string();
+        let reparsed2 = parse_query(&twice)
+            .unwrap_or_else(|e| panic!("failed to re-parse {twice:?}: {e}"));
+        prop_assert_eq!(twice, reparsed2.to_string());
+    }
+
+    #[test]
+    fn printing_is_deterministic(q in query_strategy()) {
+        prop_assert_eq!(q.to_string(), q.to_string());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser never panics — arbitrary input yields Ok or Err.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+        let _ = sqlog_sql::parse_statement(&input);
+        let _ = sqlog_sql::parse_statements(&input);
+        let _ = sqlog_sql::tokenize(&input);
+    }
+
+    /// SQL-looking fragments with random mutations never panic either.
+    #[test]
+    fn parser_total_on_mutated_sql(
+        head in "(SELECT|select|SeLeCt) [a-z, *]{0,20}",
+        middle in "(FROM [a-z]{1,8})?",
+        tail in ".{0,60}",
+    ) {
+        let sql = format!("{head} {middle} {tail}");
+        let _ = sqlog_sql::parse_statement(&sql);
+    }
+}

@@ -1,0 +1,53 @@
+//! Downstream analysis (§6.9): user-interest clustering on the raw, cleaned
+//! and removal logs.
+//!
+//! Run with `cargo run --release --example clustering_analysis -- 20000`.
+
+use sqlog::catalog::skyserver_catalog;
+use sqlog::cluster::cluster_statements;
+use sqlog::core::Pipeline;
+use sqlog::gen::{generate, GenConfig};
+use sqlog::logmodel::QueryLog;
+use std::time::Instant;
+
+fn analyze(name: &str, log: &QueryLog, threshold: f64) {
+    let start = Instant::now();
+    let (clustering, _) =
+        cluster_statements(log.entries.iter().map(|e| e.statement.as_str()), threshold);
+    let elapsed = start.elapsed();
+    let sizes = clustering.sizes();
+    let top: Vec<String> = sizes.iter().take(8).map(u64::to_string).collect();
+    println!(
+        "{name:<8} {:>7} queries → {:>5} clusters, avg size {:>8.1}, \
+         top sizes [{}], {:.2}s",
+        log.len(),
+        clustering.count(),
+        clustering.average_size(),
+        top.join(", "),
+        elapsed.as_secs_f64(),
+    );
+}
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+
+    eprintln!("generating log and running the pipeline (scale {scale})…");
+    let log = generate(&GenConfig::with_scale(scale, 7));
+    let catalog = skyserver_catalog();
+    let result = Pipeline::new(&catalog).run(&log);
+
+    println!("threshold 0.9 (the paper's Fig. 4 setting):");
+    analyze("raw", &log, 0.9);
+    analyze("clean", &result.clean_log, 0.9);
+    analyze("removal", &result.removal_log, 0.9);
+
+    println!(
+        "\nThe raw log fragments into many small clusters driven by \
+         antipattern noise;\ncleaning merges the stifle follow-ups, and \
+         removal leaves only genuine\nuser-interest clusters — the paper's \
+         Fig. 3/4 finding."
+    );
+}

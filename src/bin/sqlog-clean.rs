@@ -1,0 +1,157 @@
+//! `sqlog-clean` — the framework as a command-line tool.
+//!
+//! Reads a query log in the `sqlog-log` TSV format, runs the cleaning
+//! pipeline, writes the clean (and optionally removal) log, and prints the
+//! Table-5-style statistics and the top patterns.
+//!
+//! ```text
+//! sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]
+//!             [--schema SCHEMA.txt]
+//!             [--threshold-ms N | --threshold-unrestricted]
+//!             [--session-gap-ms N] [--no-key-axiom] [--top K]
+//! ```
+//!
+//! The built-in SkyServer-like schema provides the key metadata for
+//! Definition 11; `--no-key-axiom` drops that requirement (the paper's
+//! discussed simplification), which also makes the tool fully
+//! schema-independent.
+
+use sqlog::catalog::{parse_schema, skyserver_catalog, Catalog};
+use sqlog::core::{
+    render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig,
+};
+use sqlog::logmodel::{read_log_file, write_log_file};
+use std::process::exit;
+
+struct Args {
+    input: String,
+    output: Option<String>,
+    removal: Option<String>,
+    schema: Option<String>,
+    config: PipelineConfig,
+    top: usize,
+}
+
+const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
+    [--schema SCHEMA.txt] [--threshold-ms N | --threshold-unrestricted]\n\
+    [--session-gap-ms N] [--no-key-axiom] [--top K]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut output = None;
+    let mut removal = None;
+    let mut schema = None;
+    let mut config = PipelineConfig::default();
+    let mut top = 15usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--in" => input = Some(value("--in")?),
+            "--out" => output = Some(value("--out")?),
+            "--removal" => removal = Some(value("--removal")?),
+            "--schema" => schema = Some(value("--schema")?),
+            "--threshold-ms" => {
+                config.duplicate_threshold_ms = Some(
+                    value("--threshold-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --threshold-ms: {e}"))?,
+                );
+            }
+            "--threshold-unrestricted" => config.duplicate_threshold_ms = None,
+            "--session-gap-ms" => {
+                config.session_gap_ms = value("--session-gap-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --session-gap-ms: {e}"))?;
+            }
+            "--no-key-axiom" => config.require_key_attribute = false,
+            "--top" => {
+                top = value("--top")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("--in is required")?,
+        output,
+        removal,
+        schema,
+        config,
+        top,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let log = match read_log_file(&args.input) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.input);
+            exit(1);
+        }
+    };
+    eprintln!("read {} entries from {}", log.len(), args.input);
+
+    // A user-supplied schema replaces the built-in SkyServer-like one.
+    let catalog: Catalog = match &args.schema {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    exit(1);
+                }
+            };
+            match parse_schema(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        None => skyserver_catalog(),
+    };
+    let result = Pipeline::new(&catalog).with_config(args.config).run(&log);
+
+    println!("{}", render_statistics(&result.stats));
+    println!("top {} patterns (antipatterns marked):", args.top);
+    let rows = top_patterns(&result.mined, &result.marks, &result.store, args.top, 2);
+    println!("{}", render_pattern_table(&rows));
+
+    if let Some(path) = &args.output {
+        if let Err(e) = write_log_file(&result.clean_log, path) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "wrote clean log ({} entries) to {path}",
+            result.clean_log.len()
+        );
+    }
+    if let Some(path) = &args.removal {
+        if let Err(e) = write_log_file(&result.removal_log, path) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "wrote removal log ({} entries) to {path}",
+            result.removal_log.len()
+        );
+    }
+}

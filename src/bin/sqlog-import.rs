@@ -1,0 +1,118 @@
+//! `sqlog-import` — converts a raw statement log into the `sqlog-log` TSV
+//! format the framework consumes.
+//!
+//! Input: one record per line, fields separated by `--sep` (default tab):
+//!
+//! ```text
+//! <timestamp> [<user>] <statement...>
+//! ```
+//!
+//! The timestamp accepts epoch seconds/milliseconds or
+//! `YYYY-MM-DD[ HH:MM:SS]` (the format of SkyServer's published log dumps).
+//! With `--no-user`, the second field is part of the statement — matching
+//! the paper's minimal-input mode (§6.8: statements and timestamps suffice).
+//!
+//! ```text
+//! sqlog-import --in RAW.log --out LOG.tsv [--sep CHAR] [--no-user]
+//! ```
+
+use sqlog::logmodel::{write_log_file, LogEntry, QueryLog, Timestamp};
+use std::io::BufRead;
+use std::process::exit;
+
+const USAGE: &str = "usage: sqlog-import --in RAW.log --out LOG.tsv [--sep CHAR] [--no-user]";
+
+fn main() {
+    let mut input = None;
+    let mut output = None;
+    let mut sep = '\t';
+    let mut with_user = true;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--in" => input = Some(value("--in")),
+            "--out" => output = Some(value("--out")),
+            "--sep" => {
+                let v = value("--sep");
+                sep = v.chars().next().unwrap_or('\t');
+            }
+            "--no-user" => with_user = false,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                exit(0);
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    let (Some(input), Some(output)) = (input, output) else {
+        eprintln!("error: --in and --out are required\n{USAGE}");
+        exit(2);
+    };
+
+    let file = std::fs::File::open(&input).unwrap_or_else(|e| {
+        eprintln!("error: cannot open {input}: {e}");
+        exit(1);
+    });
+    let reader = std::io::BufReader::new(file);
+
+    let mut log = QueryLog::new();
+    let mut skipped = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("error: read failed at line {}: {e}", lineno + 1);
+            exit(1);
+        });
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((ts_text, rest)) = trimmed.split_once(sep) else {
+            skipped += 1;
+            continue;
+        };
+        let Ok(timestamp) = ts_text.parse::<Timestamp>() else {
+            skipped += 1;
+            continue;
+        };
+        let (user, statement) = if with_user {
+            match rest.split_once(sep) {
+                Some((u, stmt)) => (Some(u.trim().to_string()), stmt),
+                None => (None, rest),
+            }
+        } else {
+            (None, rest)
+        };
+        let statement = statement.trim();
+        if statement.is_empty() {
+            skipped += 1;
+            continue;
+        }
+        let mut entry = LogEntry::minimal(log.len() as u64, statement, timestamp);
+        if let Some(u) = user.filter(|u| !u.is_empty()) {
+            entry = entry.with_user(u);
+        }
+        log.push(entry);
+    }
+
+    log.sort_by_time();
+    for (i, e) in log.entries.iter_mut().enumerate() {
+        e.id = i as u64;
+    }
+    if let Err(e) = write_log_file(&log, &output) {
+        eprintln!("error: cannot write {output}: {e}");
+        exit(1);
+    }
+    eprintln!(
+        "imported {} entries to {output} ({skipped} lines skipped)",
+        log.len()
+    );
+}

@@ -1,0 +1,60 @@
+//! # sqlog — cleaning antipatterns in SQL query logs
+//!
+//! A production-quality Rust reproduction of *"Cleaning Antipatterns in an
+//! SQL Query Log"* (N. Arzamasova, M. Schäler, K. Böhm, 2018): a framework
+//! that discovers **patterns** (recurring query-template sequences) and
+//! **antipatterns** (patterns with negative effects — the DW/DS/DF Stifle
+//! classes, Circuitous Treasure Hunt candidates, `= NULL` misuse) in an SQL
+//! query log, and *solves* the solvable ones by rewriting, producing a clean
+//! log for unbiased downstream analyses.
+//!
+//! This crate is the umbrella: it re-exports the workspace crates under one
+//! namespace and hosts the examples and cross-crate integration tests.
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sql`] | `sqlog-sql` | SQL lexer, parser, AST, printer |
+//! | [`skeleton`] | `sqlog-skeleton` | skeleton queries, templates, predicate profiles |
+//! | [`logmodel`] | `sqlog-log` | log entries, I/O, timestamps, ground truth |
+//! | [`gen`] | `sqlog-gen` | synthetic SkyServer-like workload generator |
+//! | [`catalog`] | `sqlog-catalog` | schema catalog with key metadata |
+//! | [`core`] | `sqlog-core` | the cleaning pipeline: dedup → parse → mine → detect → solve |
+//! | [`minidb`] | `sqlog-minidb` | in-memory SQL engine with a round-trip cost model |
+//! | [`cluster`] | `sqlog-cluster` | data-space-overlap query clustering |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sqlog::core::Pipeline;
+//! use sqlog::catalog::skyserver_catalog;
+//! use sqlog::logmodel::{LogEntry, QueryLog, Timestamp};
+//!
+//! let catalog = skyserver_catalog();
+//! let log = QueryLog::from_entries(vec![
+//!     LogEntry::minimal(0, "SELECT name FROM Employee WHERE empId = 8",
+//!                       Timestamp::from_secs(0)).with_user("10.0.0.1"),
+//!     LogEntry::minimal(1, "SELECT name FROM Employee WHERE empId = 1",
+//!                       Timestamp::from_secs(2)).with_user("10.0.0.1"),
+//! ]);
+//! let result = Pipeline::new(&catalog).run(&log);
+//! assert_eq!(result.stats.solved_instances, 1);   // one DW-Stifle merged
+//! ```
+
+#![warn(missing_docs)]
+
+/// Schema catalog (re-export of `sqlog-catalog`).
+pub use sqlog_catalog as catalog;
+/// Query clustering (re-export of `sqlog-cluster`).
+pub use sqlog_cluster as cluster;
+/// The cleaning framework (re-export of `sqlog-core`).
+pub use sqlog_core as core;
+/// Workload generator (re-export of `sqlog-gen`).
+pub use sqlog_gen as gen;
+/// Log model (re-export of `sqlog-log`).
+pub use sqlog_log as logmodel;
+/// In-memory SQL engine (re-export of `sqlog-minidb`).
+pub use sqlog_minidb as minidb;
+/// Skeletons and templates (re-export of `sqlog-skeleton`).
+pub use sqlog_skeleton as skeleton;
+/// SQL front end (re-export of `sqlog-sql`).
+pub use sqlog_sql as sql;
