@@ -117,12 +117,13 @@ fn bench_mine_and_detect(c: &mut Criterion) {
         })
     });
     let catalog = skyserver_catalog();
+    let view = sqlog_log::LogView::identity(&pre);
     group.bench_function("detect_builtin", |b| {
         b.iter(|| {
             let ctx = sqlog_core::DetectCtx {
-                log: &pre,
+                log: &view,
                 records: &parsed.records,
-                sessions: &sessions,
+                sessions: &sessions.sessions,
                 store: &store,
                 catalog: &catalog,
                 config: &cfg,
@@ -130,6 +131,44 @@ fn bench_mine_and_detect(c: &mut Criterion) {
             black_box(sqlog_core::detect::detect_builtin(&ctx).len())
         })
     });
+    group.finish();
+}
+
+/// The tentpole benchmark: the full pipeline under increasing
+/// `parallelism`, on a log large enough for sharding to matter. Thread
+/// counts cover sequential (1), minimal sharding (2), and one worker per
+/// available core.
+fn bench_pipeline_sharded(c: &mut Criterion) {
+    let catalog = skyserver_catalog();
+    let log = generate(&GenConfig::with_scale(100_000, SEED));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut group = c.benchmark_group("pipeline_sharded");
+    group.throughput(Throughput::Elements(log.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for threads in thread_counts {
+        let cfg = PipelineConfig {
+            parallelism: threads,
+            ..PipelineConfig::default()
+        };
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Pipeline::new(&catalog)
+                        .with_config(cfg.clone())
+                        .run(&log)
+                        .stats
+                        .final_size,
+                )
+            })
+        });
+    }
     group.finish();
 }
 
@@ -195,6 +234,7 @@ criterion_group!(
     bench_dedup,
     bench_mine_and_detect,
     bench_full_pipeline,
+    bench_pipeline_sharded,
     bench_cluster
 );
 criterion_main!(benches);

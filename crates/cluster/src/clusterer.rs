@@ -164,12 +164,12 @@ pub fn cluster_regions_parallel(
         .collect();
 
     let mut edges: Vec<(usize, usize)> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let buckets = &buckets;
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local = Vec::new();
                     for &(b, pos) in shard {
                         let bucket = &buckets[b];
@@ -187,8 +187,7 @@ pub fn cluster_regions_parallel(
         for h in handles {
             edges.extend(h.join().expect("cluster worker panicked"));
         }
-    })
-    .expect("cluster scope panicked");
+    });
 
     let mut uf = UnionFind::new(n);
     for (i, j) in edges {

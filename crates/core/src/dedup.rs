@@ -6,8 +6,16 @@
 //! application errors — and stand for the *same* information need, so they
 //! are removed before any analysis. The threshold is configurable and
 //! `None` means "unrestricted" (Table 4's last row).
+//!
+//! Deduplication is keyed by `(user, statement fingerprint)`, so the log
+//! partitions cleanly by user: [`dedup_view`] shards the scan across users
+//! and merges the per-shard survivors back into log order, producing exactly
+//! the sequential result for any thread count. The output is a [`LogView`]
+//! — an index vector over the input — so no [`LogEntry`] (or its statement
+//! `String`) is ever cloned on this path.
 
-use sqlog_log::{LogEntry, QueryLog};
+use crate::shard::{balance_chunks, resolve_threads};
+use sqlog_log::{LogView, QueryLog};
 use sqlog_skeleton::{text_fingerprint, Fingerprint};
 use std::collections::HashMap;
 
@@ -22,7 +30,45 @@ pub struct DedupStats {
     pub kept: usize,
 }
 
-/// Removes duplicates, returning the pre-cleaned log and statistics.
+/// Sequential scan over one user-partition of the view: positions whose
+/// entry repeats the user's previous identical statement within the
+/// threshold are duplicates. `uids[i]` identifies the user of position `i`;
+/// only positions with `uid_range.contains(uids[i])` are examined.
+fn scan_partition(
+    view: &LogView<'_>,
+    uids: &[u32],
+    uid_range: std::ops::Range<u32>,
+    threshold_ms: Option<u64>,
+) -> Vec<u32> {
+    let mut last_seen: HashMap<(u32, Fingerprint), i64> = HashMap::new();
+    let mut kept = Vec::new();
+    for (i, &uid) in uids.iter().enumerate() {
+        if !uid_range.contains(&uid) {
+            continue;
+        }
+        let e = view.entry(i);
+        let fp = text_fingerprint(&e.statement);
+        let now = e.timestamp.millis();
+        let dup = match last_seen.get(&(uid, fp)) {
+            Some(&prev) => match threshold_ms {
+                Some(t) => (now - prev) as u64 <= t,
+                None => true,
+            },
+            None => false,
+        };
+        // Always record the latest occurrence — kept *or* removed — so a
+        // burst of reloads collapses to its first statement (chain
+        // collapse).
+        last_seen.insert((uid, fp), now);
+        if !dup {
+            kept.push(i as u32);
+        }
+    }
+    kept
+}
+
+/// Removes duplicates from a log view, returning the surviving entries as a
+/// new view over the same base log (no entry clones) plus statistics.
 ///
 /// An entry is a duplicate when the same user issued a textually identical
 /// statement at most `threshold_ms` earlier — where "earlier" compares
@@ -30,43 +76,81 @@ pub struct DedupStats {
 /// reloads collapses to its first statement. A large number of removals can
 /// indicate an application refactoring, which is why the count is reported
 /// (§5.2).
-pub fn dedup(log: &QueryLog, threshold_ms: Option<u64>) -> (QueryLog, DedupStats) {
-    debug_assert!(log.is_time_sorted(), "dedup requires a time-sorted log");
-    let mut last_seen: HashMap<(&str, Fingerprint), i64> = HashMap::new();
-    let mut out: Vec<LogEntry> = Vec::with_capacity(log.len());
-    let mut removed = 0usize;
+///
+/// `threads == 0` uses one thread per available core; since users are
+/// independent under the `(user, fingerprint)` key, the scan shards by user
+/// and the merged result is identical for every thread count.
+pub fn dedup_view<'a>(
+    view: &LogView<'a>,
+    threshold_ms: Option<u64>,
+    threads: usize,
+) -> (LogView<'a>, DedupStats) {
+    debug_assert!(view.is_time_sorted(), "dedup requires a time-sorted log");
+    let n = view.len();
+    let threads = resolve_threads(threads).min(n.max(1));
 
-    for e in &log.entries {
-        let fp = text_fingerprint(&e.statement);
-        let key = (e.user_key(), fp);
-        let now = e.timestamp.millis();
-        let dup = match last_seen.get(&key) {
-            Some(&prev) => match threshold_ms {
-                Some(t) => (now - prev) as u64 <= t,
-                None => true,
-            },
-            None => false,
-        };
-        last_seen.insert(key, now);
-        if dup {
-            removed += 1;
-        } else {
-            out.push(e.clone());
+    // Partition by user: intern user keys by first appearance.
+    let mut uid_of: HashMap<&str, u32> = HashMap::new();
+    let mut uids: Vec<u32> = Vec::with_capacity(n);
+    let mut counts: Vec<u64> = Vec::new();
+    for i in 0..n {
+        let key = view.entry(i).user_key();
+        let next = counts.len() as u32;
+        let uid = *uid_of.entry(key).or_insert(next);
+        if uid == next {
+            counts.push(0);
         }
+        counts[uid as usize] += 1;
+        uids.push(uid);
     }
 
-    let stats = DedupStats {
-        input: log.len(),
-        removed,
-        kept: out.len(),
+    let kept: Vec<u32> = if threads <= 1 || counts.len() <= 1 {
+        scan_partition(view, &uids, 0..counts.len() as u32, threshold_ms)
+    } else {
+        let ranges = balance_chunks(&counts, threads);
+        let mut shards: Vec<Vec<u32>> = Vec::with_capacity(ranges.len());
+        std::thread::scope(|s| {
+            let uids = &uids;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move || {
+                        scan_partition(view, uids, r.start as u32..r.end as u32, threshold_ms)
+                    })
+                })
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("dedup worker panicked"));
+            }
+        });
+        // Per-shard survivors are disjoint view positions; sorting restores
+        // global log order, making the merge independent of sharding.
+        let mut kept: Vec<u32> = shards.concat();
+        kept.sort_unstable();
+        kept
     };
-    (QueryLog::from_entries(out), stats)
+
+    let stats = DedupStats {
+        input: n,
+        removed: n - kept.len(),
+        kept: kept.len(),
+    };
+    (view.select(kept), stats)
+}
+
+/// Removes duplicates, returning the pre-cleaned log and statistics.
+///
+/// Compatibility wrapper around [`dedup_view`]: runs single-threaded and
+/// materializes the surviving entries into an owned [`QueryLog`].
+pub fn dedup(log: &QueryLog, threshold_ms: Option<u64>) -> (QueryLog, DedupStats) {
+    let (view, stats) = dedup_view(&LogView::identity(log), threshold_ms, 1);
+    (view.to_log(), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sqlog_log::Timestamp;
+    use sqlog_log::{LogEntry, Timestamp};
 
     fn entry(id: u64, ms: i64, user: &str, stmt: &str) -> LogEntry {
         LogEntry::minimal(id, stmt, Timestamp::from_millis(ms)).with_user(user)
@@ -161,5 +245,48 @@ mod tests {
         }
         let (_, unrestricted) = dedup(&log, None);
         assert!(unrestricted.removed >= prev_removed);
+    }
+
+    #[test]
+    fn sharded_dedup_equals_sequential() {
+        // Many interleaved users with in-user repeat chains.
+        let mut entries = Vec::new();
+        let mut id = 0u64;
+        for step in 0..200i64 {
+            for u in 0..7 {
+                let user = format!("10.0.0.{u}");
+                let stmt = format!("SELECT a FROM t WHERE x = {}", step % (u + 2));
+                entries.push(entry(id, step * 400, &user, &stmt));
+                id += 1;
+            }
+        }
+        let mut log = QueryLog::from_entries(entries);
+        log.sort_by_time();
+        let view = LogView::identity(&log);
+        let (seq, seq_stats) = dedup_view(&view, Some(1_000), 1);
+        for threads in [2, 3, 8] {
+            let (par, par_stats) = dedup_view(&view, Some(1_000), threads);
+            assert_eq!(seq_stats, par_stats, "threads {threads}");
+            let a: Vec<u64> = seq.iter().map(|e| e.id).collect();
+            let b: Vec<u64> = par.iter().map(|e| e.id).collect();
+            assert_eq!(a, b, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn view_output_borrows_the_base_log() {
+        let log = QueryLog::from_entries(vec![
+            entry(0, 0, "a", "SELECT 1"),
+            entry(1, 100, "a", "SELECT 1"),
+            entry(2, 5_000, "a", "SELECT 2"),
+        ]);
+        let view = LogView::identity(&log);
+        let (clean, stats) = dedup_view(&view, Some(1_000), 1);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(clean.len(), 2);
+        // The surviving positions map back into the original log.
+        assert_eq!(clean.base_index(0), 0);
+        assert_eq!(clean.base_index(1), 2);
+        assert!(std::ptr::eq(clean.base(), &log));
     }
 }

@@ -28,7 +28,7 @@ impl Detector for CthDetector {
         let lookahead = ctx.config.cth_lookahead.max(1);
         let max_gap = ctx.config.cth_max_gap_ms;
 
-        for session in &ctx.sessions.sessions {
+        for session in ctx.sessions {
             let recs = &session.records;
             let mut k = 0usize;
             while k < recs.len() {
@@ -115,7 +115,7 @@ mod tests {
     use crate::parse_step::parse_log;
     use crate::store::TemplateStore;
     use sqlog_catalog::skyserver_catalog;
-    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+    use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
 
     fn detect_at(rows: &[(&str, i64)]) -> Vec<AntipatternInstance> {
         let log = QueryLog::from_entries(
@@ -131,10 +131,11 @@ mod tests {
         let sessions = build_sessions(&log, &parsed.records, 600_000);
         let catalog = skyserver_catalog();
         let config = PipelineConfig::default();
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,

@@ -12,11 +12,11 @@ pub mod snc;
 pub mod stifle;
 
 use crate::config::PipelineConfig;
-use crate::mine::Sessions;
+use crate::mine::Session;
 use crate::parse_step::ParsedRecord;
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_catalog::Catalog;
-use sqlog_log::QueryLog;
+use sqlog_log::LogView;
 use std::fmt;
 
 /// The antipattern classes the framework knows about.
@@ -74,13 +74,21 @@ pub struct AntipatternInstance {
 }
 
 /// Everything a detector may look at.
+///
+/// Detectors must be **session-local**: each instance they emit comes from
+/// the records of a single session. The pipeline relies on this to shard
+/// detection across contiguous session ranges — a shard's context differs
+/// only in `sessions`, and concatenating shard outputs in order reproduces
+/// the sequential result.
 pub struct DetectCtx<'a> {
-    /// The pre-cleaned log.
-    pub log: &'a QueryLog,
-    /// Parsed records.
+    /// The pre-cleaned log, as a view over the original entries.
+    pub log: &'a LogView<'a>,
+    /// Parsed records (all of them — `records[ri]` stays valid for every
+    /// session, sharded or not).
     pub records: &'a [ParsedRecord],
-    /// Per-user sessions.
-    pub sessions: &'a Sessions,
+    /// The per-user sessions this detector invocation should scan (a shard
+    /// of the full session list, or all of it).
+    pub sessions: &'a [Session],
     /// Interned templates.
     pub store: &'a TemplateStore,
     /// Schema catalog (key-attribute checks).
@@ -92,9 +100,15 @@ pub struct DetectCtx<'a> {
 impl DetectCtx<'_> {
     /// Timestamp (ms) of a parsed record.
     pub fn record_millis(&self, record_idx: usize) -> i64 {
-        self.log.entries[self.records[record_idx].entry_idx as usize]
+        self.log
+            .entry(self.records[record_idx].entry_idx as usize)
             .timestamp
             .millis()
+    }
+
+    /// The log entry behind a parsed record.
+    pub fn record_entry(&self, record_idx: usize) -> &sqlog_log::LogEntry {
+        self.log.entry(self.records[record_idx].entry_idx as usize)
     }
 }
 
@@ -122,12 +136,19 @@ pub fn detect_builtin(ctx: &DetectCtx<'_>) -> Vec<AntipatternInstance> {
     out
 }
 
-/// Sorts instances by order of appearance (first covered record, then class).
+/// Sorts instances by order of appearance (first covered record, then
+/// class). The remaining tie-breaks make the order *total* over
+/// distinguishable instances, so the result does not depend on the order
+/// detectors (or detection shards) contributed them.
 pub fn sort_instances(instances: &mut [AntipatternInstance]) {
     instances.sort_by(|a, b| {
         let fa = a.records.first().copied().unwrap_or(usize::MAX);
         let fb = b.records.first().copied().unwrap_or(usize::MAX);
-        fa.cmp(&fb).then_with(|| a.class.cmp(&b.class))
+        fa.cmp(&fb)
+            .then_with(|| a.class.cmp(&b.class))
+            .then_with(|| a.records.cmp(&b.records))
+            .then_with(|| a.identity.cmp(&b.identity))
+            .then_with(|| a.marker_keys.cmp(&b.marker_keys))
     });
 }
 

@@ -16,18 +16,24 @@ impl Detector for SncDetector {
     }
 
     fn detect(&self, ctx: &DetectCtx<'_>) -> Vec<AntipatternInstance> {
+        // Iterate session-wise (not over all records) so that detection can
+        // shard by session range without double-counting; every parsed
+        // record belongs to exactly one session.
         let mut out = Vec::new();
-        for (ri, rec) in ctx.records.iter().enumerate() {
-            if rec.profile.null_comparisons().is_empty() {
-                continue;
+        for session in ctx.sessions {
+            for &ri in &session.records {
+                let rec = &ctx.records[ri];
+                if rec.profile.null_comparisons().is_empty() {
+                    continue;
+                }
+                out.push(AntipatternInstance {
+                    class: AntipatternClass::Snc,
+                    records: vec![ri],
+                    identity: vec![rec.template],
+                    marker_keys: vec![vec![rec.template]],
+                    solvable: true,
+                });
             }
-            out.push(AntipatternInstance {
-                class: AntipatternClass::Snc,
-                records: vec![ri],
-                identity: vec![rec.template],
-                marker_keys: vec![vec![rec.template]],
-                solvable: true,
-            });
         }
         out
     }
@@ -41,7 +47,7 @@ mod tests {
     use crate::parse_step::parse_log;
     use crate::store::TemplateStore;
     use sqlog_catalog::skyserver_catalog;
-    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+    use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
 
     fn detect(rows: &[&str]) -> Vec<AntipatternInstance> {
         let log = QueryLog::from_entries(
@@ -57,10 +63,11 @@ mod tests {
         let sessions = build_sessions(&log, &parsed.records, 300_000);
         let catalog = skyserver_catalog();
         let config = PipelineConfig::default();
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,

@@ -125,7 +125,7 @@ impl Detector for StifleDetector {
 
     fn detect(&self, ctx: &DetectCtx<'_>) -> Vec<AntipatternInstance> {
         let mut out = Vec::new();
-        for session in &ctx.sessions.sessions {
+        for session in ctx.sessions {
             let recs = &session.records;
             let mut i = 0usize;
             while i < recs.len() {
@@ -180,7 +180,7 @@ mod tests {
     use crate::parse_step::parse_log;
     use crate::store::TemplateStore;
     use sqlog_catalog::skyserver_catalog;
-    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+    use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
 
     fn detect(rows: &[&str]) -> (Vec<AntipatternInstance>, TemplateStore) {
         let log = QueryLog::from_entries(
@@ -196,10 +196,11 @@ mod tests {
         let sessions = build_sessions(&log, &parsed.records, 300_000);
         let catalog = skyserver_catalog();
         let config = PipelineConfig::default();
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,
@@ -287,10 +288,11 @@ mod tests {
             require_key_attribute: false,
             ..PipelineConfig::default()
         };
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,

@@ -47,20 +47,25 @@ pub mod parse_step;
 pub mod pipeline;
 pub mod recommend;
 pub mod report;
+pub mod shard;
 pub mod solve;
 pub mod stats;
 pub mod store;
 pub mod sws;
 
 pub use config::PipelineConfig;
-pub use dedup::{dedup, DedupStats};
+pub use dedup::{dedup, dedup_view, DedupStats};
 pub use detect::{AntipatternClass, AntipatternInstance, DetectCtx, Detector};
 pub use ext::{ExtensionRegistry, Solver, SolverSet};
-pub use mine::{build_sessions, mine_patterns, MinedPatterns, PatternData, Session, Sessions};
-pub use parse_step::{parse_log, ParseStats, ParsedLog, ParsedRecord};
+pub use mine::{
+    build_sessions, build_sessions_view, mine_patterns, mine_patterns_sharded, MinedPatterns,
+    PatternData, Session, Sessions,
+};
+pub use parse_step::{parse_log, parse_view, ParseStats, ParsedLog, ParsedRecord};
 pub use pipeline::{Pipeline, PipelineResult};
 pub use recommend::{evaluate_against_marks, RecommendationEval, Recommender};
 pub use report::{render_pattern_table, render_statistics, top_patterns, PatternRow};
-pub use stats::{ClassCounts, Statistics};
+pub use shard::{balance_chunks, resolve_threads};
+pub use stats::{ClassCounts, StageTimings, Statistics};
 pub use store::{TemplateId, TemplateStore};
 pub use sws::{classify_sws, sws_grid, union_windows, SwsResult, SwsThresholds};

@@ -17,11 +17,20 @@
 //! across instances (Def. 10). Non-overlapping counting makes the DW pair
 //! pattern `[A, A]` of the paper's Table 6 come out at roughly half the
 //! frequency of `[A]`, matching the ratio between Tables 6 and 7.
+//!
+//! The hot path is allocation-free per occurrence: a [`PatternCounter`]
+//! interns each pattern key once (dense `u32` pattern ids, slice-borrow
+//! lookups — no `vec![t]` / `gram.to_vec()` per occurrence), tracks
+//! non-overlap ends in a stamp-versioned table instead of a per-session
+//! hash map, and resolves unigrams through a direct template-id index.
+//! Sessions partition by user, so mining shards across contiguous session
+//! ranges and the merged counts are identical for every thread count.
 
 use crate::config::PipelineConfig;
 use crate::parse_step::ParsedRecord;
+use crate::shard::{balance_chunks, resolve_threads};
 use crate::store::TemplateId;
-use sqlog_log::QueryLog;
+use sqlog_log::{LogView, QueryLog};
 use std::collections::{HashMap, HashSet};
 
 /// One per-user session: indices into the parsed-record vector.
@@ -42,57 +51,125 @@ pub struct Sessions {
     pub user_names: Vec<String>,
 }
 
+/// Splits one user's record stream into gap-separated sessions, appending
+/// them to `out`.
+fn split_user_stream(
+    view: &LogView<'_>,
+    records: &[ParsedRecord],
+    uid: u32,
+    stream: &[usize],
+    gap_ms: u64,
+    out: &mut Vec<Session>,
+) {
+    let mut current = Session {
+        user: uid,
+        records: Vec::new(),
+    };
+    let mut last_ms: Option<i64> = None;
+    for &ri in stream {
+        let t = view
+            .entry(records[ri].entry_idx as usize)
+            .timestamp
+            .millis();
+        if let Some(prev) = last_ms {
+            if (t - prev) as u64 > gap_ms && !current.records.is_empty() {
+                out.push(std::mem::replace(
+                    &mut current,
+                    Session {
+                        user: uid,
+                        records: Vec::new(),
+                    },
+                ));
+            }
+        }
+        current.records.push(ri);
+        last_ms = Some(t);
+    }
+    if !current.records.is_empty() {
+        out.push(current);
+    }
+}
+
 /// Splits parsed records into per-user sessions.
-pub fn build_sessions(log: &QueryLog, records: &[ParsedRecord], gap_ms: u64) -> Sessions {
+///
+/// Users are interned by first appearance in record order; sessions come
+/// out ordered by (user id, time). With `threads > 1` the gap-splitting
+/// shards across contiguous user ranges — the result is identical for every
+/// thread count.
+pub fn build_sessions_view(
+    view: &LogView<'_>,
+    records: &[ParsedRecord],
+    gap_ms: u64,
+    threads: usize,
+) -> Sessions {
     let mut user_ids: HashMap<&str, u32> = HashMap::new();
     let mut user_names: Vec<String> = Vec::new();
-    let mut per_user: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut streams: Vec<Vec<usize>> = Vec::new();
 
     for (ri, rec) in records.iter().enumerate() {
-        let user_key = log.entries[rec.entry_idx as usize].user_key();
-        let uid = *user_ids.entry(user_key).or_insert_with(|| {
+        let user_key = view.entry(rec.entry_idx as usize).user_key();
+        let next = streams.len() as u32;
+        let uid = *user_ids.entry(user_key).or_insert(next);
+        if uid == next {
             user_names.push(user_key.to_string());
-            (user_names.len() - 1) as u32
-        });
-        per_user.entry(uid).or_default().push(ri);
+            streams.push(Vec::new());
+        }
+        streams[uid as usize].push(ri);
     }
 
+    let threads = resolve_threads(threads).min(streams.len().max(1));
     let mut sessions = Vec::new();
-    let mut uids: Vec<u32> = per_user.keys().copied().collect();
-    uids.sort_unstable();
-    for uid in uids {
-        let stream = &per_user[&uid];
-        let mut current = Session {
-            user: uid,
-            records: Vec::new(),
-        };
-        let mut last_ms: Option<i64> = None;
-        for &ri in stream {
-            let t = log.entries[records[ri].entry_idx as usize]
-                .timestamp
-                .millis();
-            if let Some(prev) = last_ms {
-                if (t - prev) as u64 > gap_ms && !current.records.is_empty() {
-                    sessions.push(std::mem::replace(
-                        &mut current,
-                        Session {
-                            user: uid,
-                            records: Vec::new(),
-                        },
-                    ));
-                }
-            }
-            current.records.push(ri);
-            last_ms = Some(t);
+    if threads <= 1 {
+        for (uid, stream) in streams.iter().enumerate() {
+            split_user_stream(view, records, uid as u32, stream, gap_ms, &mut sessions);
         }
-        if !current.records.is_empty() {
-            sessions.push(current);
+    } else {
+        let weights: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
+        let ranges = balance_chunks(&weights, threads);
+        let mut shards: Vec<Vec<Session>> = Vec::with_capacity(ranges.len());
+        std::thread::scope(|s| {
+            let streams = &streams;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for uid in r {
+                            split_user_stream(
+                                view,
+                                records,
+                                uid as u32,
+                                &streams[uid],
+                                gap_ms,
+                                &mut out,
+                            );
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("session worker panicked"));
+            }
+        });
+        // Shards cover contiguous user ranges in order, so concatenation
+        // reproduces the sequential (user, time) session order.
+        for shard in shards {
+            sessions.extend(shard);
         }
     }
     Sessions {
         sessions,
         user_names,
     }
+}
+
+/// Splits parsed records into per-user sessions.
+///
+/// Compatibility wrapper around [`build_sessions_view`] (single-threaded)
+/// for owned logs.
+pub fn build_sessions(log: &QueryLog, records: &[ParsedRecord], gap_ms: u64) -> Sessions {
+    build_sessions_view(&LogView::identity(log), records, gap_ms, 1)
 }
 
 /// Statistics of one mined pattern.
@@ -132,55 +209,169 @@ impl MinedPatterns {
     }
 }
 
+/// Allocation-free pattern accumulator: interns each distinct pattern key
+/// once and counts occurrences against dense `u32` pattern ids.
+#[derive(Default)]
+struct PatternCounter {
+    /// Pattern key → dense id. Lookups borrow the key as `&[TemplateId]`;
+    /// the owned `Vec` is only allocated on a pattern's first occurrence.
+    by_key: HashMap<Vec<TemplateId>, u32>,
+    /// Dense id → key (for the final conversion to [`MinedPatterns`]).
+    keys: Vec<Vec<TemplateId>>,
+    freq: Vec<u64>,
+    users: Vec<HashSet<u32>>,
+    /// Template id → unigram pattern id + 1 (`0` = not yet interned):
+    /// unigram counting never touches the hash map.
+    uni: Vec<u32>,
+    /// Pattern id → (session stamp, non-overlap end). The stamp versioning
+    /// replaces the per-session `HashMap<&[TemplateId], usize>` of the
+    /// naive implementation — no table is cleared or reallocated between
+    /// sessions.
+    last_end: Vec<(u32, u32)>,
+    total_queries: u64,
+}
+
+impl PatternCounter {
+    fn intern_slow(&mut self, key: &[TemplateId]) -> u32 {
+        let id = self.keys.len() as u32;
+        self.by_key.insert(key.to_vec(), id);
+        self.keys.push(key.to_vec());
+        self.freq.push(0);
+        self.users.push(HashSet::new());
+        self.last_end.push((u32::MAX, 0));
+        id
+    }
+
+    fn unigram_id(&mut self, t: TemplateId) -> u32 {
+        let ti = t.0 as usize;
+        if ti >= self.uni.len() {
+            self.uni.resize(ti + 1, 0);
+        }
+        if self.uni[ti] == 0 {
+            let id = self.intern_slow(std::slice::from_ref(&t));
+            self.uni[ti] = id + 1;
+        }
+        self.uni[ti] - 1
+    }
+
+    fn count(&mut self, id: u32, user: u32) {
+        self.freq[id as usize] += 1;
+        self.users[id as usize].insert(user);
+    }
+
+    /// Mines one session's template sequence. `stamp` must be unique per
+    /// session within this counter (it versions the non-overlap table).
+    fn mine_session(&mut self, stamp: u32, user: u32, templates: &[TemplateId], max_ngram: usize) {
+        self.total_queries += templates.len() as u64;
+
+        // Unigrams: every occurrence is an instance.
+        for &t in templates {
+            let id = self.unigram_id(t);
+            self.count(id, user);
+        }
+
+        // n-grams, non-overlapping per pattern. Keys of different lengths
+        // never collide, so one stamped table serves all n at once.
+        for n in 2..=max_ngram.max(1) {
+            if templates.len() < n {
+                break;
+            }
+            for i in 0..=(templates.len() - n) {
+                let gram = &templates[i..i + n];
+                let id = match self.by_key.get(gram) {
+                    Some(&id) => id,
+                    None => self.intern_slow(gram),
+                };
+                let (s, end) = self.last_end[id as usize];
+                if s != stamp || i >= end as usize {
+                    self.last_end[id as usize] = (stamp, (i + n) as u32);
+                    self.count(id, user);
+                }
+            }
+        }
+    }
+
+    /// Mines a slice of sessions (one shard's worth).
+    fn mine_sessions(
+        sessions: &[Session],
+        records: &[ParsedRecord],
+        max_ngram: usize,
+    ) -> PatternCounter {
+        let mut counter = PatternCounter::default();
+        let mut templates: Vec<TemplateId> = Vec::new();
+        for (stamp, session) in sessions.iter().enumerate() {
+            templates.clear();
+            templates.extend(session.records.iter().map(|&ri| records[ri].template));
+            counter.mine_session(stamp as u32, session.user, &templates, max_ngram);
+        }
+        counter
+    }
+}
+
+/// Merges per-shard counters into the final map. Addition and set union are
+/// commutative, so the result is independent of how sessions were sharded.
+fn merge_counters(counters: Vec<PatternCounter>) -> MinedPatterns {
+    let mut patterns: HashMap<Vec<TemplateId>, PatternData> = HashMap::new();
+    let mut total = 0u64;
+    for c in counters {
+        total += c.total_queries;
+        for (id, key) in c.keys.into_iter().enumerate() {
+            let d = patterns.entry(key).or_default();
+            d.frequency += c.freq[id];
+            d.users.extend(c.users[id].iter().copied());
+        }
+    }
+    MinedPatterns {
+        patterns,
+        total_queries: total,
+    }
+}
+
 /// Mines patterns from the sessions.
 pub fn mine_patterns(
     sessions: &Sessions,
     records: &[ParsedRecord],
     cfg: &PipelineConfig,
 ) -> MinedPatterns {
-    let mut patterns: HashMap<Vec<TemplateId>, PatternData> = HashMap::new();
-    let mut total = 0u64;
+    mine_patterns_sharded(sessions, records, cfg, 1)
+}
 
-    for session in &sessions.sessions {
-        let templates: Vec<TemplateId> = session
-            .records
-            .iter()
-            .map(|&ri| records[ri].template)
+/// Mines patterns from the sessions on up to `threads` threads
+/// (`0` = one per available core).
+///
+/// Sessions are user-partitioned and patterns never cross session
+/// boundaries, so sharding the session list yields exactly the sequential
+/// counts for any thread count.
+pub fn mine_patterns_sharded(
+    sessions: &Sessions,
+    records: &[ParsedRecord],
+    cfg: &PipelineConfig,
+    threads: usize,
+) -> MinedPatterns {
+    let all = &sessions.sessions;
+    let threads = resolve_threads(threads).min(all.len().max(1));
+    if threads <= 1 {
+        return merge_counters(vec![PatternCounter::mine_sessions(
+            all,
+            records,
+            cfg.max_ngram,
+        )]);
+    }
+    let weights: Vec<u64> = all.iter().map(|s| s.records.len() as u64).collect();
+    let ranges = balance_chunks(&weights, threads);
+    let mut counters: Vec<PatternCounter> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                s.spawn(move || PatternCounter::mine_sessions(&all[r], records, cfg.max_ngram))
+            })
             .collect();
-        total += templates.len() as u64;
-
-        // Unigrams: every occurrence is an instance.
-        for &t in &templates {
-            let d = patterns.entry(vec![t]).or_default();
-            d.frequency += 1;
-            d.users.insert(session.user);
+        for h in handles {
+            counters.push(h.join().expect("mining worker panicked"));
         }
-
-        // n-grams, non-overlapping per pattern. The table of
-        // last-counted-occurrence ends is per session; its keys borrow from
-        // `templates`, so it lives inside this scope.
-        for n in 2..=cfg.max_ngram.max(1) {
-            if templates.len() < n {
-                break;
-            }
-            let mut last_end: HashMap<&[TemplateId], usize> = HashMap::new();
-            for i in 0..=(templates.len() - n) {
-                let gram = &templates[i..i + n];
-                let end = last_end.get(gram).copied().unwrap_or(0);
-                if i >= end {
-                    last_end.insert(gram, i + n);
-                    let d = patterns.entry(gram.to_vec()).or_default();
-                    d.frequency += 1;
-                    d.users.insert(session.user);
-                }
-            }
-        }
-    }
-
-    MinedPatterns {
-        patterns,
-        total_queries: total,
-    }
+    });
+    merge_counters(counters)
 }
 
 #[cfg(test)]
@@ -220,6 +411,35 @@ mod tests {
         let s = build_sessions(&log, &records, 60_000);
         assert_eq!(s.sessions.len(), 3);
         assert_eq!(s.user_names.len(), 2);
+    }
+
+    #[test]
+    fn sharded_sessions_equal_sequential() {
+        let mut rows: Vec<(String, i64, String)> = Vec::new();
+        for step in 0..120i64 {
+            for u in 0..5 {
+                rows.push((
+                    format!("SELECT a FROM t WHERE x = {step}"),
+                    step * ((u as i64 % 3) * 200 + 1),
+                    format!("user{u}"),
+                ));
+            }
+        }
+        let refs: Vec<(&str, i64, &str)> = rows
+            .iter()
+            .map(|(s, t, u)| (s.as_str(), *t, u.as_str()))
+            .collect();
+        let (mut log, _, _) = log_of(&refs);
+        log.sort_by_time();
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        let view = LogView::identity(&log);
+        let seq = build_sessions_view(&view, &parsed.records, 60_000, 1);
+        for threads in [2, 3, 8] {
+            let par = build_sessions_view(&view, &parsed.records, 60_000, threads);
+            assert_eq!(seq.sessions, par.sessions, "threads {threads}");
+            assert_eq!(seq.user_names, par.user_names, "threads {threads}");
+        }
     }
 
     #[test]
@@ -296,5 +516,36 @@ mod tests {
         // min_frequency filters.
         let ranked2 = mined.ranked(2);
         assert!(ranked2.len() < ranked.len());
+    }
+
+    #[test]
+    fn sharded_mining_equals_sequential() {
+        // Interleaved users, repeated templates, multi-session streams.
+        let mut rows: Vec<(String, i64, String)> = Vec::new();
+        for step in 0..150i64 {
+            for u in 0..6 {
+                rows.push((
+                    format!("SELECT c{} FROM t WHERE x = {step}", (step + u as i64) % 4),
+                    step * 2 + u as i64,
+                    format!("user{u}"),
+                ));
+            }
+        }
+        let refs: Vec<(&str, i64, &str)> = rows
+            .iter()
+            .map(|(s, t, u)| (s.as_str(), *t, u.as_str()))
+            .collect();
+        let (mut log, _, _) = log_of(&refs);
+        log.sort_by_time();
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        let sessions = build_sessions(&log, &parsed.records, 60_000);
+        let cfg = PipelineConfig::default();
+        let seq = mine_patterns(&sessions, &parsed.records, &cfg);
+        for threads in [2, 3, 8] {
+            let par = mine_patterns_sharded(&sessions, &parsed.records, &cfg, threads);
+            assert_eq!(seq.total_queries, par.total_queries, "threads {threads}");
+            assert_eq!(seq.patterns, par.patterns, "threads {threads}");
+        }
     }
 }

@@ -8,11 +8,21 @@
 //! records must stay small enough for multi-million-entry logs; solvers that
 //! need an AST re-parse the one statement they rewrite.
 //!
-//! Parsing is embarrassingly parallel and runs on a scoped thread pool.
+//! Parsing is embarrassingly parallel and runs on a scoped thread pool. Two
+//! things keep the hot path cheap and the result deterministic:
+//!
+//! * each worker memoizes fingerprint → id locally, so the shared
+//!   [`TemplateStore`] lock is only taken on a worker's *first* sight of a
+//!   template, not once per record;
+//! * after the join, template ids are renumbered canonically — id order =
+//!   first appearance in record order — so the ids (which flow into pattern
+//!   keys, marks, and instance identities) are identical for every thread
+//!   count.
 
+use crate::shard::resolve_threads;
 use crate::store::{TemplateId, TemplateStore};
-use sqlog_log::QueryLog;
-use sqlog_skeleton::{primary_table, OutputColumns, PredicateProfile, QueryTemplate};
+use sqlog_log::{LogView, QueryLog};
+use sqlog_skeleton::{primary_table, Fingerprint, OutputColumns, PredicateProfile, QueryTemplate};
 use sqlog_sql::{parse_statements, Statement, StatementKind};
 use std::collections::HashMap;
 
@@ -66,7 +76,12 @@ enum Outcome {
     Error,
 }
 
-fn parse_one(store: &TemplateStore, entry_idx: u32, sql: &str) -> Outcome {
+fn parse_one(
+    store: &TemplateStore,
+    memo: &mut HashMap<Fingerprint, TemplateId>,
+    entry_idx: u32,
+    sql: &str,
+) -> Outcome {
     match parse_statements(sql) {
         Ok(stmts) => {
             // A log row occasionally contains a `;`-separated batch; the
@@ -74,7 +89,16 @@ fn parse_one(store: &TemplateStore, entry_idx: u32, sql: &str) -> Outcome {
             // the one-row-one-query model of the SkyServer log.
             for stmt in &stmts {
                 if let Statement::Select(q) = stmt {
-                    let template = store.intern(QueryTemplate::of_query(q));
+                    let tpl = QueryTemplate::of_query(q);
+                    let template = match memo.get(&tpl.fingerprint) {
+                        Some(&id) => id,
+                        None => {
+                            let fp = tpl.fingerprint;
+                            let id = store.intern(tpl);
+                            memo.insert(fp, id);
+                            id
+                        }
+                    };
                     return Outcome::Select(Box::new(ParsedRecord {
                         entry_idx,
                         template,
@@ -93,31 +117,68 @@ fn parse_one(store: &TemplateStore, entry_idx: u32, sql: &str) -> Outcome {
     }
 }
 
-/// Parses a pre-cleaned log into records, interning templates in `store`.
-///
-/// `threads == 0` uses one thread per available core.
-pub fn parse_log(log: &QueryLog, store: &TemplateStore, threads: usize) -> ParsedLog {
-    let n = log.len();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads
+/// Renumbers template ids to first-appearance-in-record-order, making them
+/// independent of parser-thread interleaving. Ids below `preexisting` (from
+/// before this parse) keep their numbers.
+fn canonicalize_templates(store: &TemplateStore, preexisting: usize, records: &mut [ParsedRecord]) {
+    let total = store.len();
+    if total == preexisting {
+        return;
     }
-    .clamp(1, 64);
+    let mut remap: Vec<u32> = vec![u32::MAX; total];
+    let mut order: Vec<TemplateId> = (0..preexisting as u32).map(TemplateId).collect();
+    for (i, slot) in remap.iter_mut().enumerate().take(preexisting) {
+        *slot = i as u32;
+    }
+    for rec in records.iter() {
+        let old = rec.template.0 as usize;
+        if remap[old] == u32::MAX {
+            remap[old] = order.len() as u32;
+            order.push(rec.template);
+        }
+    }
+    // Templates interned but referenced by no record (cannot happen today —
+    // every intern comes from a surviving SELECT) keep relative order.
+    for (old, slot) in remap.iter_mut().enumerate().skip(preexisting) {
+        if *slot == u32::MAX {
+            *slot = order.len() as u32;
+            order.push(TemplateId(old as u32));
+        }
+    }
+    if order
+        .iter()
+        .enumerate()
+        .all(|(new, id)| id.0 as usize == new)
+    {
+        return; // Already canonical (the single-threaded case).
+    }
+    store.renumber(&order);
+    for rec in records.iter_mut() {
+        rec.template = TemplateId(remap[rec.template.0 as usize]);
+    }
+}
 
-    let chunk = n.div_ceil(threads.max(1)).max(1);
+/// Parses a log view into records, interning templates in `store`.
+///
+/// `threads == 0` uses one thread per available core. Records, statistics,
+/// and template ids are identical for every thread count (ids are
+/// canonicalized to first appearance in record order).
+pub fn parse_view(view: &LogView<'_>, store: &TemplateStore, threads: usize) -> ParsedLog {
+    let n = view.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    let preexisting = store.len();
+
+    let chunk = n.div_ceil(threads).max(1);
     let mut results: Vec<Vec<Outcome>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = log
-            .entries
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, entries)| {
-                s.spawn(move |_| {
-                    entries
-                        .iter()
-                        .enumerate()
-                        .map(|(i, e)| parse_one(store, (ci * chunk + i) as u32, &e.statement))
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                s.spawn(move || {
+                    let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
+                    (start..end)
+                        .map(|i| parse_one(store, &mut memo, i as u32, &view.entry(i).statement))
                         .collect::<Vec<_>>()
                 })
             })
@@ -125,8 +186,7 @@ pub fn parse_log(log: &QueryLog, store: &TemplateStore, threads: usize) -> Parse
         for h in handles {
             results.push(h.join().expect("parser thread panicked"));
         }
-    })
-    .expect("parser scope panicked");
+    });
 
     let mut stats = ParseStats {
         total: n,
@@ -145,7 +205,16 @@ pub fn parse_log(log: &QueryLog, store: &TemplateStore, threads: usize) -> Parse
             Outcome::Error => stats.errors += 1,
         }
     }
+    canonicalize_templates(store, preexisting, &mut records);
     ParsedLog { records, stats }
+}
+
+/// Parses a pre-cleaned log into records, interning templates in `store`.
+///
+/// Compatibility wrapper around [`parse_view`] for owned logs.
+/// `threads == 0` uses one thread per available core.
+pub fn parse_log(log: &QueryLog, store: &TemplateStore, threads: usize) -> ParsedLog {
+    parse_view(&LogView::identity(log), store, threads)
 }
 
 #[cfg(test)]
@@ -198,17 +267,40 @@ mod tests {
         let log = log(&refs);
         let store1 = TemplateStore::new();
         let seq = parse_log(&log, &store1, 1);
-        let store2 = TemplateStore::new();
-        let par = parse_log(&log, &store2, 8);
-        assert_eq!(seq.stats, par.stats);
-        assert_eq!(seq.records.len(), par.records.len());
-        for (a, b) in seq.records.iter().zip(&par.records) {
-            assert_eq!(a.entry_idx, b.entry_idx);
-            // Template ids may differ across stores; compare fingerprints.
-            assert_eq!(
-                store1.get(a.template).fingerprint,
-                store2.get(b.template).fingerprint
+        for threads in [2, 3, 8] {
+            let store2 = TemplateStore::new();
+            let par = parse_log(&log, &store2, threads);
+            assert_eq!(seq.stats, par.stats);
+            // Canonical renumbering makes the ids — not just the
+            // fingerprints — identical across thread counts.
+            assert_eq!(seq.records, par.records, "threads {threads}");
+            for (a, b) in seq.records.iter().zip(&par.records) {
+                assert_eq!(
+                    store1.with(a.template, |t| t.fingerprint),
+                    store2.with(b.template, |t| t.fingerprint)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn template_ids_are_first_appearance_ordered() {
+        let statements: Vec<String> = (0..200)
+            .map(|i| format!("SELECT c{} FROM t WHERE x = {}", (199 - i) % 5, i))
+            .collect();
+        let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+        let log = log(&refs);
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 8);
+        let mut seen_max = 0u32;
+        for rec in &parsed.records {
+            assert!(
+                rec.template.0 <= seen_max,
+                "template {} appears before all of 0..{}",
+                rec.template.0,
+                seen_max
             );
+            seen_max = seen_max.max(rec.template.0 + 1);
         }
     }
 

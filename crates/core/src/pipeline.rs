@@ -7,19 +7,21 @@
 //! ```
 
 use crate::config::PipelineConfig;
-use crate::dedup::dedup;
+use crate::dedup::dedup_view;
 use crate::detect::{
     detect_builtin, sort_instances, AntipatternClass, AntipatternInstance, DetectCtx,
 };
 use crate::ext::ExtensionRegistry;
-use crate::mine::{build_sessions, mine_patterns, MinedPatterns};
-use crate::parse_step::parse_log;
+use crate::mine::{build_sessions_view, mine_patterns_sharded, MinedPatterns};
+use crate::parse_step::parse_view;
+use crate::shard::{balance_chunks, resolve_threads};
 use crate::solve::apply_solutions;
-use crate::stats::{ClassCounts, Statistics};
+use crate::stats::{ClassCounts, StageTimings, Statistics};
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_catalog::Catalog;
-use sqlog_log::QueryLog;
+use sqlog_log::{LogView, QueryLog};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 /// The configured pipeline.
 pub struct Pipeline<'a> {
@@ -94,40 +96,96 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Runs the pipeline over a log.
+    ///
+    /// Every stage up to solving shards its work over
+    /// [`PipelineConfig::parallelism`] worker threads — by user (dedup,
+    /// sessions), by record chunk (parse), or by session range (mining,
+    /// detection) — and merges shard outputs deterministically, so the
+    /// result is identical for every thread count.
     pub fn run(&self, original: &QueryLog) -> PipelineResult {
-        // Step 1: delete duplicates (§5.2).
-        let mut sorted;
-        let input = if original.is_time_sorted() {
-            original
-        } else {
-            sorted = original.clone();
-            sorted.sort_by_time();
-            &sorted
-        };
-        let (pre_clean, dedup_stats) = dedup(input, self.config.duplicate_threshold_ms);
+        let t_total = Instant::now();
+        let threads = resolve_threads(self.config.parallelism);
+        let ms = |t: Instant| t.elapsed().as_millis() as u64;
 
-        // Step 2: parse statements (§5.3).
+        // Step 0: order by time. A sorted *view* (index permutation) over
+        // the original entries — the log itself is never cloned.
+        let t = Instant::now();
+        let input = LogView::sorted_by_time(original);
+        let sort_ms = ms(t);
+
+        // Step 1: delete duplicates (§5.2), sharded by user.
+        let t = Instant::now();
+        let (pre_clean, dedup_stats) =
+            dedup_view(&input, self.config.duplicate_threshold_ms, threads);
+        let dedup_ms = ms(t);
+
+        // Step 2: parse statements (§5.3); template ids are canonicalized
+        // to first-appearance order after the parallel phase.
+        let t = Instant::now();
         let store = TemplateStore::new();
-        let parsed = parse_log(&pre_clean, &store, self.config.parse_threads);
+        let parsed = parse_view(&pre_clean, &store, threads);
+        let parse_ms = ms(t);
 
         // Step 3: sessions + pattern mining (§4.1, Defs. 7–10).
-        let sessions = build_sessions(&pre_clean, &parsed.records, self.config.session_gap_ms);
-        let mined = mine_patterns(&sessions, &parsed.records, &self.config);
+        let t = Instant::now();
+        let sessions = build_sessions_view(
+            &pre_clean,
+            &parsed.records,
+            self.config.session_gap_ms,
+            threads,
+        );
+        let sessions_ms = ms(t);
+        let t = Instant::now();
+        let mined = mine_patterns_sharded(&sessions, &parsed.records, &self.config, threads);
+        let mine_ms = ms(t);
 
-        // Step 4: antipattern detection (Defs. 11–16 + extensions).
-        let ctx = DetectCtx {
-            log: &pre_clean,
-            records: &parsed.records,
-            sessions: &sessions,
-            store: &store,
-            catalog: self.catalog,
-            config: &self.config,
+        // Step 4: antipattern detection (Defs. 11–16 + extensions),
+        // sharded by contiguous session ranges. Detectors are session-local
+        // (see `DetectCtx`), so shard outputs concatenate cleanly; the final
+        // total-order sort makes the result independent of shard boundaries.
+        let t = Instant::now();
+        let detect_shard = |sess: &[crate::mine::Session]| {
+            let ctx = DetectCtx {
+                log: &pre_clean,
+                records: &parsed.records,
+                sessions: sess,
+                store: &store,
+                catalog: self.catalog,
+                config: &self.config,
+            };
+            let mut out = detect_builtin(&ctx);
+            for detector in &self.extensions.detectors {
+                out.extend(detector.detect(&ctx));
+            }
+            out
         };
-        let mut instances = detect_builtin(&ctx);
-        for detector in &self.extensions.detectors {
-            instances.extend(detector.detect(&ctx));
-        }
+        let mut instances = if threads <= 1 || sessions.sessions.len() < 2 {
+            detect_shard(&sessions.sessions)
+        } else {
+            let weights: Vec<u64> = sessions
+                .sessions
+                .iter()
+                .map(|s| s.records.len() as u64)
+                .collect();
+            let ranges = balance_chunks(&weights, threads);
+            let shards: Vec<Vec<AntipatternInstance>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let detect_shard = &detect_shard;
+                        let sess = &sessions.sessions[r];
+                        scope.spawn(move || detect_shard(sess))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("detect worker panicked"))
+                    .collect()
+            });
+            shards.concat()
+        };
         sort_instances(&mut instances);
+        let detect_ms = ms(t);
 
         // Pattern marks.
         let mut marks: HashMap<Vec<TemplateId>, AntipatternClass> = HashMap::new();
@@ -139,9 +197,20 @@ impl<'a> Pipeline<'a> {
             }
         }
 
-        // Step 5: solve (§5.5).
+        // Step 5: solve (§5.5). Sequential: first-wins overlap resolution
+        // is inherently ordered across the whole instance list.
+        let t = Instant::now();
+        let ctx = DetectCtx {
+            log: &pre_clean,
+            records: &parsed.records,
+            sessions: &sessions.sessions,
+            store: &store,
+            catalog: self.catalog,
+            config: &self.config,
+        };
         let solvers = self.extensions.solver_set();
         let outcome = apply_solutions(&ctx, &instances, &solvers);
+        let solve_ms = ms(t);
 
         // Statistics.
         let mut per_class: BTreeMap<String, ClassCounts> = BTreeMap::new();
@@ -185,6 +254,16 @@ impl<'a> Pipeline<'a> {
             solved_queries: outcome.solved_queries,
             rewritten_statements: outcome.rewritten_statements,
             skipped_overlaps: outcome.skipped_overlaps,
+            timings: StageTimings {
+                sort_ms,
+                dedup_ms,
+                parse_ms,
+                sessions_ms,
+                mine_ms,
+                detect_ms,
+                solve_ms,
+                total_ms: ms(t_total),
+            },
         };
 
         let instance_entry_ids = instances
@@ -192,7 +271,7 @@ impl<'a> Pipeline<'a> {
             .map(|inst| {
                 inst.records
                     .iter()
-                    .map(|&ri| pre_clean.entries[parsed.records[ri].entry_idx as usize].id)
+                    .map(|&ri| pre_clean.entry(parsed.records[ri].entry_idx as usize).id)
                     .collect()
             })
             .collect();

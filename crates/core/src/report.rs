@@ -153,6 +153,21 @@ pub fn render_statistics(s: &Statistics) -> String {
         "Rewritten statements emitted",
         s.rewritten_statements.to_string(),
     );
+    let t = &s.timings;
+    row(
+        "Stage timings (ms)",
+        format!(
+            "sort {} | dedup {} | parse {} | sessions {} | mine {} | detect {} | solve {} | total {}",
+            t.sort_ms,
+            t.dedup_ms,
+            t.parse_ms,
+            t.sessions_ms,
+            t.mine_ms,
+            t.detect_ms,
+            t.solve_ms,
+            t.total_ms
+        ),
+    );
     out
 }
 

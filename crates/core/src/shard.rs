@@ -1,0 +1,126 @@
+//! Shared helpers for the per-user sharded pipeline stages.
+//!
+//! Every parallel stage follows the same recipe: split its work items
+//! (users, sessions) into **contiguous** ranges of roughly equal total
+//! weight, process each range on its own scoped thread, and merge the
+//! per-range results in range order. Contiguity is what makes the merge
+//! deterministic — concatenating range outputs reproduces the sequential
+//! processing order, so the merged result is independent of the thread
+//! count.
+
+use std::ops::Range;
+
+/// Resolves a `parallelism` knob to a concrete thread count.
+///
+/// `0` means one thread per available core; the result is clamped to
+/// `1..=64`.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    }
+    .clamp(1, 64)
+}
+
+/// Splits `weights.len()` items into at most `parts` contiguous, non-empty
+/// ranges of roughly equal total weight (prefix-greedy).
+///
+/// Returns an empty vector for an empty input; otherwise the ranges cover
+/// `0..weights.len()` exactly, in order.
+pub fn balance_chunks(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let total: u64 = weights.iter().sum();
+    let mut out: Vec<Range<usize>> = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut used = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let ranges_left = parts - out.len();
+        if ranges_left > 1 {
+            let target = (total - used) / ranges_left as u64;
+            // Close the current range once it reaches its fair share — or
+            // when the remaining items are exactly enough to give each
+            // remaining range one item.
+            let must_close = n - (i + 1) == ranges_left - 1;
+            if must_close || acc >= target.max(1) {
+                out.push(start..i + 1);
+                used += acc;
+                acc = 0;
+                start = i + 1;
+            }
+        }
+    }
+    out.push(start..n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next);
+            assert!(r.end > r.start, "empty range");
+            next = r.end;
+        }
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn single_part_is_whole() {
+        assert_eq!(balance_chunks(&[1, 2, 3], 1), vec![0..3]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_ranges() {
+        assert!(balance_chunks(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn more_parts_than_items_degrades_to_singletons() {
+        let r = balance_chunks(&[5, 5], 8);
+        covers(&r, 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn skewed_weights_balance() {
+        // One heavy item up front should not starve later ranges.
+        let weights = [100, 1, 1, 1, 1, 1, 1, 1];
+        let r = balance_chunks(&weights, 4);
+        covers(&r, weights.len());
+        assert_eq!(r[0], 0..1);
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let weights = vec![1u64; 100];
+        let r = balance_chunks(&weights, 4);
+        covers(&r, 100);
+        assert_eq!(r.len(), 4);
+        for chunk in &r {
+            assert!(chunk.len() >= 20, "{chunk:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_do_not_panic() {
+        let r = balance_chunks(&[0, 0, 0, 0], 3);
+        covers(&r, 4);
+    }
+
+    #[test]
+    fn explicit_thread_counts_pass_through() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1000), 64);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

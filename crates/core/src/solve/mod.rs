@@ -84,7 +84,7 @@ pub fn apply_solutions(
     let mut rw_iter = rewrites.into_iter().peekable();
 
     for (ri, rec) in ctx.records.iter().enumerate() {
-        let entry = &ctx.log.entries[rec.entry_idx as usize];
+        let entry = ctx.log.entry(rec.entry_idx as usize);
         while let Some((head, _)) = rw_iter.peek() {
             if *head == ri {
                 let (_, statements) = rw_iter.next().expect("peeked");
@@ -143,7 +143,7 @@ mod tests {
     use crate::parse_step::parse_log;
     use crate::store::TemplateStore;
     use sqlog_catalog::skyserver_catalog;
-    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+    use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
 
     fn run(rows: &[&str]) -> SolveOutcome {
         let log = QueryLog::from_entries(
@@ -159,10 +159,11 @@ mod tests {
         let sessions = build_sessions(&log, &parsed.records, 300_000);
         let catalog = skyserver_catalog();
         let config = PipelineConfig::default();
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,

@@ -48,7 +48,7 @@ impl Solver for SncSolver {
         if inst.class != AntipatternClass::Snc {
             return None;
         }
-        let entry = &ctx.log.entries[ctx.records[*inst.records.first()?].entry_idx as usize];
+        let entry = ctx.record_entry(*inst.records.first()?);
         let Statement::Select(mut q) = parse_statement(&entry.statement).ok()? else {
             return None;
         };
@@ -68,7 +68,7 @@ mod tests {
     use crate::parse_step::parse_log;
     use crate::store::TemplateStore;
     use sqlog_catalog::skyserver_catalog;
-    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+    use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
 
     fn solve(sql: &str) -> String {
         let log = QueryLog::from_entries(vec![
@@ -79,10 +79,11 @@ mod tests {
         let sessions = build_sessions(&log, &parsed.records, 300_000);
         let catalog = skyserver_catalog();
         let config = PipelineConfig::default();
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,

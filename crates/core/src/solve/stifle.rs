@@ -18,7 +18,7 @@ pub struct StifleSolver;
 
 /// Parses the statement behind record `ri` and returns its query.
 fn query_of(ctx: &DetectCtx<'_>, ri: usize) -> Option<Query> {
-    let entry = &ctx.log.entries[ctx.records[ri].entry_idx as usize];
+    let entry = ctx.record_entry(ri);
     match parse_statement(&entry.statement).ok()? {
         Statement::Select(q) => Some(*q),
         Statement::Other(_) => None,
@@ -257,7 +257,7 @@ mod tests {
     use crate::parse_step::parse_log;
     use crate::store::TemplateStore;
     use sqlog_catalog::skyserver_catalog;
-    use sqlog_log::{LogEntry, QueryLog, Timestamp};
+    use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
 
     fn solve(rows: &[&str]) -> Vec<Vec<String>> {
         let log = QueryLog::from_entries(
@@ -273,10 +273,11 @@ mod tests {
         let sessions = build_sessions(&log, &parsed.records, 300_000);
         let catalog = skyserver_catalog();
         let config = PipelineConfig::default();
+        let view = LogView::identity(&log);
         let ctx = DetectCtx {
-            log: &log,
+            log: &view,
             records: &parsed.records,
-            sessions: &sessions,
+            sessions: &sessions.sessions,
             store: &store,
             catalog: &catalog,
             config: &config,

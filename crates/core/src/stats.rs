@@ -15,6 +15,31 @@ pub struct ClassCounts {
     pub queries: usize,
 }
 
+/// Wall-clock spent in each pipeline stage, in milliseconds.
+///
+/// Timings are measurement noise, not results: two runs that clean a log
+/// identically will still differ here. Comparisons of pipeline *output*
+/// should go through [`Statistics::with_zeroed_timings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Sorting the input by timestamp (zero when already sorted).
+    pub sort_ms: u64,
+    /// Duplicate elimination (§5.2).
+    pub dedup_ms: u64,
+    /// Parsing + template interning (§5.3).
+    pub parse_ms: u64,
+    /// Session building (Def. 7).
+    pub sessions_ms: u64,
+    /// Pattern mining (Defs. 8–10).
+    pub mine_ms: u64,
+    /// Antipattern detection (Defs. 11–16 + extensions).
+    pub detect_ms: u64,
+    /// Solving / rewriting (§5.5).
+    pub solve_ms: u64,
+    /// End-to-end pipeline time.
+    pub total_ms: u64,
+}
+
 /// The overall result statistics (Table 5 of the paper).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Statistics {
@@ -48,9 +73,20 @@ pub struct Statistics {
     pub rewritten_statements: usize,
     /// Solvable instances skipped due to overlap with earlier instances.
     pub skipped_overlaps: usize,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
 }
 
 impl Statistics {
+    /// A copy with timings zeroed — the deterministic part of the result,
+    /// suitable for equality checks across thread counts.
+    pub fn with_zeroed_timings(&self) -> Statistics {
+        Statistics {
+            timings: StageTimings::default(),
+            ..self.clone()
+        }
+    }
+
     /// Percentage of the original size.
     pub fn pct_of_original(&self, n: usize) -> f64 {
         if self.original_size == 0 {

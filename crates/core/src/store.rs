@@ -4,9 +4,9 @@
 //! templates by fingerprint and hands out dense [`TemplateId`]s that the
 //! miner and detectors use as cheap keys.
 
-use parking_lot::RwLock;
 use sqlog_skeleton::{Fingerprint, QueryTemplate};
 use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Dense identifier of an interned template.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,13 +30,21 @@ impl TemplateStore {
         TemplateStore::default()
     }
 
+    fn read(&self) -> RwLockReadGuard<'_, StoreInner> {
+        self.inner.read().expect("template store lock poisoned")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, StoreInner> {
+        self.inner.write().expect("template store lock poisoned")
+    }
+
     /// Interns a template, returning its id (existing or fresh).
     pub fn intern(&self, template: QueryTemplate) -> TemplateId {
         // Fast path: read lock only.
-        if let Some(&id) = self.inner.read().by_fp.get(&template.fingerprint) {
+        if let Some(&id) = self.read().by_fp.get(&template.fingerprint) {
             return id;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.write();
         if let Some(&id) = inner.by_fp.get(&template.fingerprint) {
             return id;
         }
@@ -48,17 +56,47 @@ impl TemplateStore {
 
     /// Returns a clone of the template with the given id.
     pub fn get(&self, id: TemplateId) -> QueryTemplate {
-        self.inner.read().templates[id.0 as usize].clone()
+        self.read().templates[id.0 as usize].clone()
     }
 
     /// Runs `f` with a borrowed template (avoids the clone of [`Self::get`]).
     pub fn with<R>(&self, id: TemplateId, f: impl FnOnce(&QueryTemplate) -> R) -> R {
-        f(&self.inner.read().templates[id.0 as usize])
+        f(&self.read().templates[id.0 as usize])
+    }
+
+    /// Renumbers the interned templates: `order[new]` is the *current* id of
+    /// the template that receives id `new`. `order` must be a permutation of
+    /// all current ids. Outstanding [`TemplateId`]s obtained before the call
+    /// are invalidated — the parse step uses this to make ids canonical
+    /// (first appearance in record order) regardless of how parser threads
+    /// interleaved their interning, and remaps its records in the same pass.
+    pub fn renumber(&self, order: &[TemplateId]) {
+        let mut inner = self.write();
+        assert_eq!(
+            order.len(),
+            inner.templates.len(),
+            "renumber order must cover every template"
+        );
+        let templates: Vec<QueryTemplate> = order
+            .iter()
+            .map(|&TemplateId(old)| inner.templates[old as usize].clone())
+            .collect();
+        inner.by_fp = templates
+            .iter()
+            .enumerate()
+            .map(|(new, t)| (t.fingerprint, TemplateId(new as u32)))
+            .collect();
+        assert_eq!(
+            inner.by_fp.len(),
+            templates.len(),
+            "renumber order must be a permutation"
+        );
+        inner.templates = templates;
     }
 
     /// Number of interned templates.
     pub fn len(&self) -> usize {
-        self.inner.read().templates.len()
+        self.read().templates.len()
     }
 
     /// True when no template is interned.
@@ -93,6 +131,24 @@ mod tests {
         let id = store.intern(tpl("SELECT a FROM t WHERE x = 1"));
         assert_eq!(store.get(id).swc, "x = <num>");
         assert_eq!(store.with(id, |t| t.sfc.clone()), "t");
+    }
+
+    #[test]
+    fn renumber_permutes_ids() {
+        let store = TemplateStore::new();
+        let a = store.intern(tpl("SELECT a FROM t WHERE x = 1"));
+        let b = store.intern(tpl("SELECT b FROM t WHERE x = 1"));
+        let fa = store.with(a, |t| t.fingerprint);
+        let fb = store.with(b, |t| t.fingerprint);
+        store.renumber(&[b, a]);
+        // The template that was `b` now has id 0, and lookups agree.
+        assert_eq!(store.with(TemplateId(0), |t| t.fingerprint), fb);
+        assert_eq!(store.with(TemplateId(1), |t| t.fingerprint), fa);
+        assert_eq!(
+            store.intern(tpl("SELECT b FROM t WHERE x = 9")),
+            TemplateId(0)
+        );
+        assert_eq!(store.len(), 2);
     }
 
     #[test]

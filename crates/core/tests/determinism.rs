@@ -1,0 +1,85 @@
+//! Sharded execution is observably identical to sequential execution.
+//!
+//! The pipeline shards dedup, parsing, session building, mining, and
+//! detection across worker threads (`PipelineConfig::parallelism`). These
+//! tests pin the contract that makes that safe: for any thread count, every
+//! output — statistics, instances, marks, clean/removal logs, mined
+//! patterns — is exactly the same as a sequential run.
+
+use sqlog_catalog::skyserver_catalog;
+use sqlog_core::{Pipeline, PipelineConfig, PipelineResult};
+use sqlog_gen::{generate, GenConfig};
+use sqlog_log::QueryLog;
+use std::collections::HashSet;
+
+fn run_with(log: &QueryLog, threads: usize) -> PipelineResult {
+    let catalog = skyserver_catalog();
+    let cfg = PipelineConfig {
+        parallelism: threads,
+        ..PipelineConfig::default()
+    };
+    Pipeline::new(&catalog).with_config(cfg).run(log)
+}
+
+fn assert_identical(a: &PipelineResult, b: &PipelineResult, label: &str) {
+    // Timings are wall-clock noise; everything else must match exactly.
+    assert_eq!(
+        a.stats.with_zeroed_timings(),
+        b.stats.with_zeroed_timings(),
+        "stats differ: {label}"
+    );
+    assert_eq!(a.instances, b.instances, "instances differ: {label}");
+    assert_eq!(
+        a.instance_entry_ids, b.instance_entry_ids,
+        "entry ids differ: {label}"
+    );
+    assert_eq!(a.marks, b.marks, "marks differ: {label}");
+    assert_eq!(a.clean_log, b.clean_log, "clean log differs: {label}");
+    assert_eq!(a.removal_log, b.removal_log, "removal log differs: {label}");
+    assert_eq!(
+        a.mined.patterns, b.mined.patterns,
+        "mined patterns differ: {label}"
+    );
+    assert_eq!(a.mined.total_queries, b.mined.total_queries);
+    assert_eq!(a.store.len(), b.store.len(), "store size differs: {label}");
+}
+
+#[test]
+fn sharded_pipeline_is_identical_for_all_thread_counts() {
+    let log = generate(&GenConfig::with_scale(6_000, 4242));
+    // The generator interleaves concurrent users — the interesting case for
+    // user-sharded stages.
+    let users: HashSet<&str> = log.entries.iter().map(|e| e.user_key()).collect();
+    assert!(users.len() > 1, "workload should interleave users");
+
+    let sequential = run_with(&log, 1);
+    for threads in [2usize, 8] {
+        let sharded = run_with(&log, threads);
+        assert_identical(&sequential, &sharded, &format!("threads={threads}"));
+    }
+    // parallelism = 0 (auto) must agree too, whatever the core count.
+    let auto = run_with(&log, 0);
+    assert_identical(&sequential, &auto, "threads=auto");
+}
+
+#[test]
+fn unsorted_input_is_sorted_identically_under_sharding() {
+    let mut log = generate(&GenConfig::with_scale(2_000, 777));
+    // Scramble the entry order deterministically; the pipeline must sort a
+    // permutation (not clone the log) and still agree across thread counts.
+    let n = log.entries.len();
+    for i in 0..n / 2 {
+        log.entries.swap(i, n - 1 - i);
+    }
+    assert!(!log.is_time_sorted());
+
+    let sequential = run_with(&log, 1);
+    for threads in [2usize, 8] {
+        let sharded = run_with(&log, threads);
+        assert_identical(
+            &sequential,
+            &sharded,
+            &format!("unsorted, threads={threads}"),
+        );
+    }
+}

@@ -16,8 +16,10 @@ pub mod entry;
 pub mod io;
 pub mod log;
 pub mod time;
+pub mod view;
 
 pub use entry::{GroundTruth, IntentKind, LogEntry};
 pub use io::{read_log, read_log_file, write_log, write_log_file, IoFormatError, LogReader};
 pub use log::QueryLog;
 pub use time::{Timestamp, TimestampParseError};
+pub use view::LogView;

@@ -1,0 +1,191 @@
+//! Zero-copy views over a [`QueryLog`].
+//!
+//! The cleaning pipeline repeatedly needs "the same log, minus some entries
+//! or in a different order" — the time-sorted input, the deduplicated
+//! pre-clean log. Materializing those as fresh [`QueryLog`]s clones every
+//! [`LogEntry`] (and its statement `String`), which dominates the cost of
+//! the early pipeline stages on large logs. A [`LogView`] instead keeps a
+//! borrowed base log plus an optional `u32` index vector: selecting or
+//! reordering entries costs one machine word per entry, never a clone.
+
+use crate::entry::LogEntry;
+use crate::log::QueryLog;
+
+/// A borrowed, possibly filtered/reordered view of a [`QueryLog`].
+///
+/// `idx == None` is the identity view (all entries, base order) — the common
+/// case of an already-sorted input log stays entirely allocation-free.
+#[derive(Debug, Clone)]
+pub struct LogView<'a> {
+    base: &'a QueryLog,
+    idx: Option<Vec<u32>>,
+}
+
+impl<'a> LogView<'a> {
+    /// The identity view: every entry of `base`, in base order.
+    pub fn identity(base: &'a QueryLog) -> Self {
+        LogView { base, idx: None }
+    }
+
+    /// A view selecting `idx[i]`-th base entries, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for `base`.
+    pub fn from_indices(base: &'a QueryLog, idx: Vec<u32>) -> Self {
+        assert!(
+            idx.iter().all(|&i| (i as usize) < base.len()),
+            "view index out of bounds"
+        );
+        LogView {
+            base,
+            idx: Some(idx),
+        }
+    }
+
+    /// The underlying log this view borrows from.
+    pub fn base(&self) -> &'a QueryLog {
+        self.base
+    }
+
+    /// Number of entries visible through the view.
+    pub fn len(&self) -> usize {
+        match &self.idx {
+            Some(idx) => idx.len(),
+            None => self.base.len(),
+        }
+    }
+
+    /// True when the view selects no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th entry of the view.
+    pub fn entry(&self, i: usize) -> &'a LogEntry {
+        match &self.idx {
+            Some(idx) => &self.base.entries[idx[i] as usize],
+            None => &self.base.entries[i],
+        }
+    }
+
+    /// Maps a view position to the index of that entry in the base log.
+    pub fn base_index(&self, i: usize) -> usize {
+        match &self.idx {
+            Some(idx) => idx[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Iterates the visible entries in view order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a LogEntry> + '_ {
+        (0..self.len()).map(move |i| self.entry(i))
+    }
+
+    /// Restricts this view to the positions in `keep` (view positions, in
+    /// the order given). Composes index vectors; no entries are cloned.
+    pub fn select(&self, keep: Vec<u32>) -> LogView<'a> {
+        let idx = match &self.idx {
+            Some(idx) => keep.into_iter().map(|i| idx[i as usize]).collect(),
+            None => {
+                assert!(
+                    keep.iter().all(|&i| (i as usize) < self.base.len()),
+                    "view index out of bounds"
+                );
+                keep
+            }
+        };
+        LogView {
+            base: self.base,
+            idx: Some(idx),
+        }
+    }
+
+    /// True if the visible entries are sorted by `(timestamp, id)`.
+    pub fn is_time_sorted(&self) -> bool {
+        (1..self.len()).all(|i| {
+            let (a, b) = (self.entry(i - 1), self.entry(i));
+            (a.timestamp, a.id) <= (b.timestamp, b.id)
+        })
+    }
+
+    /// A view of `base` sorted by `(timestamp, id)`. When the base is
+    /// already sorted this is the identity view (no index vector at all);
+    /// otherwise only a permutation is sorted — entries are not cloned.
+    pub fn sorted_by_time(base: &'a QueryLog) -> Self {
+        if base.is_time_sorted() {
+            return LogView::identity(base);
+        }
+        let mut perm: Vec<u32> = (0..base.len() as u32).collect();
+        perm.sort_by_key(|&i| {
+            let e = &base.entries[i as usize];
+            (e.timestamp, e.id)
+        });
+        LogView {
+            base,
+            idx: Some(perm),
+        }
+    }
+
+    /// Materializes the view into an owned [`QueryLog`] (clones entries).
+    pub fn to_log(&self) -> QueryLog {
+        QueryLog::from_entries(self.iter().cloned().collect())
+    }
+}
+
+impl<'a> From<&'a QueryLog> for LogView<'a> {
+    fn from(base: &'a QueryLog) -> Self {
+        LogView::identity(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn entry(id: u64, t: i64) -> LogEntry {
+        LogEntry::minimal(id, format!("SELECT {id}"), Timestamp::from_secs(t))
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let log = QueryLog::from_entries(vec![entry(0, 0), entry(1, 1)]);
+        let v = LogView::identity(&log);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.entry(1).id, 1);
+        assert_eq!(v.base_index(1), 1);
+        assert!(v.is_time_sorted());
+        assert_eq!(v.to_log(), log);
+    }
+
+    #[test]
+    fn select_composes_indices() {
+        let log = QueryLog::from_entries(vec![entry(0, 0), entry(1, 1), entry(2, 2)]);
+        let v = LogView::from_indices(&log, vec![2, 0, 1]);
+        assert_eq!(v.entry(0).id, 2);
+        let w = v.select(vec![1, 2]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.entry(0).id, 0);
+        assert_eq!(w.entry(1).id, 1);
+        assert_eq!(w.base_index(0), 0);
+    }
+
+    #[test]
+    fn sorted_view_orders_without_cloning_base() {
+        let log = QueryLog::from_entries(vec![entry(1, 5), entry(0, 3), entry(2, 5)]);
+        let v = LogView::sorted_by_time(&log);
+        assert!(v.is_time_sorted());
+        let ids: Vec<_> = v.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // The base log itself is untouched.
+        assert_eq!(log.entries[0].id, 1);
+    }
+
+    #[test]
+    fn sorted_view_of_sorted_log_is_identity() {
+        let log = QueryLog::from_entries(vec![entry(0, 0), entry(1, 1)]);
+        let v = LogView::sorted_by_time(&log);
+        assert!(v.idx.is_none());
+    }
+}

@@ -26,21 +26,27 @@ impl Detector for ImplicitColumnsDetector {
 
     fn detect(&self, ctx: &DetectCtx<'_>) -> Vec<AntipatternInstance> {
         let mut out = Vec::new();
-        for (ri, rec) in ctx.records.iter().enumerate() {
-            // Only solvable when the table (and thus the column list) is
-            // known to the catalog.
-            let solvable = rec
-                .primary_table
-                .as_deref()
-                .is_some_and(|t| ctx.catalog.table(t).is_some());
-            if rec.output.wildcard && rec.output.names.is_empty() {
-                out.push(AntipatternInstance {
-                    class: AntipatternClass::Custom("ImplicitColumns".into()),
-                    records: vec![ri],
-                    identity: vec![rec.template],
-                    marker_keys: vec![vec![rec.template]],
-                    solvable,
-                });
+        // Session-local scan, as the `DetectCtx` contract requires: the
+        // pipeline shards detection by session range, so iterating
+        // `ctx.records` directly would double-count across shards.
+        for session in ctx.sessions {
+            for &ri in &session.records {
+                let rec = &ctx.records[ri];
+                // Only solvable when the table (and thus the column list)
+                // is known to the catalog.
+                let solvable = rec
+                    .primary_table
+                    .as_deref()
+                    .is_some_and(|t| ctx.catalog.table(t).is_some());
+                if rec.output.wildcard && rec.output.names.is_empty() {
+                    out.push(AntipatternInstance {
+                        class: AntipatternClass::Custom("ImplicitColumns".into()),
+                        records: vec![ri],
+                        identity: vec![rec.template],
+                        marker_keys: vec![vec![rec.template]],
+                        solvable,
+                    });
+                }
             }
         }
         out
@@ -59,7 +65,7 @@ impl Solver for ImplicitColumnsSolver {
         let ri = *inst.records.first()?;
         let rec = &ctx.records[ri];
         let table = ctx.catalog.table(rec.primary_table.as_deref()?)?;
-        let entry = &ctx.log.entries[rec.entry_idx as usize];
+        let entry = ctx.log.entry(rec.entry_idx as usize);
         let Statement::Select(mut q) = parse_statement(&entry.statement).ok()? else {
             return None;
         };

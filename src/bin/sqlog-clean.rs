@@ -8,7 +8,7 @@
 //! sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]
 //!             [--schema SCHEMA.txt]
 //!             [--threshold-ms N | --threshold-unrestricted]
-//!             [--session-gap-ms N] [--no-key-axiom] [--top K]
+//!             [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]
 //! ```
 //!
 //! The built-in SkyServer-like schema provides the key metadata for
@@ -34,7 +34,7 @@ struct Args {
 
 const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
     [--schema SCHEMA.txt] [--threshold-ms N | --threshold-unrestricted]\n\
-    [--session-gap-ms N] [--no-key-axiom] [--top K]";
+    [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
@@ -67,6 +67,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --session-gap-ms: {e}"))?;
             }
             "--no-key-axiom" => config.require_key_attribute = false,
+            "--parallelism" => {
+                config.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|e| format!("bad --parallelism: {e}"))?;
+            }
             "--top" => {
                 top = value("--top")?
                     .parse()

@@ -21,7 +21,8 @@ fn file_round_trip_preserves_pipeline_results() {
     let catalog = skyserver_catalog();
     let a = Pipeline::new(&catalog).run(&log);
     let b = Pipeline::new(&catalog).run(&reloaded);
-    assert_eq!(a.stats, b.stats);
+    // Timings are wall-clock noise; everything else must match exactly.
+    assert_eq!(a.stats.with_zeroed_timings(), b.stats.with_zeroed_timings());
     assert_eq!(a.clean_log, b.clean_log);
 }
 

@@ -1,0 +1,329 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A real measuring harness (warm-up, repeated samples, mean/min reporting,
+//! throughput) behind criterion's `benchmark_group` / `Bencher` API, minus
+//! the statistical machinery and HTML reports. Benchmark ids can be filtered
+//! with positional CLI args, as under `cargo bench -- <filter>`.
+//!
+//! Set `SQLOG_BENCH_JSON=<path>` to append one JSON line per benchmark:
+//! `{"id": ..., "mean_ns": ..., "min_ns": ..., "throughput_per_sec": ...}`.
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SampleCfg {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for SampleCfg {
+    fn default() -> Self {
+        SampleCfg {
+            sample_size: 20,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args are substring filters; flags (`--bench` etc. from
+        // cargo) are ignored.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            cfg: SampleCfg::default(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = SampleCfg::default();
+        run_benchmark(self, id, cfg, None, f);
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    cfg: SampleCfg,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full_id, self.cfg, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    id: &str,
+    cfg: SampleCfg,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.selected(id) {
+        return;
+    }
+    let mut bencher = Bencher { cfg, result: None };
+    f(&mut bencher);
+    let Some(m) = bencher.result else {
+        eprintln!("{id:<50} (no measurement recorded)");
+        return;
+    };
+    let per_sec = throughput.map(|t| {
+        let units = match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) | Throughput::BytesDecimal(n) => n,
+        };
+        units as f64 / (m.mean_ns / 1e9)
+    });
+    match per_sec {
+        Some(rate) => println!(
+            "{id:<50} time: [{:>12} mean, {:>12} min]   thrpt: {}/s",
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns),
+            fmt_rate(rate)
+        ),
+        None => println!(
+            "{id:<50} time: [{:>12} mean, {:>12} min]",
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns)
+        ),
+    }
+    if let Ok(path) = std::env::var("SQLOG_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let thrpt = per_sec
+                .map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "null".to_string());
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{id}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"throughput_per_sec\": {thrpt}}}",
+                m.mean_ns, m.min_ns
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.4} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K", rate / 1e3)
+    } else {
+        format!("{rate:.2}")
+    }
+}
+
+pub struct Bencher {
+    cfg: SampleCfg,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Split the measurement budget into samples of >= 1 iteration.
+        let budget_ns = self.cfg.measurement.as_nanos() as f64;
+        let per_sample = ((budget_ns / self.cfg.sample_size as f64) / est_ns).ceil() as u64;
+        let per_sample = per_sample.max(1);
+
+        let mut means = Vec::with_capacity(self.cfg.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            means.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+            // Never exceed ~2x the requested measurement budget.
+            if run_start.elapsed().as_nanos() as f64 > 2.0 * budget_ns {
+                break;
+            }
+        }
+        self.record(&means);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.cfg.warm_up {
+                break;
+            }
+        }
+
+        let budget = self.cfg.measurement;
+        let mut means = Vec::with_capacity(self.cfg.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            means.push(t0.elapsed().as_nanos() as f64);
+            if run_start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.record(&means);
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(
+            &mut setup,
+            |mut input| black_box(routine(&mut input)),
+            _size,
+        );
+    }
+
+    fn record(&mut self, means: &[f64]) {
+        if means.is_empty() {
+            return;
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        self.result = Some(Measurement {
+            mean_ns: mean,
+            min_ns: min,
+        });
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

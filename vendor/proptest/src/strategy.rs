@@ -1,0 +1,275 @@
+//! The `Strategy` trait and combinators.
+//!
+//! Unlike real proptest there is no shrinking: a strategy is just a
+//! deterministic sampler over a [`TestRng`]. That keeps the surface small
+//! while preserving what the workspace's property tests rely on — coverage
+//! and reproducibility.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// How many resamples a `prop_filter` attempts before giving up.
+const MAX_FILTER_DRAWS: u32 = 10_000;
+
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: whence.into(),
+            f,
+        }
+    }
+
+    /// Depth-bounded recursive strategies. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility; the stub
+    /// bounds growth by `depth` alone.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut levels = vec![leaf.clone()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("levels never empty").clone();
+            // Children of the next level are either fresh leaves or nodes of
+            // the previous level, like real proptest's recursive union.
+            let inner = Union::new(vec![leaf.clone(), prev]).boxed();
+            levels.push(recurse(inner).boxed());
+        }
+        Recursive { levels }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased strategy, cheaply cloneable.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_DRAWS {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter exhausted {MAX_FILTER_DRAWS} draws: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform (or weighted) choice among boxed alternatives; what `prop_oneof!`
+/// builds.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+    weights: Option<Vec<u32>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union {
+            options,
+            weights: None,
+        }
+    }
+
+    pub fn new_weighted(weighted: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            !weighted.is_empty(),
+            "prop_oneof! needs at least one option"
+        );
+        let (weights, options) = weighted.into_iter().unzip();
+        Union {
+            options,
+            weights: Some(weights),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = match &self.weights {
+            None => rng.below(self.options.len() as u64) as usize,
+            Some(ws) => {
+                let total: u64 = ws.iter().map(|&w| u64::from(w)).sum();
+                let mut pick = rng.below(total.max(1));
+                let mut idx = 0;
+                for (i, &w) in ws.iter().enumerate() {
+                    if pick < u64::from(w) {
+                        idx = i;
+                        break;
+                    }
+                    pick -= u64::from(w);
+                }
+                idx
+            }
+        };
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Product of `prop_recursive`: level 0 is the leaf strategy, level `k`
+/// applies the recursion `k` times. Sampling picks a level uniformly, which
+/// biases toward shallow-but-varied trees.
+pub struct Recursive<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.levels.len() as u64) as usize;
+        self.levels[k].sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0.0);
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $u as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $u as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $u as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);

@@ -1,0 +1,315 @@
+//! Regex-pattern string strategies: `"[a-z]{1,8}"` as a `Strategy<Value =
+//! String>`, like real proptest's `&str` implementation.
+//!
+//! Supports the subset this workspace's tests use: literals, `.`, character
+//! classes with ranges, groups, alternation, and the `?`/`*`/`+`/`{m}`/
+//! `{m,n}` quantifiers. Unsupported syntax panics at sample time with a
+//! pointer to this file.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Cap for unbounded quantifiers (`*`, `+`, `{m,}`).
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Alternation of sequences.
+    Alt(Vec<Node>),
+    Seq(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+    /// Inclusive char ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    Literal(char),
+    AnyChar,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!(
+            "regex strategy: unsupported {what} in pattern {:?} (extend vendor/proptest/src/string.rs)",
+            self.pattern
+        );
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut branches = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_quantified(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.unsupported("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Node::AnyChar,
+            Some('\\') => match self.chars.next() {
+                Some(
+                    c @ ('\\' | '.' | '-' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*'
+                    | '+'),
+                ) => Node::Literal(c),
+                Some('n') => Node::Literal('\n'),
+                Some('t') => Node::Literal('\t'),
+                Some('r') => Node::Literal('\r'),
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                other => self.unsupported(&format!("escape {other:?}")),
+            },
+            Some(c @ ('{' | '}' | '?' | '*' | '+')) => self.unsupported(&format!("dangling {c:?}")),
+            Some(c) => Node::Literal(c),
+            None => self.unsupported("empty atom"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        if self.chars.peek() == Some(&'^') {
+            self.unsupported("negated class");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    Some(e @ ('\\' | ']' | '-' | '^')) => e,
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    other => self.unsupported(&format!("class escape {other:?}")),
+                },
+                Some(c) => c,
+                None => self.unsupported("unclosed class"),
+            };
+            // A `-` is a range if it sits between two chars; trailing `-` is
+            // literal.
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                if lookahead.peek().is_some_and(|&n| n != ']') {
+                    self.chars.next();
+                    let hi = self.chars.next().expect("range end");
+                    if hi < c {
+                        self.unsupported("inverted class range");
+                    }
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        if ranges.is_empty() {
+            self.unsupported("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantified(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.chars.next();
+                let lo = self.parse_number();
+                let hi = match self.chars.peek() {
+                    Some(',') => {
+                        self.chars.next();
+                        if self.chars.peek() == Some(&'}') {
+                            lo.max(UNBOUNDED_CAP)
+                        } else {
+                            self.parse_number()
+                        }
+                    }
+                    _ => lo,
+                };
+                if self.chars.next() != Some('}') {
+                    self.unsupported("unclosed quantifier");
+                }
+                if hi < lo {
+                    self.unsupported("inverted quantifier");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.chars.peek().and_then(|c| c.to_digit(10)) {
+            self.chars.next();
+            n = n * 10 + c;
+            any = true;
+        }
+        if !any {
+            self.unsupported("quantifier number");
+        }
+        n
+    }
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let i = rng.below(branches.len() as u64) as usize;
+            sample_node(&branches[i], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                sample_node(item, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below(u64::from(hi - lo) + 1) as u32;
+            for _ in 0..n {
+                sample_node(inner, rng, out);
+            }
+        }
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    let c = char::from_u32(lo as u32 + pick as u32)
+                        .expect("class range stays in scalar values");
+                    out.push(c);
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => out.push(sample_any_char(rng)),
+    }
+}
+
+/// `.` matches any char except `\n`. Weighted toward printable ASCII but
+/// deliberately emitting tabs, carriage returns, backslashes, and multi-byte
+/// unicode to exercise escaping paths.
+fn sample_any_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => *['\t', '\r', '\\', '\u{7f}']
+            .get(rng.below(4) as usize)
+            .expect("index below 4"),
+        1 | 2 => loop {
+            // Arbitrary non-ASCII scalar values (skipping surrogates).
+            let v = 0x80 + rng.below(0x2_0000 - 0x80) as u32;
+            if let Some(c) = char::from_u32(v) {
+                break c;
+            }
+        },
+        _ => char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ascii"),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let ast = Parser::new(self).parse_alt();
+        let mut out = String::new();
+        sample_node(&ast, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &'static str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::deterministic("string::tests");
+        (0..n).map(|_| pattern.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in samples("[a-z0-9-]{1,10}", 200) {
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_and_optional_group() {
+        for s in samples("(SELECT|select|SeLeCt)", 50) {
+            assert!(
+                ["SELECT", "select", "SeLeCt"].contains(&s.as_str()),
+                "{s:?}"
+            );
+        }
+        for s in samples("(FROM [a-z]{1,8})?", 50) {
+            assert!(s.is_empty() || s.starts_with("FROM "), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_never_emits_newline() {
+        for s in samples(".{0,80}", 200) {
+            assert!(!s.contains('\n'), "{s:?}");
+            assert!(s.chars().count() <= 80, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_dot_inside_class() {
+        for s in samples("[0-9.]{1,15}", 100) {
+            assert!(s.chars().all(|c| c.is_ascii_digit() || c == '.'), "{s:?}");
+        }
+    }
+}

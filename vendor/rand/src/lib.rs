@@ -1,0 +1,214 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements exactly the surface this workspace uses — `SmallRng` seeded via
+//! `seed_from_u64`, `Rng::random_range` over integer/float ranges, and
+//! `Rng::random_bool` — with a real xoshiro256++ generator (the same family
+//! rand's `SmallRng` uses on 64-bit targets). Deterministic for a given seed,
+//! which is all the generators and tests here rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can produce a uniform sample of `T`.
+///
+/// Like real rand, the only impls are the blanket ones over
+/// [`SampleUniform`] — a single applicable impl per range shape is what lets
+/// type inference flow from `rng.random_range(20..80).min(x)` to the type of
+/// `x`.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Types uniformly sampleable from half-open and inclusive bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform in `[lo, hi)`; caller guarantees `lo < hi`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self;
+    /// Uniform in `[lo, hi]`; caller guarantees `lo <= hi`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Maps a raw `u64` to `[0, 1)` with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Multiply-shift reduction of a raw `u64` onto `0..n` (n > 0).
+fn reduce(bits: u64, n: u64) -> u64 {
+    ((u128::from(bits) * u128::from(n)) >> 64) as u64
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(reduce(rng.next_u64(), span) as $u as $t)
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $u as $t;
+                }
+                lo.wrapping_add(reduce(rng.next_u64(), span + 1) as $u as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                lo + (hi - lo) * unit_f64(rng.next_u64()) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                lo + (hi - lo) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — rand's own `SmallRng` algorithm on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the standard way to seed xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..=u64::MAX),
+                b.random_range(0u64..=u64::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(20..80);
+            assert!((20..80).contains(&v));
+            let w = rng.random_range(1..=3u64);
+            assert!((1..=3).contains(&w));
+            let f = rng.random_range(-90.0..90.0);
+            assert!((-90.0..90.0).contains(&f));
+            let n = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and the derive macros
+//! under the usual paths so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged. The derives expand
+//! to nothing and the traits are blanket-implemented, because nothing in this
+//! workspace actually serializes — the derives only mark types that would be
+//! serializable with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its public types so
+//! downstream users can plug in real serde, but none of the in-tree code
+//! serializes anything. The build environment has no registry access, so the
+//! derives here accept the same syntax (including `#[serde(...)]` attributes)
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
