@@ -184,8 +184,33 @@ pub fn cluster_regions_parallel(
                 })
             })
             .collect();
-        for h in handles {
-            edges.extend(h.join().expect("cluster worker panicked"));
+        for (h, shard) in handles.into_iter().zip(&shards) {
+            match h.join() {
+                Ok(local) => edges.extend(local),
+                Err(_) => {
+                    // Degraded re-run of a panicked worker: each pair row
+                    // under its own panic guard, so a poison row contributes
+                    // no edges instead of aborting the clustering. Edge
+                    // order does not matter — union-find is order-blind and
+                    // the final cluster list is sorted.
+                    for &(b, pos) in shard {
+                        let bucket = &buckets[b];
+                        let i = bucket[pos];
+                        let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut local = Vec::new();
+                            for &j in &bucket[pos + 1..] {
+                                if regions[i].distance(&regions[j]) < threshold {
+                                    local.push((i, j));
+                                }
+                            }
+                            local
+                        }));
+                        if let Ok(local) = row {
+                            edges.extend(local);
+                        }
+                    }
+                }
+            }
         }
     });
 

@@ -43,6 +43,27 @@ pub struct PipelineConfig {
     /// fully sequential. Output is byte-identical for every value (§5
     /// stages shard by user/session and merge deterministically).
     pub parallelism: usize,
+    /// Maximum expression/subquery/join nesting depth the parser will
+    /// follow before rejecting a statement as a resource bomb (counted with
+    /// syntax errors; see [`sqlog_sql::ParseLimits::max_depth`]).
+    pub max_parse_depth: usize,
+    /// Maximum statement length in bytes accepted by the parser
+    /// ([`sqlog_sql::ParseLimits::max_statement_bytes`]).
+    pub max_statement_bytes: usize,
+    /// Maximum lexed tokens per statement
+    /// ([`sqlog_sql::ParseLimits::max_tokens`]).
+    pub max_parse_tokens: usize,
+}
+
+impl PipelineConfig {
+    /// The parser resource guards as a [`sqlog_sql::ParseLimits`].
+    pub fn parse_limits(&self) -> sqlog_sql::ParseLimits {
+        sqlog_sql::ParseLimits {
+            max_depth: self.max_parse_depth,
+            max_statement_bytes: self.max_statement_bytes,
+            max_tokens: self.max_parse_tokens,
+        }
+    }
 }
 
 impl Default for PipelineConfig {
@@ -58,6 +79,9 @@ impl Default for PipelineConfig {
             rewrite_adds_filter_column: true,
             parse_threads: 0,
             parallelism: 0,
+            max_parse_depth: sqlog_sql::ParseLimits::default().max_depth,
+            max_statement_bytes: sqlog_sql::ParseLimits::default().max_statement_bytes,
+            max_parse_tokens: sqlog_sql::ParseLimits::default().max_tokens,
         }
     }
 }

@@ -14,7 +14,8 @@
 //! — an index vector over the input — so no [`LogEntry`] (or its statement
 //! `String`) is ever cloned on this path.
 
-use crate::shard::{balance_chunks, resolve_threads};
+use crate::fault;
+use crate::shard::{balance_chunks, guarded, resolve_threads, run_shards_isolated, whole_range};
 use sqlog_log::{LogView, QueryLog};
 use sqlog_skeleton::{text_fingerprint, Fingerprint};
 use std::collections::HashMap;
@@ -28,6 +29,11 @@ pub struct DedupStats {
     pub removed: usize,
     /// Entries kept.
     pub kept: usize,
+    /// Poison entries skipped during degraded (per-record) re-runs of
+    /// panicked shards.
+    pub poison: usize,
+    /// Shards whose worker panicked and was recovered per-record.
+    pub degraded_shards: usize,
 }
 
 /// Sequential scan over one user-partition of the view: positions whose
@@ -40,6 +46,7 @@ fn scan_partition(
     uid_range: std::ops::Range<u32>,
     threshold_ms: Option<u64>,
 ) -> Vec<u32> {
+    let fault = fault::armed("dedup");
     let mut last_seen: HashMap<(u32, Fingerprint), i64> = HashMap::new();
     let mut kept = Vec::new();
     for (i, &uid) in uids.iter().enumerate() {
@@ -47,6 +54,7 @@ fn scan_partition(
             continue;
         }
         let e = view.entry(i);
+        fault::trip(&fault, &e.statement);
         let fp = text_fingerprint(&e.statement);
         let now = e.timestamp.millis();
         let dup = match last_seen.get(&(uid, fp)) {
@@ -65,6 +73,53 @@ fn scan_partition(
         }
     }
     kept
+}
+
+/// Degraded re-run of [`scan_partition`] after its worker panicked: every
+/// record is processed under a panic guard, so exactly the poison records
+/// are skipped (they contribute neither a kept position nor a `last_seen`
+/// stamp) and everything around them dedups normally. Returns the kept
+/// positions plus the number of poison records skipped.
+fn scan_partition_isolated(
+    view: &LogView<'_>,
+    uids: &[u32],
+    uid_range: std::ops::Range<u32>,
+    threshold_ms: Option<u64>,
+) -> (Vec<u32>, usize) {
+    let fault = fault::armed("dedup");
+    let mut last_seen: HashMap<(u32, Fingerprint), i64> = HashMap::new();
+    let mut kept = Vec::new();
+    let mut poison = 0usize;
+    for (i, &uid) in uids.iter().enumerate() {
+        if !uid_range.contains(&uid) {
+            continue;
+        }
+        let e = view.entry(i);
+        // Fingerprinting is the only step that runs untrusted input; guard
+        // it (plus the injected trip) and skip the record on panic. The
+        // `last_seen` update below runs only for healthy records, so poison
+        // records leave no partial state behind.
+        let Some(fp) = guarded(|| {
+            fault::trip(&fault, &e.statement);
+            text_fingerprint(&e.statement)
+        }) else {
+            poison += 1;
+            continue;
+        };
+        let now = e.timestamp.millis();
+        let dup = match last_seen.get(&(uid, fp)) {
+            Some(&prev) => match threshold_ms {
+                Some(t) => (now - prev) as u64 <= t,
+                None => true,
+            },
+            None => false,
+        };
+        last_seen.insert((uid, fp), now);
+        if !dup {
+            kept.push(i as u32);
+        }
+    }
+    (kept, poison)
 }
 
 /// Removes duplicates from a log view, returning the surviving entries as a
@@ -104,36 +159,38 @@ pub fn dedup_view<'a>(
         uids.push(uid);
     }
 
-    let kept: Vec<u32> = if threads <= 1 || counts.len() <= 1 {
-        scan_partition(view, &uids, 0..counts.len() as u32, threshold_ms)
+    let ranges = if threads <= 1 || counts.len() <= 1 {
+        whole_range(counts.len())
     } else {
-        let ranges = balance_chunks(&counts, threads);
-        let mut shards: Vec<Vec<u32>> = Vec::with_capacity(ranges.len());
-        std::thread::scope(|s| {
-            let uids = &uids;
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|r| {
-                    s.spawn(move || {
-                        scan_partition(view, uids, r.start as u32..r.end as u32, threshold_ms)
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("dedup worker panicked"));
-            }
-        });
-        // Per-shard survivors are disjoint view positions; sorting restores
-        // global log order, making the merge independent of sharding.
-        let mut kept: Vec<u32> = shards.concat();
-        kept.sort_unstable();
-        kept
+        balance_chunks(&counts, threads)
     };
+    let uids = &uids;
+    let (shards, degraded) = run_shards_isolated(
+        ranges,
+        |r| {
+            (
+                scan_partition(view, uids, r.start as u32..r.end as u32, threshold_ms),
+                0usize,
+            )
+        },
+        |r| scan_partition_isolated(view, uids, r.start as u32..r.end as u32, threshold_ms),
+    );
+    let mut poison = 0usize;
+    // Per-shard survivors are disjoint view positions; sorting restores
+    // global log order, making the merge independent of sharding.
+    let mut kept: Vec<u32> = Vec::new();
+    for (shard_kept, shard_poison) in shards {
+        kept.extend(shard_kept);
+        poison += shard_poison;
+    }
+    kept.sort_unstable();
 
     let stats = DedupStats {
         input: n,
-        removed: n - kept.len(),
+        removed: n - kept.len() - poison,
         kept: kept.len(),
+        poison,
+        degraded_shards: degraded,
     };
     (view.select(kept), stats)
 }

@@ -1,0 +1,40 @@
+//! Fault injection for the resilience harness.
+//!
+//! The panic-isolation machinery ([`crate::shard::run_shards_isolated`])
+//! only matters when something actually panics, and real poison records are
+//! rare by construction. This module gives the integration tests a
+//! deterministic way to plant one: when the environment variable
+//! `SQLOG_FAULT_MARKER` is set, any record whose statement text contains
+//! that marker panics inside the stage named by `SQLOG_FAULT_STAGE`
+//! (`dedup`, `parse`, `sessions`, `mine` or `detect`; default `parse`).
+//!
+//! The hook is compiled in unconditionally — integration tests link the
+//! non-test build — but costs one `env::var` lookup per *shard* and nothing
+//! per record while disarmed. The environment is re-read on every arm call
+//! (never cached) so a single test process can exercise several stages in
+//! sequence.
+//!
+//! For the `mine` stage, which sees template ids rather than statement
+//! text, the marker is matched against each record's `primary_table`
+//! instead — plant it in a table name.
+
+/// Returns the armed marker when fault injection targets `stage`.
+///
+/// Call once per shard, outside the per-record loop.
+pub(crate) fn armed(stage: &str) -> Option<String> {
+    let marker = std::env::var("SQLOG_FAULT_MARKER").ok()?;
+    if marker.is_empty() {
+        return None;
+    }
+    let target = std::env::var("SQLOG_FAULT_STAGE").unwrap_or_else(|_| "parse".to_string());
+    (target == stage).then_some(marker)
+}
+
+/// Panics when `text` contains the armed marker. No-op while disarmed.
+pub(crate) fn trip(marker: &Option<String>, text: &str) {
+    if let Some(m) = marker {
+        if text.contains(m.as_str()) {
+            panic!("injected fault: record matches marker {m:?}");
+        }
+    }
+}

@@ -42,6 +42,7 @@ pub mod config;
 pub mod dedup;
 pub mod detect;
 pub mod ext;
+mod fault;
 pub mod mine;
 pub mod parse_step;
 pub mod pipeline;
@@ -61,11 +62,11 @@ pub use mine::{
     build_sessions, build_sessions_view, mine_patterns, mine_patterns_sharded, MinedPatterns,
     PatternData, Session, Sessions,
 };
-pub use parse_step::{parse_log, parse_view, ParseStats, ParsedLog, ParsedRecord};
+pub use parse_step::{parse_log, parse_view, parse_view_with, ParseStats, ParsedLog, ParsedRecord};
 pub use pipeline::{Pipeline, PipelineResult};
 pub use recommend::{evaluate_against_marks, RecommendationEval, Recommender};
 pub use report::{render_pattern_table, render_statistics, top_patterns, PatternRow};
-pub use shard::{balance_chunks, resolve_threads};
-pub use stats::{ClassCounts, StageTimings, Statistics};
+pub use shard::{balance_chunks, resolve_threads, run_shards_isolated};
+pub use stats::{ClassCounts, RunHealth, StageTimings, Statistics};
 pub use store::{TemplateId, TemplateStore};
 pub use sws::{classify_sws, sws_grid, union_windows, SwsResult, SwsThresholds};

@@ -27,8 +27,9 @@
 //! ranges and the merged counts are identical for every thread count.
 
 use crate::config::PipelineConfig;
+use crate::fault;
 use crate::parse_step::ParsedRecord;
-use crate::shard::{balance_chunks, resolve_threads};
+use crate::shard::{balance_chunks, guarded, resolve_threads, run_shards_isolated, whole_range};
 use crate::store::TemplateId;
 use sqlog_log::{LogView, QueryLog};
 use std::collections::{HashMap, HashSet};
@@ -49,28 +50,58 @@ pub struct Sessions {
     pub sessions: Vec<Session>,
     /// Interned user names.
     pub user_names: Vec<String>,
+    /// Poison records skipped during degraded re-runs of panicked shards.
+    pub poison: usize,
+    /// Session shards whose worker panicked and was recovered per-record.
+    pub degraded_shards: usize,
+}
+
+/// Per-shard fault state for session splitting: the armed injection marker
+/// plus whether records run under per-record panic isolation (the degraded
+/// re-run of a panicked shard).
+struct SplitGuard {
+    fault: Option<String>,
+    isolate: bool,
 }
 
 /// Splits one user's record stream into gap-separated sessions, appending
-/// them to `out`.
+/// them to `out`. With `guard.isolate`, every record is processed under a
+/// panic guard and poison records are skipped (counted in the return value)
+/// instead of aborting the stream.
 fn split_user_stream(
     view: &LogView<'_>,
     records: &[ParsedRecord],
+    guard: &SplitGuard,
     uid: u32,
     stream: &[usize],
     gap_ms: u64,
     out: &mut Vec<Session>,
-) {
+) -> usize {
     let mut current = Session {
         user: uid,
         records: Vec::new(),
     };
+    let mut poison = 0usize;
     let mut last_ms: Option<i64> = None;
     for &ri in stream {
-        let t = view
-            .entry(records[ri].entry_idx as usize)
-            .timestamp
-            .millis();
+        let entry = view.entry(records[ri].entry_idx as usize);
+        let t = if guard.isolate {
+            // A poison record contributes neither a session member nor a
+            // timestamp, exactly as if it had been dropped upstream.
+            match guarded(|| {
+                fault::trip(&guard.fault, &entry.statement);
+                entry.timestamp.millis()
+            }) {
+                Some(t) => t,
+                None => {
+                    poison += 1;
+                    continue;
+                }
+            }
+        } else {
+            fault::trip(&guard.fault, &entry.statement);
+            entry.timestamp.millis()
+        };
         if let Some(prev) = last_ms {
             if (t - prev) as u64 > gap_ms && !current.records.is_empty() {
                 out.push(std::mem::replace(
@@ -88,6 +119,7 @@ fn split_user_stream(
     if !current.records.is_empty() {
         out.push(current);
     }
+    poison
 }
 
 /// Splits parsed records into per-user sessions.
@@ -118,49 +150,69 @@ pub fn build_sessions_view(
     }
 
     let threads = resolve_threads(threads).min(streams.len().max(1));
-    let mut sessions = Vec::new();
-    if threads <= 1 {
-        for (uid, stream) in streams.iter().enumerate() {
-            split_user_stream(view, records, uid as u32, stream, gap_ms, &mut sessions);
-        }
+    let ranges = if threads <= 1 || streams.len() <= 1 {
+        whole_range(streams.len())
     } else {
         let weights: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
-        let ranges = balance_chunks(&weights, threads);
-        let mut shards: Vec<Vec<Session>> = Vec::with_capacity(ranges.len());
-        std::thread::scope(|s| {
-            let streams = &streams;
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|r| {
-                    s.spawn(move || {
-                        let mut out = Vec::new();
-                        for uid in r {
-                            split_user_stream(
-                                view,
-                                records,
-                                uid as u32,
-                                &streams[uid],
-                                gap_ms,
-                                &mut out,
-                            );
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("session worker panicked"));
+        balance_chunks(&weights, threads)
+    };
+    let streams = &streams;
+    let (shards, degraded) = run_shards_isolated(
+        ranges,
+        |r| {
+            let guard = SplitGuard {
+                fault: fault::armed("sessions"),
+                isolate: false,
+            };
+            let mut out = Vec::new();
+            for uid in r {
+                split_user_stream(
+                    view,
+                    records,
+                    &guard,
+                    uid as u32,
+                    &streams[uid],
+                    gap_ms,
+                    &mut out,
+                );
             }
-        });
-        // Shards cover contiguous user ranges in order, so concatenation
-        // reproduces the sequential (user, time) session order.
-        for shard in shards {
-            sessions.extend(shard);
-        }
+            (out, 0usize)
+        },
+        |r| {
+            // Degraded re-run: per-record isolation inside each stream.
+            let guard = SplitGuard {
+                fault: fault::armed("sessions"),
+                isolate: true,
+            };
+            let mut out = Vec::new();
+            let mut poison = 0usize;
+            for uid in r {
+                poison += split_user_stream(
+                    view,
+                    records,
+                    &guard,
+                    uid as u32,
+                    &streams[uid],
+                    gap_ms,
+                    &mut out,
+                );
+            }
+            (out, poison)
+        },
+    );
+    // Shards cover contiguous user ranges in order, so concatenation
+    // reproduces the sequential (user, time) session order.
+    let mut sessions = Vec::new();
+    let mut poison = 0usize;
+    for (shard, shard_poison) in shards {
+        sessions.extend(shard);
+        poison += shard_poison;
     }
     Sessions {
         sessions,
         user_names,
+        poison,
+        degraded_shards: degraded,
     }
 }
 
@@ -188,6 +240,11 @@ pub struct MinedPatterns {
     pub patterns: HashMap<Vec<TemplateId>, PatternData>,
     /// Total SELECT queries mined (denominator for coverage percentages).
     pub total_queries: u64,
+    /// Sessions skipped because mining them panicked (isolated during a
+    /// degraded shard re-run; their counts are excluded).
+    pub poison_sessions: usize,
+    /// Mining shards whose worker panicked and was recovered per-session.
+    pub degraded_shards: usize,
 }
 
 impl MinedPatterns {
@@ -297,14 +354,60 @@ impl PatternCounter {
         records: &[ParsedRecord],
         max_ngram: usize,
     ) -> PatternCounter {
+        let fault = fault::armed("mine");
         let mut counter = PatternCounter::default();
         let mut templates: Vec<TemplateId> = Vec::new();
         for (stamp, session) in sessions.iter().enumerate() {
+            trip_session(&fault, session, records);
             templates.clear();
             templates.extend(session.records.iter().map(|&ri| records[ri].template));
             counter.mine_session(stamp as u32, session.user, &templates, max_ngram);
         }
         counter
+    }
+
+    /// Degraded re-run of [`Self::mine_sessions`]: each session is mined
+    /// into a *fresh* scratch counter under a panic guard, so a poison
+    /// session leaves no partial counts behind — its counter is simply
+    /// dropped and the session counted as poisoned. The per-session
+    /// counters merge through the same commutative [`merge_counters`] as
+    /// shard counters.
+    fn mine_sessions_isolated(
+        sessions: &[Session],
+        records: &[ParsedRecord],
+        max_ngram: usize,
+    ) -> (Vec<PatternCounter>, usize) {
+        let fault = fault::armed("mine");
+        let mut counters = Vec::new();
+        let mut poison = 0usize;
+        let mut templates: Vec<TemplateId> = Vec::new();
+        for session in sessions {
+            templates.clear();
+            let mined = guarded(|| {
+                trip_session(&fault, session, records);
+                templates.extend(session.records.iter().map(|&ri| records[ri].template));
+                let mut c = PatternCounter::default();
+                c.mine_session(0, session.user, &templates, max_ngram);
+                c
+            });
+            match mined {
+                Some(c) => counters.push(c),
+                None => poison += 1,
+            }
+        }
+        (counters, poison)
+    }
+}
+
+/// Mining sees template ids, not statement text, so the fault-injection
+/// marker is matched against each record's primary table name instead.
+fn trip_session(fault: &Option<String>, session: &Session, records: &[ParsedRecord]) {
+    if fault.is_some() {
+        for &ri in &session.records {
+            if let Some(t) = records[ri].primary_table.as_deref() {
+                fault::trip(fault, t);
+            }
+        }
     }
 }
 
@@ -324,6 +427,8 @@ fn merge_counters(counters: Vec<PatternCounter>) -> MinedPatterns {
     MinedPatterns {
         patterns,
         total_queries: total,
+        poison_sessions: 0,
+        degraded_shards: 0,
     }
 }
 
@@ -350,28 +455,36 @@ pub fn mine_patterns_sharded(
 ) -> MinedPatterns {
     let all = &sessions.sessions;
     let threads = resolve_threads(threads).min(all.len().max(1));
-    if threads <= 1 {
-        return merge_counters(vec![PatternCounter::mine_sessions(
-            all,
-            records,
-            cfg.max_ngram,
-        )]);
+    let ranges = if threads <= 1 || all.len() < 2 {
+        whole_range(all.len())
+    } else {
+        let weights: Vec<u64> = all.iter().map(|s| s.records.len() as u64).collect();
+        balance_chunks(&weights, threads)
+    };
+    let (shards, degraded) = run_shards_isolated(
+        ranges,
+        |r| {
+            (
+                vec![PatternCounter::mine_sessions(
+                    &all[r],
+                    records,
+                    cfg.max_ngram,
+                )],
+                0usize,
+            )
+        },
+        |r| PatternCounter::mine_sessions_isolated(&all[r], records, cfg.max_ngram),
+    );
+    let mut counters: Vec<PatternCounter> = Vec::new();
+    let mut poison = 0usize;
+    for (shard_counters, shard_poison) in shards {
+        counters.extend(shard_counters);
+        poison += shard_poison;
     }
-    let weights: Vec<u64> = all.iter().map(|s| s.records.len() as u64).collect();
-    let ranges = balance_chunks(&weights, threads);
-    let mut counters: Vec<PatternCounter> = Vec::with_capacity(ranges.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                s.spawn(move || PatternCounter::mine_sessions(&all[r], records, cfg.max_ngram))
-            })
-            .collect();
-        for h in handles {
-            counters.push(h.join().expect("mining worker panicked"));
-        }
-    });
-    merge_counters(counters)
+    let mut mined = merge_counters(counters);
+    mined.poison_sessions = poison;
+    mined.degraded_shards = degraded;
+    mined
 }
 
 #[cfg(test)]

@@ -19,11 +19,12 @@
 //!   keys, marks, and instance identities) are identical for every thread
 //!   count.
 
-use crate::shard::resolve_threads;
+use crate::fault;
+use crate::shard::{guarded, resolve_threads, run_shards_isolated, whole_range};
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_log::{LogView, QueryLog};
 use sqlog_skeleton::{primary_table, Fingerprint, OutputColumns, PredicateProfile, QueryTemplate};
-use sqlog_sql::{parse_statements, Statement, StatementKind};
+use sqlog_sql::{parse_statements_with, ParseLimits, Statement, StatementKind};
 use std::collections::HashMap;
 
 /// A parsed SELECT statement, reduced to analysis facts.
@@ -48,8 +49,17 @@ pub struct ParseStats {
     pub total: usize,
     /// Statements kept (SELECTs that parsed).
     pub selects: usize,
-    /// Statements dropped for syntax errors.
+    /// Statements dropped as unparseable — syntax errors plus resource-limit
+    /// rejections (the paper's §5.3 drops both the same way).
     pub errors: usize,
+    /// The subset of `errors` rejected by a parser resource guard
+    /// ([`ParseLimits`]) rather than a grammar error.
+    pub limit_exceeded: usize,
+    /// Statements skipped because processing them panicked (poison records,
+    /// isolated during a degraded shard re-run).
+    pub poison: usize,
+    /// Parse shards whose worker panicked and was recovered per-record.
+    pub degraded_shards: usize,
     /// Statements dropped per non-SELECT kind.
     pub non_select: HashMap<StatementKind, usize>,
 }
@@ -73,16 +83,21 @@ pub struct ParsedLog {
 enum Outcome {
     Select(Box<ParsedRecord>),
     NonSelect(StatementKind),
-    Error,
+    Error {
+        limit: bool,
+    },
+    /// Processing this statement panicked; it was skipped during recovery.
+    Poison,
 }
 
 fn parse_one(
     store: &TemplateStore,
     memo: &mut HashMap<Fingerprint, TemplateId>,
+    limits: &ParseLimits,
     entry_idx: u32,
     sql: &str,
 ) -> Outcome {
-    match parse_statements(sql) {
+    match parse_statements_with(sql, limits) {
         Ok(stmts) => {
             // A log row occasionally contains a `;`-separated batch; the
             // analysis treats the first SELECT as the row's query, matching
@@ -110,10 +125,12 @@ fn parse_one(
             }
             match stmts.first() {
                 Some(Statement::Other(kind)) => Outcome::NonSelect(*kind),
-                _ => Outcome::Error,
+                _ => Outcome::Error { limit: false },
             }
         }
-        Err(_) => Outcome::Error,
+        Err(e) => Outcome::Error {
+            limit: e.is_limit(),
+        },
     }
 }
 
@@ -162,34 +179,70 @@ fn canonicalize_templates(store: &TemplateStore, preexisting: usize, records: &m
 ///
 /// `threads == 0` uses one thread per available core. Records, statistics,
 /// and template ids are identical for every thread count (ids are
-/// canonicalized to first appearance in record order).
+/// canonicalized to first appearance in record order). Uses the default
+/// [`ParseLimits`]; the pipeline passes its configured limits through
+/// [`parse_view_with`].
 pub fn parse_view(view: &LogView<'_>, store: &TemplateStore, threads: usize) -> ParsedLog {
+    parse_view_with(view, store, &ParseLimits::default(), threads)
+}
+
+/// [`parse_view`] with explicit parser resource limits.
+///
+/// Shards that panic (a poison statement crashing the parser) are re-run
+/// per-record: the poison statement alone is counted and dropped, every
+/// other statement of the shard parses normally, and the template-id
+/// canonicalization keeps ids identical for every thread count.
+pub fn parse_view_with(
+    view: &LogView<'_>,
+    store: &TemplateStore,
+    limits: &ParseLimits,
+    threads: usize,
+) -> ParsedLog {
     let n = view.len();
     let threads = resolve_threads(threads).min(n.max(1));
     let preexisting = store.len();
 
     let chunk = n.div_ceil(threads).max(1);
-    let mut results: Vec<Vec<Outcome>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..n)
-            .step_by(chunk)
-            .map(|start| {
-                let end = (start + chunk).min(n);
-                s.spawn(move || {
-                    let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
-                    (start..end)
-                        .map(|i| parse_one(store, &mut memo, i as u32, &view.entry(i).statement))
-                        .collect::<Vec<_>>()
-                })
+    let mut ranges: Vec<std::ops::Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect();
+    if ranges.is_empty() {
+        ranges = whole_range(0);
+    }
+    let (results, degraded) = run_shards_isolated(
+        ranges,
+        |r| {
+            let fault = fault::armed("parse");
+            let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
+            r.map(|i| {
+                let sql = &view.entry(i).statement;
+                fault::trip(&fault, sql);
+                parse_one(store, &mut memo, limits, i as u32, sql)
             })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("parser thread panicked"));
-        }
-    });
+            .collect::<Vec<_>>()
+        },
+        |r| {
+            // Degraded re-run: each statement under its own panic guard.
+            // The memo only caches fingerprint → interned id, so a panic
+            // mid-record at worst wastes a memo entry — never corrupts one.
+            let fault = fault::armed("parse");
+            let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
+            r.map(|i| {
+                let sql = &view.entry(i).statement;
+                guarded(|| {
+                    fault::trip(&fault, sql);
+                    parse_one(store, &mut memo, limits, i as u32, sql)
+                })
+                .unwrap_or(Outcome::Poison)
+            })
+            .collect::<Vec<_>>()
+        },
+    );
 
     let mut stats = ParseStats {
         total: n,
+        degraded_shards: degraded,
         ..ParseStats::default()
     };
     let mut records = Vec::with_capacity(n);
@@ -202,7 +255,13 @@ pub fn parse_view(view: &LogView<'_>, store: &TemplateStore, threads: usize) -> 
             Outcome::NonSelect(kind) => {
                 *stats.non_select.entry(kind).or_default() += 1;
             }
-            Outcome::Error => stats.errors += 1,
+            Outcome::Error { limit } => {
+                stats.errors += 1;
+                if limit {
+                    stats.limit_exceeded += 1;
+                }
+            }
+            Outcome::Poison => stats.poison += 1,
         }
     }
     canonicalize_templates(store, preexisting, &mut records);

@@ -12,11 +12,12 @@ use crate::detect::{
     detect_builtin, sort_instances, AntipatternClass, AntipatternInstance, DetectCtx,
 };
 use crate::ext::ExtensionRegistry;
+use crate::fault;
 use crate::mine::{build_sessions_view, mine_patterns_sharded, MinedPatterns};
-use crate::parse_step::parse_view;
-use crate::shard::{balance_chunks, resolve_threads};
+use crate::parse_step::parse_view_with;
+use crate::shard::{balance_chunks, guarded, resolve_threads, run_shards_isolated, whole_range};
 use crate::solve::apply_solutions;
-use crate::stats::{ClassCounts, StageTimings, Statistics};
+use crate::stats::{ClassCounts, RunHealth, StageTimings, Statistics};
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_catalog::Catalog;
 use sqlog_log::{LogView, QueryLog};
@@ -120,10 +121,11 @@ impl<'a> Pipeline<'a> {
         let dedup_ms = ms(t);
 
         // Step 2: parse statements (§5.3); template ids are canonicalized
-        // to first-appearance order after the parallel phase.
+        // to first-appearance order after the parallel phase. The configured
+        // resource guards bound what the parser will attempt per statement.
         let t = Instant::now();
         let store = TemplateStore::new();
-        let parsed = parse_view(&pre_clean, &store, threads);
+        let parsed = parse_view_with(&pre_clean, &store, &self.config.parse_limits(), threads);
         let parse_ms = ms(t);
 
         // Step 3: sessions + pattern mining (§4.1, Defs. 7–10).
@@ -145,6 +147,15 @@ impl<'a> Pipeline<'a> {
         // total-order sort makes the result independent of shard boundaries.
         let t = Instant::now();
         let detect_shard = |sess: &[crate::mine::Session]| {
+            let fault = fault::armed("detect");
+            if fault.is_some() {
+                for session in sess {
+                    for &ri in &session.records {
+                        let e = pre_clean.entry(parsed.records[ri].entry_idx as usize);
+                        fault::trip(&fault, &e.statement);
+                    }
+                }
+            }
             let ctx = DetectCtx {
                 log: &pre_clean,
                 records: &parsed.records,
@@ -159,31 +170,39 @@ impl<'a> Pipeline<'a> {
             }
             out
         };
-        let mut instances = if threads <= 1 || sessions.sessions.len() < 2 {
-            detect_shard(&sessions.sessions)
+        let ranges = if threads <= 1 || sessions.sessions.len() < 2 {
+            whole_range(sessions.sessions.len())
         } else {
             let weights: Vec<u64> = sessions
                 .sessions
                 .iter()
                 .map(|s| s.records.len() as u64)
                 .collect();
-            let ranges = balance_chunks(&weights, threads);
-            let shards: Vec<Vec<AntipatternInstance>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .into_iter()
-                    .map(|r| {
-                        let detect_shard = &detect_shard;
-                        let sess = &sessions.sessions[r];
-                        scope.spawn(move || detect_shard(sess))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("detect worker panicked"))
-                    .collect()
-            });
-            shards.concat()
+            balance_chunks(&weights, threads)
         };
+        let (detect_shards, detect_degraded) = run_shards_isolated(
+            ranges,
+            |r| (detect_shard(&sessions.sessions[r]), 0usize),
+            |r| {
+                // Degraded re-run: detect each session of the panicked shard
+                // on its own; the poison session contributes no instances.
+                let mut out = Vec::new();
+                let mut poison = 0usize;
+                for i in r {
+                    match guarded(|| detect_shard(&sessions.sessions[i..i + 1])) {
+                        Some(v) => out.extend(v),
+                        None => poison += 1,
+                    }
+                }
+                (out, poison)
+            },
+        );
+        let mut instances: Vec<AntipatternInstance> = Vec::new();
+        let mut detect_poison_sessions = 0usize;
+        for (shard, shard_poison) in detect_shards {
+            instances.extend(shard);
+            detect_poison_sessions += shard_poison;
+        }
         sort_instances(&mut instances);
         let detect_ms = ms(t);
 
@@ -263,6 +282,20 @@ impl<'a> Pipeline<'a> {
                 detect_ms,
                 solve_ms,
                 total_ms: ms(t_total),
+            },
+            run_health: RunHealth {
+                // Ingestion counts are filled by the caller that read the
+                // log (e.g. sqlog-clean's lenient mode).
+                quarantined_lines: 0,
+                invalid_utf8_lines: 0,
+                limit_rejected: parsed.stats.limit_exceeded,
+                poison_records: dedup_stats.poison + parsed.stats.poison + sessions.poison,
+                poison_sessions: mined.poison_sessions + detect_poison_sessions,
+                degraded_shards: dedup_stats.degraded_shards
+                    + parsed.stats.degraded_shards
+                    + sessions.degraded_shards
+                    + mined.degraded_shards
+                    + detect_degraded,
             },
         };
 

@@ -168,6 +168,26 @@ pub fn render_statistics(s: &Statistics) -> String {
             t.total_ms
         ),
     );
+    let h = &s.run_health;
+    if h.is_clean() {
+        row("Run health", "clean (no faults)".to_string());
+    } else {
+        row("Run health", "degraded".to_string());
+        row(
+            "  quarantined input lines",
+            format!(
+                "{} ({} invalid UTF-8)",
+                h.quarantined_lines, h.invalid_utf8_lines
+            ),
+        );
+        row("  limit-rejected statements", h.limit_rejected.to_string());
+        row("  poison records skipped", h.poison_records.to_string());
+        row("  poison sessions skipped", h.poison_sessions.to_string());
+        row(
+            "  degraded (recovered) shards",
+            h.degraded_shards.to_string(),
+        );
+    }
     out
 }
 
@@ -232,6 +252,21 @@ mod tests {
         assert!(text.contains("Size of original query log"));
         assert!(text.contains("95.00%"));
         assert!(text.contains("70.00%"));
+    }
+
+    #[test]
+    fn statistics_render_reports_run_health() {
+        let clean = render_statistics(&Statistics::default());
+        assert!(clean.contains("clean (no faults)"));
+
+        let mut s = Statistics::default();
+        s.run_health.quarantined_lines = 3;
+        s.run_health.invalid_utf8_lines = 1;
+        s.run_health.poison_records = 2;
+        let degraded = render_statistics(&s);
+        assert!(degraded.contains("degraded"));
+        assert!(degraded.contains("3 (1 invalid UTF-8)"));
+        assert!(degraded.contains("poison records skipped"));
     }
 
     #[test]

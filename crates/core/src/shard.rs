@@ -9,6 +9,91 @@
 //! count.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f`, converting a panic into `None`.
+///
+/// The per-record/per-session recovery loops use this to skip exactly the
+/// poisoned work item while keeping everything around it. `AssertUnwindSafe`
+/// is sound here by convention: recovery callers either discard partially
+/// mutated scratch state outright or mutate only append-only structures
+/// whose partial updates are harmless (see each stage's recovery path).
+pub fn guarded<T>(f: impl FnOnce() -> T) -> Option<T> {
+    catch_unwind(AssertUnwindSafe(f)).ok()
+}
+
+/// Runs one shard of work per range on scoped threads, isolating panics:
+/// a shard whose worker panics is re-run through `recover` on the calling
+/// thread instead of aborting the stage.
+///
+/// Returns the per-range results **in range order** (so deterministic
+/// merges keep working) plus the number of degraded (panicked-and-
+/// recovered) shards. With a single range no thread is spawned — the work
+/// runs on the calling thread under [`guarded`], so the sequential path
+/// gets the same isolation as the parallel one.
+///
+/// Determinism note: a poison record panics wherever it lands, so *which
+/// records end up skipped* is independent of the thread count; only the
+/// degraded-shard count can vary with sharding (one poison record degrades
+/// exactly the one shard that contains it).
+pub fn run_shards_isolated<T, W, Rec>(
+    ranges: Vec<Range<usize>>,
+    work: W,
+    mut recover: Rec,
+) -> (Vec<T>, usize)
+where
+    T: Send,
+    W: Fn(Range<usize>) -> T + Sync,
+    Rec: FnMut(Range<usize>) -> T,
+{
+    let mut out: Vec<T> = Vec::with_capacity(ranges.len());
+    let mut degraded = 0usize;
+    if ranges.len() <= 1 {
+        for r in ranges {
+            match guarded(|| work(r.clone())) {
+                Some(v) => out.push(v),
+                None => {
+                    degraded += 1;
+                    out.push(recover(r));
+                }
+            }
+        }
+        return (out, degraded);
+    }
+    let mut retry: Vec<(usize, Range<usize>)> = Vec::new();
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|r| s.spawn(move || work(r)))
+            .collect();
+        for (i, (h, r)) in handles.into_iter().zip(ranges).enumerate() {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(_) => {
+                    degraded += 1;
+                    retry.push((i, r));
+                }
+            }
+        }
+    });
+    // Re-run panicked shards on this thread, splicing each result back into
+    // its range-order slot (ascending-slot inserts keep earlier slots valid).
+    for (slot, r) in retry {
+        out.insert(slot, recover(r));
+    }
+    (out, degraded)
+}
+
+/// The single range covering `0..n` — the one-shard plan used by the
+/// sequential paths of [`run_shards_isolated`].
+// One shard covering everything is the intent, not a misspelled
+// `(0..n).collect()`.
+#[allow(clippy::single_range_in_vec_init)]
+pub fn whole_range(n: usize) -> Vec<Range<usize>> {
+    vec![0..n]
+}
 
 /// Resolves a `parallelism` knob to a concrete thread count.
 ///

@@ -40,6 +40,43 @@ pub struct StageTimings {
     pub total_ms: u64,
 }
 
+/// Run-to-completion accounting: everything the pipeline skipped, rejected
+/// or recovered from instead of aborting.
+///
+/// All-zero on a healthy run. The counts are deterministic for a given
+/// input — a poison record panics wherever it lands, so the same records
+/// are skipped at every thread count — with one exception:
+/// `degraded_shards` counts *shards* that panicked and were recovered, and
+/// how work maps to shards depends on the thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHealth {
+    /// Input lines skipped at ingestion (lenient mode): malformed plus
+    /// invalid-UTF-8. Filled by the caller that read the log — the pipeline
+    /// itself never sees quarantined lines.
+    pub quarantined_lines: usize,
+    /// The subset of `quarantined_lines` that were not valid UTF-8.
+    pub invalid_utf8_lines: usize,
+    /// Statements rejected by a parser resource guard (depth, length or
+    /// token budget) rather than a grammar error. Also included in
+    /// [`Statistics::syntax_errors`].
+    pub limit_rejected: usize,
+    /// Records skipped because processing them panicked (dedup, parse and
+    /// session stages).
+    pub poison_records: usize,
+    /// Sessions skipped because mining or detection panicked on them.
+    pub poison_sessions: usize,
+    /// Stage shards that panicked and were re-run with per-record (or
+    /// per-session) isolation, summed across stages.
+    pub degraded_shards: usize,
+}
+
+impl RunHealth {
+    /// True when nothing was skipped, rejected or recovered.
+    pub fn is_clean(&self) -> bool {
+        *self == RunHealth::default()
+    }
+}
+
 /// The overall result statistics (Table 5 of the paper).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Statistics {
@@ -75,6 +112,8 @@ pub struct Statistics {
     pub skipped_overlaps: usize,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
+    /// Faults skipped, rejected or recovered during the run.
+    pub run_health: RunHealth,
 }
 
 impl Statistics {

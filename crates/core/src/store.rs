@@ -30,12 +30,22 @@ impl TemplateStore {
         TemplateStore::default()
     }
 
+    // A panic while the write guard is held poisons the lock, but the store's
+    // writers (`intern`, `renumber`) mutate `by_fp` and `templates` in
+    // matched pairs with no fallible code in between — a poisoned store is
+    // still internally consistent. Recover the data instead of cascading the
+    // panic into every thread that touches the store afterwards.
+
     fn read(&self) -> RwLockReadGuard<'_, StoreInner> {
-        self.inner.read().expect("template store lock poisoned")
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     fn write(&self) -> RwLockWriteGuard<'_, StoreInner> {
-        self.inner.write().expect("template store lock poisoned")
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Interns a template, returning its id (existing or fresh).
@@ -81,16 +91,20 @@ impl TemplateStore {
             .iter()
             .map(|&TemplateId(old)| inner.templates[old as usize].clone())
             .collect();
-        inner.by_fp = templates
+        let by_fp: HashMap<Fingerprint, TemplateId> = templates
             .iter()
             .enumerate()
             .map(|(new, t)| (t.fingerprint, TemplateId(new as u32)))
             .collect();
+        // Validate before mutating: a panic past this point would leave the
+        // two fields out of step, and poisoned-lock recovery assumes they
+        // never are.
         assert_eq!(
-            inner.by_fp.len(),
+            by_fp.len(),
             templates.len(),
             "renumber order must be a permutation"
         );
+        inner.by_fp = by_fp;
         inner.templates = templates;
     }
 
@@ -149,6 +163,24 @@ mod tests {
             TemplateId(0)
         );
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        // A panic while the write guard is held (here: renumber's length
+        // assert) poisons the RwLock. The store must keep serving readers
+        // and writers afterwards — one crashed worker must not take every
+        // other pipeline thread down with it.
+        let store = TemplateStore::new();
+        let a = store.intern(tpl("SELECT a FROM t WHERE x = 1"));
+        let poisoning = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.renumber(&[]);
+        }));
+        assert!(poisoning.is_err(), "renumber must reject a bad order");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.intern(tpl("SELECT a FROM t WHERE x = 2")), a);
+        let b = store.intern(tpl("SELECT b FROM t WHERE x = 1"));
+        assert_eq!(store.with(b, |t| t.sfc.clone()), "t");
     }
 
     #[test]

@@ -239,6 +239,7 @@ mod tests {
         MinedPatterns {
             patterns,
             total_queries: 1_000,
+            ..Default::default()
         }
     }
 

@@ -1,0 +1,111 @@
+//! Run-to-completion robustness without fault injection.
+//!
+//! These tests exercise the guard rails that operate on real (non-injected)
+//! damage: parser resource limits, lenient ingestion, and the clean-run
+//! health baseline. They must not touch the `SQLOG_FAULT_*` environment
+//! variables — env-dependent scenarios live in `fault_isolation.rs`, a
+//! separate test binary, because the hook reads process-global state.
+
+use sqlog_catalog::skyserver_catalog;
+use sqlog_core::{Pipeline, PipelineConfig, PipelineResult};
+use sqlog_log::{read_log_with, IngestPolicy, LogEntry, QueryLog, Timestamp};
+
+fn run_with(log: &QueryLog, threads: usize) -> PipelineResult {
+    let catalog = skyserver_catalog();
+    let cfg = PipelineConfig {
+        parallelism: threads,
+        ..PipelineConfig::default()
+    };
+    Pipeline::new(&catalog).with_config(cfg).run(log)
+}
+
+fn log_of(rows: &[(&str, i64, &str)]) -> QueryLog {
+    QueryLog::from_entries(
+        rows.iter()
+            .enumerate()
+            .map(|(i, (stmt, secs, user))| {
+                LogEntry::minimal(i as u64, *stmt, Timestamp::from_secs(*secs)).with_user(*user)
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn healthy_run_reports_clean_health() {
+    let log = log_of(&[
+        ("SELECT name FROM Employee WHERE empId = 8", 0, "u1"),
+        ("SELECT name FROM Employee WHERE empId = 1", 1, "u1"),
+        ("SELECT broken FROM", 2, "u2"),
+        ("INSERT INTO t VALUES (1)", 3, "u2"),
+    ]);
+    for threads in [1usize, 8] {
+        let result = run_with(&log, threads);
+        // Plain syntax errors and non-SELECTs are expected log content, not
+        // health findings.
+        assert!(
+            result.stats.run_health.is_clean(),
+            "threads={threads}: {:?}",
+            result.stats.run_health
+        );
+    }
+}
+
+#[test]
+fn depth_bomb_is_rejected_by_limit_not_by_stack_overflow() {
+    let bomb = format!("SELECT {}1{}", "(".repeat(10_000), ")".repeat(10_000));
+    let log = log_of(&[
+        (bomb.as_str(), 0, "u1"),
+        ("SELECT broken FROM", 1, "u1"),
+        ("SELECT name FROM Employee WHERE empId = 8", 2, "u2"),
+    ]);
+    let reference = run_with(&log, 1);
+    // The bomb is counted both as a limit rejection and, like any
+    // unparseable statement, as a syntax error — `limit_rejected` refines
+    // the pinned `syntax_errors` total rather than competing with it.
+    assert_eq!(reference.stats.run_health.limit_rejected, 1);
+    assert_eq!(reference.stats.syntax_errors, 2);
+    assert_eq!(reference.stats.run_health.poison_records, 0);
+    assert_eq!(reference.stats.run_health.degraded_shards, 0);
+    for threads in [2usize, 8, 0] {
+        let run = run_with(&log, threads);
+        assert_eq!(
+            run.stats.with_zeroed_timings(),
+            reference.stats.with_zeroed_timings(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn lenient_ingestion_feeds_the_pipeline_and_fills_health_counts() {
+    let mut raw: Vec<u8> = Vec::new();
+    raw.extend_from_slice(b"0\t0\tu1\t\t\t\tSELECT name FROM Employee WHERE empId = 8\n");
+    raw.extend_from_slice(b"garbage line\n");
+    raw.extend_from_slice(b"1\t1000\tu1\t\t\t\tSELECT \xFF FROM t\n");
+    raw.extend_from_slice(b"1\t1000\tu1\t\t\t\tSELECT name FROM Employee WHERE empId = 1\n");
+
+    let mut sidecar: Vec<u8> = Vec::new();
+    let (log, stats) =
+        read_log_with(&raw[..], IngestPolicy::Lenient, Some(&mut sidecar)).expect("lenient read");
+    assert_eq!(log.len(), 2);
+    assert_eq!(
+        (stats.quarantined, stats.malformed, stats.invalid_utf8),
+        (2, 1, 1)
+    );
+    assert_eq!(
+        sidecar,
+        b"garbage line\n1\t1000\tu1\t\t\t\tSELECT \xFF FROM t\n"
+    );
+
+    // Strict mode pins the historical fail-fast contract on the same bytes.
+    assert!(read_log_with(&raw[..], IngestPolicy::Strict, None).is_err());
+
+    let mut result = run_with(&log, 1);
+    result.stats.run_health.quarantined_lines = stats.quarantined;
+    result.stats.run_health.invalid_utf8_lines = stats.invalid_utf8;
+    assert!(!result.stats.run_health.is_clean());
+    assert_eq!(result.stats.run_health.quarantined_lines, 2);
+    assert_eq!(result.stats.run_health.invalid_utf8_lines, 1);
+    // The surviving DW pair still gets cleaned normally.
+    assert_eq!(result.stats.solved_instances, 1);
+}

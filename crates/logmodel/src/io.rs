@@ -24,6 +24,27 @@ pub enum IoFormatError {
         /// What was wrong.
         message: String,
     },
+    /// A line that is not valid UTF-8 (1-based line number).
+    ///
+    /// Distinct from [`IoFormatError::Malformed`] so that lenient readers
+    /// can count encoding damage separately from structural damage, and so
+    /// strict callers get a precise diagnostic.
+    InvalidUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl IoFormatError {
+    /// True for per-line data faults (malformed or mis-encoded lines) that a
+    /// lenient reader can skip; false for real I/O failures, which abort
+    /// reading under every policy.
+    pub fn is_data_fault(&self) -> bool {
+        matches!(
+            self,
+            IoFormatError::Malformed { .. } | IoFormatError::InvalidUtf8 { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for IoFormatError {
@@ -32,6 +53,9 @@ impl std::fmt::Display for IoFormatError {
             IoFormatError::Io(e) => write!(f, "I/O error: {e}"),
             IoFormatError::Malformed { line, message } => {
                 write!(f, "malformed log line {line}: {message}")
+            }
+            IoFormatError::InvalidUtf8 { line } => {
+                write!(f, "log line {line} is not valid UTF-8")
             }
         }
     }
@@ -153,7 +177,8 @@ pub fn write_log<W: Write>(log: &QueryLog, writer: W) -> Result<(), IoFormatErro
     Ok(())
 }
 
-/// Reads a log from any reader in the TSV format.
+/// Reads a log from any reader in the TSV format, aborting on the first
+/// malformed line (strict policy).
 pub fn read_log<R: Read>(reader: R) -> Result<QueryLog, IoFormatError> {
     let mut log = QueryLog::new();
     for entry in LogReader::new(reader) {
@@ -162,12 +187,91 @@ pub fn read_log<R: Read>(reader: R) -> Result<QueryLog, IoFormatError> {
     Ok(log)
 }
 
+/// How ingestion treats per-line data faults (malformed fields, invalid
+/// UTF-8).
+///
+/// Raw logs at SkyServer scale are hostile: truncated writes, encoding
+/// damage and tool glitches are routine in tens of millions of lines, and a
+/// cleaning framework that aborts on the first bad byte never finishes a
+/// real run. The strict policy pins the historical fail-fast behavior; the
+/// lenient policy trades it for run-to-completion with full accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// Abort on the first bad line (the historical behavior).
+    #[default]
+    Strict,
+    /// Skip bad lines, optionally copying them to a quarantine sidecar, and
+    /// report counts.
+    Lenient,
+}
+
+/// Accounting from one [`read_log_with`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Non-blank lines examined.
+    pub lines: usize,
+    /// Entries successfully parsed.
+    pub entries: usize,
+    /// Lines skipped as unreadable (lenient mode only; strict aborts
+    /// instead). Always `malformed + invalid_utf8`.
+    pub quarantined: usize,
+    /// Quarantined lines with structural damage (bad field count/values).
+    pub malformed: usize,
+    /// Quarantined lines that were not valid UTF-8.
+    pub invalid_utf8: usize,
+}
+
+/// Reads a log under an explicit [`IngestPolicy`].
+///
+/// Under [`IngestPolicy::Lenient`], lines that fail to parse are skipped
+/// and counted instead of aborting the read; when `quarantine` is given,
+/// each skipped line's raw bytes are copied to it verbatim (one line per
+/// fault, newline-terminated) so the damage can be inspected or repaired
+/// and re-ingested later. Real I/O errors abort under both policies.
+pub fn read_log_with<R: Read>(
+    reader: R,
+    policy: IngestPolicy,
+    mut quarantine: Option<&mut dyn Write>,
+) -> Result<(QueryLog, IngestStats), IoFormatError> {
+    let mut log = QueryLog::new();
+    let mut stats = IngestStats::default();
+    let mut reader = LogReader::new(reader);
+    while let Some(item) = reader.next() {
+        stats.lines += 1;
+        match item {
+            Ok(entry) => {
+                stats.entries += 1;
+                log.push(entry);
+            }
+            Err(e) if policy == IngestPolicy::Lenient && e.is_data_fault() => {
+                stats.quarantined += 1;
+                match &e {
+                    IoFormatError::InvalidUtf8 { .. } => stats.invalid_utf8 += 1,
+                    _ => stats.malformed += 1,
+                }
+                if let Some(w) = quarantine.as_deref_mut() {
+                    w.write_all(reader.raw_line())?;
+                    w.write_all(b"\n")?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((log, stats))
+}
+
 /// Streaming reader: iterates entries one at a time with constant memory —
 /// the right tool for multi-gigabyte logs (the SkyServer log at full scale
 /// would not fit in RAM on a laptop).
+///
+/// Lines are read as raw bytes (`read_until`), so a single invalid UTF-8
+/// byte yields one [`IoFormatError::InvalidUtf8`] item for that line and
+/// the iterator then continues with the next line — it can neither wedge
+/// nor lose its place on encoding damage. Callers decide whether an error
+/// item is fatal (strict) or skippable (lenient).
 pub struct LogReader<R: Read> {
     reader: BufReader<R>,
-    line: String,
+    line: Vec<u8>,
     lineno: usize,
 }
 
@@ -176,9 +280,24 @@ impl<R: Read> LogReader<R> {
     pub fn new(reader: R) -> Self {
         LogReader {
             reader: BufReader::new(reader),
-            line: String::new(),
+            line: Vec::new(),
             lineno: 0,
         }
+    }
+
+    /// The raw bytes (without the line terminator) of the line most recently
+    /// yielded by [`Iterator::next`] — the input for quarantine sidecars.
+    pub fn raw_line(&self) -> &[u8] {
+        let mut end = self.line.len();
+        while end > 0 && matches!(self.line[end - 1], b'\n' | b'\r') {
+            end -= 1;
+        }
+        &self.line[..end]
+    }
+
+    /// 1-based number of the line most recently yielded.
+    pub fn line_number(&self) -> usize {
+        self.lineno
     }
 }
 
@@ -188,17 +307,20 @@ impl<R: Read> Iterator for LogReader<R> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             self.line.clear();
-            match self.reader.read_line(&mut self.line) {
+            match self.reader.read_until(b'\n', &mut self.line) {
                 Ok(0) => return None,
                 Ok(_) => {}
                 Err(e) => return Some(Err(IoFormatError::Io(e))),
             }
             self.lineno += 1;
-            let trimmed = self.line.trim_end_matches(['\n', '\r']);
-            if trimmed.is_empty() {
+            let raw = self.raw_line();
+            if raw.is_empty() {
                 continue;
             }
-            return Some(parse_line(trimmed, self.lineno));
+            let Ok(text) = std::str::from_utf8(raw) else {
+                return Some(Err(IoFormatError::InvalidUtf8 { line: self.lineno }));
+            };
+            return Some(parse_line(text, self.lineno));
         }
     }
 }
@@ -366,6 +488,77 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn invalid_utf8_yields_typed_error_and_reader_continues() {
+        // A single 0xFF byte must produce one InvalidUtf8 item for that line
+        // and leave the reader positioned on the next line — the regression
+        // that motivated switching to read_until(b'\n').
+        let mut data = Vec::new();
+        data.extend_from_slice(b"0\t0\t\t\t\t\tSELECT 1\n");
+        data.extend_from_slice(b"1\t5\t\xFF\t\t\t\tSELECT 2\n");
+        data.extend_from_slice(b"2\t9\t\t\t\t\tSELECT 3\n");
+        let results: Vec<_> = LogReader::new(&data[..]).collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(IoFormatError::InvalidUtf8 { line: 2 })
+        ));
+        assert!(results[2].is_ok());
+        assert_eq!(results[2].as_ref().unwrap().statement, "SELECT 3");
+    }
+
+    #[test]
+    fn lenient_ingest_quarantines_bad_lines_with_exact_counts() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"0\t0\t\t\t\t\tSELECT 1\n");
+        data.extend_from_slice(b"garbage without tabs\n");
+        data.extend_from_slice(b"\n"); // blank: skipped silently, not counted
+        data.extend_from_slice(b"1\t5\t\xFFbad\t\t\t\tSELECT 2\n");
+        data.extend_from_slice(b"2\t9\t\t\t\t\tSELECT 3\n");
+        data.extend_from_slice(b"not-a-number\t0\t\t\t\t\tSELECT 4\n");
+        let mut sidecar = Vec::new();
+        let (log, stats) =
+            read_log_with(&data[..], IngestPolicy::Lenient, Some(&mut sidecar)).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            stats,
+            IngestStats {
+                lines: 5,
+                entries: 2,
+                quarantined: 3,
+                malformed: 2,
+                invalid_utf8: 1,
+            }
+        );
+        // The sidecar holds the raw offending lines, byte for byte.
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"garbage without tabs\n");
+        expected.extend_from_slice(b"1\t5\t\xFFbad\t\t\t\tSELECT 2\n");
+        expected.extend_from_slice(b"not-a-number\t0\t\t\t\t\tSELECT 4\n");
+        assert_eq!(sidecar, expected);
+    }
+
+    #[test]
+    fn strict_ingest_aborts_on_first_bad_line() {
+        let data = "0\t0\t\t\t\t\tSELECT 1\nbroken\n1\t5\t\t\t\t\tSELECT 2\n";
+        let err = read_log_with(data.as_bytes(), IngestPolicy::Strict, None).unwrap_err();
+        assert!(matches!(err, IoFormatError::Malformed { line: 2, .. }));
+        // read_log is the strict wrapper.
+        assert!(read_log(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lenient_ingest_of_clean_input_matches_strict() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let (back, stats) = read_log_with(&buf[..], IngestPolicy::Lenient, None).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.entries, log.len());
     }
 
     #[test]

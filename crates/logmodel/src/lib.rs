@@ -19,7 +19,10 @@ pub mod time;
 pub mod view;
 
 pub use entry::{GroundTruth, IntentKind, LogEntry};
-pub use io::{read_log, read_log_file, write_log, write_log_file, IoFormatError, LogReader};
+pub use io::{
+    read_log, read_log_file, read_log_with, write_log, write_log_file, IngestPolicy, IngestStats,
+    IoFormatError, LogReader,
+};
 pub use log::QueryLog;
 pub use time::{Timestamp, TimestampParseError};
 pub use view::LogView;

@@ -2,31 +2,94 @@
 
 use std::fmt;
 
+/// Which parser resource limit was exceeded.
+///
+/// Limit violations are *not* syntax errors: the statement may well be valid
+/// SQL, but parsing it to completion would risk exhausting process resources
+/// (stack, memory, time). Query-log cleaning must survive adversarial inputs
+/// — a depth-bomb of 10 000 nested parentheses must be rejected with a typed
+/// error, never crash the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseLimit {
+    /// Expression / subquery nesting exceeded [`crate::ParseLimits::max_depth`].
+    Depth,
+    /// Input longer than [`crate::ParseLimits::max_statement_bytes`].
+    StatementBytes,
+    /// More tokens than [`crate::ParseLimits::max_tokens`].
+    Tokens,
+}
+
+impl ParseLimit {
+    /// Human-readable name of the limit.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParseLimit::Depth => "nesting depth",
+            ParseLimit::StatementBytes => "statement length",
+            ParseLimit::Tokens => "token count",
+        }
+    }
+}
+
 /// An error produced while lexing or parsing a statement.
 ///
 /// Carries the byte offset into the original input so that callers (and the
 /// pipeline's per-statement error statistics) can point at the failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Human-readable description of what went wrong.
-    pub message: String,
-    /// Byte offset in the input where the error was detected.
-    pub offset: usize,
+pub enum ParseError {
+    /// The input is not valid SQL (in the supported dialect).
+    Syntax {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+    },
+    /// A resource guard tripped before the input could be fully parsed.
+    LimitExceeded {
+        /// Which limit was exceeded.
+        limit: ParseLimit,
+        /// Byte offset in the input where the guard tripped.
+        offset: usize,
+    },
 }
 
 impl ParseError {
-    /// Creates a new error at the given byte offset.
+    /// Creates a new syntax error at the given byte offset.
     pub fn new(message: impl Into<String>, offset: usize) -> Self {
-        ParseError {
+        ParseError::Syntax {
             message: message.into(),
             offset,
         }
+    }
+
+    /// Creates a limit-exceeded error at the given byte offset.
+    pub fn limit(limit: ParseLimit, offset: usize) -> Self {
+        ParseError::LimitExceeded { limit, offset }
+    }
+
+    /// Byte offset in the input where the error was detected.
+    pub fn offset(&self) -> usize {
+        match self {
+            ParseError::Syntax { offset, .. } | ParseError::LimitExceeded { offset, .. } => *offset,
+        }
+    }
+
+    /// True when this error is a tripped resource guard rather than a
+    /// genuine syntax problem.
+    pub fn is_limit(&self) -> bool {
+        matches!(self, ParseError::LimitExceeded { .. })
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at byte {}: {}", self.offset, self.message)
+        match self {
+            ParseError::Syntax { message, offset } => {
+                write!(f, "syntax error at byte {offset}: {message}")
+            }
+            ParseError::LimitExceeded { limit, offset } => {
+                write!(f, "limit exceeded at byte {offset}: {}", limit.as_str())
+            }
+        }
     }
 }
 
@@ -43,5 +106,14 @@ mod tests {
     fn display_includes_offset_and_message() {
         let e = ParseError::new("unexpected token", 17);
         assert_eq!(e.to_string(), "syntax error at byte 17: unexpected token");
+        assert!(!e.is_limit());
+    }
+
+    #[test]
+    fn limit_errors_are_typed() {
+        let e = ParseError::limit(ParseLimit::Depth, 42);
+        assert!(e.is_limit());
+        assert_eq!(e.offset(), 42);
+        assert_eq!(e.to_string(), "limit exceeded at byte 42: nesting depth");
     }
 }

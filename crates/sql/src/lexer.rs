@@ -10,32 +10,44 @@
 //! * integer / decimal / scientific-notation numbers,
 //! * the two spellings of "not equal": `<>` and `!=`.
 
-use crate::error::{ParseError, Result};
+use crate::error::{ParseError, ParseLimit, Result};
+use crate::limits::ParseLimits;
 use crate::token::{Keyword, SpannedToken, Token};
 
-/// Tokenizes `input` into a vector of spanned tokens.
+/// Tokenizes `input` into a vector of spanned tokens with default limits.
 ///
 /// Whitespace and comments are skipped. Errors are reported with the byte
 /// offset of the offending character.
 pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
-    Lexer::new(input).run()
+    tokenize_with(input, &ParseLimits::default())
+}
+
+/// Tokenizes `input`, enforcing the statement-length and token-budget
+/// guards of `limits` (a violation is [`ParseError::LimitExceeded`]).
+pub fn tokenize_with(input: &str, limits: &ParseLimits) -> Result<Vec<SpannedToken>> {
+    if input.len() > limits.max_statement_bytes {
+        return Err(ParseError::limit(ParseLimit::StatementBytes, 0));
+    }
+    Lexer::new(input, limits.max_tokens).run()
 }
 
 struct Lexer<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    max_tokens: usize,
     out: Vec<SpannedToken>,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(input: &'a str) -> Self {
+    fn new(input: &'a str, max_tokens: usize) -> Self {
         Lexer {
             input,
             bytes: input.as_bytes(),
             pos: 0,
+            max_tokens,
             // A token every ~5 bytes is a good estimate for SQL text.
-            out: Vec::with_capacity(input.len() / 5 + 4),
+            out: Vec::with_capacity((input.len() / 5 + 4).min(1 << 20)),
         }
     }
 
@@ -57,6 +69,14 @@ impl<'a> Lexer<'a> {
 
     fn push(&mut self, token: Token, offset: usize) {
         self.out.push(SpannedToken { token, offset });
+    }
+
+    fn check_budget(&self) -> Result<()> {
+        if self.out.len() > self.max_tokens {
+            Err(ParseError::limit(ParseLimit::Tokens, self.pos))
+        } else {
+            Ok(())
+        }
     }
 
     fn run(mut self) -> Result<Vec<SpannedToken>> {
@@ -140,6 +160,7 @@ impl<'a> Lexer<'a> {
                     ));
                 }
             }
+            self.check_budget()?;
         }
         Ok(self.out)
     }
@@ -478,7 +499,7 @@ mod tests {
     #[test]
     fn rejects_stray_bang() {
         let err = tokenize("SELECT a ! b").unwrap_err();
-        assert_eq!(err.offset, 9);
+        assert_eq!(err.offset(), 9);
     }
 
     #[test]

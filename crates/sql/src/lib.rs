@@ -34,6 +34,7 @@
 pub mod ast;
 pub mod error;
 pub mod lexer;
+pub mod limits;
 pub mod parser;
 pub mod printer;
 pub mod token;
@@ -42,7 +43,11 @@ pub use ast::{
     BinaryOp, Expr, Ident, JoinKind, Literal, ObjectName, OrderByItem, Query, Select, SelectItem,
     SetOperator, Statement, StatementKind, TableRef, UnaryOp,
 };
-pub use error::{ParseError, Result};
-pub use lexer::tokenize;
-pub use parser::{parse_query, parse_statement, parse_statements};
+pub use error::{ParseError, ParseLimit, Result};
+pub use lexer::{tokenize, tokenize_with};
+pub use limits::ParseLimits;
+pub use parser::{
+    parse_query, parse_query_with, parse_statement, parse_statement_with, parse_statements,
+    parse_statements_with,
+};
 pub use token::{Keyword, Token};

@@ -1,0 +1,52 @@
+//! Parser resource guards.
+//!
+//! Real query logs contain adversarial inputs: statements with thousands of
+//! nested parentheses (stack exhaustion), multi-megabyte statements
+//! (memory), or token floods. The guards here bound what the lexer and
+//! parser will attempt so that *no input* can abort the process; a tripped
+//! guard surfaces as [`crate::ParseError::LimitExceeded`], which the
+//! pipeline counts alongside syntax errors (§5.3 drops both the same way).
+
+/// Resource limits applied while lexing and parsing one statement (or one
+/// `;`-separated batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum nesting depth of expressions, subqueries and parenthesized
+    /// join trees. Each level costs a handful of stack frames, so this
+    /// bounds recursion well below stack exhaustion.
+    pub max_depth: usize,
+    /// Maximum input length in bytes; longer inputs are rejected before
+    /// lexing.
+    pub max_statement_bytes: usize,
+    /// Maximum number of lexed tokens; the lexer stops once exceeded.
+    pub max_tokens: usize,
+}
+
+impl Default for ParseLimits {
+    /// Generous defaults: orders of magnitude above anything observed in the
+    /// SkyServer log, while keeping worst-case stack depth trivially safe.
+    ///
+    /// The depth cap is calibrated to unoptimized builds, where one nesting
+    /// level costs on the order of 10 stack frames: 64 levels stay well
+    /// inside the 2 MiB default stack of spawned (worker and test) threads.
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: 64,
+            max_statement_bytes: 1 << 20, // 1 MiB
+            max_tokens: 1 << 18,          // 262 144
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_but_finite() {
+        let l = ParseLimits::default();
+        assert!(l.max_depth >= 32);
+        assert!(l.max_statement_bytes >= 1 << 20);
+        assert!(l.max_tokens >= 1 << 16);
+    }
+}

@@ -12,14 +12,20 @@
 //! statements in the original framework.
 
 use crate::ast::*;
-use crate::error::{ParseError, Result};
-use crate::lexer::tokenize;
+use crate::error::{ParseError, ParseLimit, Result};
+use crate::lexer::tokenize_with;
+use crate::limits::ParseLimits;
 use crate::token::{Keyword, SpannedToken, Token};
 
 /// Parses exactly one statement; trailing semicolons are permitted.
 pub fn parse_statement(sql: &str) -> Result<Statement> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser::new(tokens);
+    parse_statement_with(sql, &ParseLimits::default())
+}
+
+/// Parses exactly one statement under explicit resource limits.
+pub fn parse_statement_with(sql: &str, limits: &ParseLimits) -> Result<Statement> {
+    let tokens = tokenize_with(sql, limits)?;
+    let mut p = Parser::new(tokens, limits.max_depth);
     let stmt = p.parse_statement()?;
     p.skip_semicolons();
     p.expect_eof()?;
@@ -28,8 +34,14 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 
 /// Parses a `;`-separated batch of statements.
 pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser::new(tokens);
+    parse_statements_with(sql, &ParseLimits::default())
+}
+
+/// Parses a `;`-separated batch of statements under explicit resource
+/// limits.
+pub fn parse_statements_with(sql: &str, limits: &ParseLimits) -> Result<Vec<Statement>> {
+    let tokens = tokenize_with(sql, limits)?;
+    let mut p = Parser::new(tokens, limits.max_depth);
     let mut out = Vec::new();
     p.skip_semicolons();
     while !p.at_eof() {
@@ -41,8 +53,13 @@ pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
 
 /// Parses a bare `SELECT` query.
 pub fn parse_query(sql: &str) -> Result<Query> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser::new(tokens);
+    parse_query_with(sql, &ParseLimits::default())
+}
+
+/// Parses a bare `SELECT` query under explicit resource limits.
+pub fn parse_query_with(sql: &str, limits: &ParseLimits) -> Result<Query> {
+    let tokens = tokenize_with(sql, limits)?;
+    let mut p = Parser::new(tokens, limits.max_depth);
     let q = p.parse_query()?;
     p.skip_semicolons();
     p.expect_eof()?;
@@ -52,11 +69,38 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 struct Parser {
     tokens: Vec<SpannedToken>,
     pos: usize,
+    /// Current nesting depth (expressions, subqueries, join trees).
+    depth: usize,
+    /// Depth at which [`Parser::descend`] refuses to go deeper.
+    max_depth: usize,
 }
 
 impl Parser {
-    fn new(tokens: Vec<SpannedToken>) -> Self {
-        Parser { tokens, pos: 0 }
+    fn new(tokens: Vec<SpannedToken>, max_depth: usize) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+            max_depth,
+        }
+    }
+
+    /// Enters one nesting level; errs with a typed limit violation when the
+    /// configured depth is exceeded. Every `descend` must be paired with an
+    /// `ascend` on the success *and* error path of the caller — the pattern
+    /// used below runs the recursive body, then decrements unconditionally.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.depth -= 1;
+            return Err(ParseError::limit(ParseLimit::Depth, self.offset()));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        debug_assert!(self.depth > 0);
+        self.depth -= 1;
     }
 
     // ---- cursor helpers -------------------------------------------------
@@ -204,6 +248,13 @@ impl Parser {
     // ---- queries ----------------------------------------------------------
 
     fn parse_query(&mut self) -> Result<Query> {
+        self.descend()?;
+        let q = self.parse_query_inner();
+        self.ascend();
+        q
+    }
+
+    fn parse_query_inner(&mut self) -> Result<Query> {
         let body = self.parse_select_body()?;
         let mut set_ops = Vec::new();
         loop {
@@ -419,6 +470,13 @@ impl Parser {
     // ---- FROM clause ------------------------------------------------------
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
+        self.descend()?;
+        let t = self.parse_table_ref_inner();
+        self.ascend();
+        t
+    }
+
+    fn parse_table_ref_inner(&mut self) -> Result<TableRef> {
         let mut left = self.parse_table_primary()?;
         loop {
             let kind = if self.eat_kw(Keyword::Cross) {
@@ -513,8 +571,16 @@ impl Parser {
     // ---- expressions --------------------------------------------------
 
     /// Full expression entry point (lowest precedence: OR).
+    ///
+    /// Every nested expression — parenthesized groups, subqueries, function
+    /// arguments — re-enters here, so this single guard bounds the parser's
+    /// recursion over arbitrarily hostile inputs (`NOT`/unary chains are
+    /// parsed iteratively and do not recurse at all).
     fn parse_expr(&mut self) -> Result<Expr> {
-        self.parse_or()
+        self.descend()?;
+        let e = self.parse_or();
+        self.ascend();
+        e
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
@@ -544,20 +610,26 @@ impl Parser {
     }
 
     fn parse_not(&mut self) -> Result<Expr> {
-        if self.peek_kw() == Some(Keyword::Not)
+        // Iterative: a chain of `NOT NOT NOT ...` consumes no stack, so it
+        // cannot defeat the depth guard by recursing outside `parse_expr`.
+        let mut nots = 0usize;
+        while self.peek_kw() == Some(Keyword::Not)
             && !matches!(
                 self.peek_at(1).and_then(Token::keyword),
                 Some(Keyword::In | Keyword::Between | Keyword::Like | Keyword::Exists)
             )
         {
             self.pos += 1;
-            let expr = self.parse_not()?;
-            return Ok(Expr::Unary {
+            nots += 1;
+        }
+        let mut expr = self.parse_predicate()?;
+        for _ in 0..nots {
+            expr = Expr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(expr),
-            });
+            };
         }
-        self.parse_predicate()
+        Ok(expr)
     }
 
     fn parse_predicate(&mut self) -> Result<Expr> {
@@ -720,21 +792,26 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr> {
-        if self.eat(&Token::Minus) {
-            let expr = self.parse_unary()?;
-            return Ok(Expr::Unary {
-                op: UnaryOp::Minus,
-                expr: Box::new(expr),
-            });
+        // Iterative for the same reason as `parse_not`: sign chains like
+        // `- - - - x` must not consume stack proportional to their length.
+        let mut ops = Vec::new();
+        loop {
+            if self.eat(&Token::Minus) {
+                ops.push(UnaryOp::Minus);
+            } else if self.eat(&Token::Plus) {
+                ops.push(UnaryOp::Plus);
+            } else {
+                break;
+            }
         }
-        if self.eat(&Token::Plus) {
-            let expr = self.parse_unary()?;
-            return Ok(Expr::Unary {
-                op: UnaryOp::Plus,
+        let mut expr = self.parse_primary()?;
+        for op in ops.into_iter().rev() {
+            expr = Expr::Unary {
+                op,
                 expr: Box::new(expr),
-            });
+            };
         }
-        self.parse_primary()
+        Ok(expr)
     }
 
     fn parse_primary(&mut self) -> Result<Expr> {

@@ -1,0 +1,109 @@
+//! Parser resource guards survive adversarial inputs.
+//!
+//! A query-log cleaner parses millions of untrusted statements; a single
+//! depth-bomb must produce a typed [`ParseError::LimitExceeded`], never a
+//! stack overflow or abort. These tests are the regression suite for the
+//! recursion-depth, statement-length and token-budget guards.
+
+use sqlog_sql::{
+    parse_query, parse_statement, parse_statement_with, parse_statements_with, ParseError,
+    ParseLimit, ParseLimits,
+};
+
+fn assert_limit(result: Result<impl std::fmt::Debug, ParseError>, expected: ParseLimit) {
+    match result {
+        Err(ParseError::LimitExceeded { limit, .. }) => assert_eq!(limit, expected),
+        other => panic!("expected LimitExceeded({expected:?}), got {other:?}"),
+    }
+}
+
+#[test]
+fn paren_depth_bomb_returns_limit_error() {
+    // 10 000 nested parentheses around a literal: without the guard this
+    // recurses once per paren and overflows the stack.
+    let sql = format!("SELECT {}1{}", "(".repeat(10_000), ")".repeat(10_000));
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn nested_subquery_bomb_returns_limit_error() {
+    // 5 000-way nested scalar subqueries: `SELECT (SELECT (SELECT ... 1))`.
+    let sql = format!("{}1{}", "SELECT (".repeat(5_000), ")".repeat(4_999));
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn nested_from_subquery_bomb_returns_limit_error() {
+    // Derived-table nesting: `SELECT a FROM (SELECT a FROM (... t))`.
+    let sql = format!("{}t{}", "SELECT a FROM (".repeat(5_000), ")".repeat(4_999));
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn parenthesized_join_tree_bomb_returns_limit_error() {
+    let sql = format!(
+        "SELECT a FROM {}t{}",
+        "(".repeat(10_000),
+        ")".repeat(10_000)
+    );
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn not_and_sign_chains_are_stack_free() {
+    // Unary chains are parsed iteratively, so a chain far longer than the
+    // depth limit still parses — it nests the AST, not the parser's stack.
+    let not_chain = format!("SELECT {}1", "NOT ".repeat(500));
+    parse_statement(&not_chain).expect("NOT chain parses");
+    let sign_chain = format!("SELECT {}1", "- ".repeat(500));
+    parse_statement(&sign_chain).expect("sign chain parses");
+}
+
+#[test]
+fn statement_length_guard() {
+    let limits = ParseLimits {
+        max_statement_bytes: 64,
+        ..ParseLimits::default()
+    };
+    let sql = format!("SELECT a FROM t WHERE x = '{}'", "y".repeat(100));
+    assert_limit(
+        parse_statement_with(&sql, &limits),
+        ParseLimit::StatementBytes,
+    );
+    // Under the cap, the same shape parses.
+    parse_statement_with("SELECT a FROM t WHERE x = 'y'", &limits).expect("short statement");
+}
+
+#[test]
+fn token_budget_guard() {
+    let limits = ParseLimits {
+        max_tokens: 32,
+        ..ParseLimits::default()
+    };
+    let sql = format!(
+        "SELECT a FROM t WHERE x IN ({})",
+        (0..100)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    assert_limit(parse_statements_with(&sql, &limits), ParseLimit::Tokens);
+}
+
+#[test]
+fn limit_errors_are_distinguishable_from_syntax_errors() {
+    let deep = format!("SELECT {}1{}", "(".repeat(10_000), ")".repeat(10_000));
+    assert!(parse_statement(&deep).unwrap_err().is_limit());
+    assert!(!parse_statement("SELECT FROM WHERE").unwrap_err().is_limit());
+}
+
+#[test]
+fn realistic_nesting_is_untouched_by_defaults() {
+    // A plausibly hairy real-world query: a few nested subqueries and
+    // parenthesized predicates must stay well inside the default limits.
+    let sql = "SELECT p.objid, (SELECT count(*) FROM neighbors n WHERE n.objid = p.objid) \
+               FROM photoprimary p \
+               WHERE ((p.ra > 1 AND p.ra < 2) OR (p.dec > -1 AND p.dec < 1)) \
+                 AND p.objid IN (SELECT objid FROM specobj WHERE z > 0.1)";
+    parse_query(sql).expect("realistic query parses");
+}

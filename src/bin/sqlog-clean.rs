@@ -9,18 +9,25 @@
 //!             [--schema SCHEMA.txt]
 //!             [--threshold-ms N | --threshold-unrestricted]
 //!             [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]
+//!             [--lenient] [--quarantine BAD.tsv]
 //! ```
 //!
 //! The built-in SkyServer-like schema provides the key metadata for
 //! Definition 11; `--no-key-axiom` drops that requirement (the paper's
 //! discussed simplification), which also makes the tool fully
 //! schema-independent.
+//!
+//! By default ingestion is strict: the first malformed or non-UTF-8 input
+//! line aborts with a non-zero exit. `--lenient` skips such lines (copying
+//! them verbatim to `--quarantine PATH` when given), reports their counts
+//! in the run-health section, and always runs to completion.
 
 use sqlog::catalog::{parse_schema, skyserver_catalog, Catalog};
 use sqlog::core::{
     render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig,
 };
-use sqlog::logmodel::{read_log_file, write_log_file};
+use sqlog::logmodel::{read_log_with, write_log_file, IngestPolicy, IngestStats, QueryLog};
+use std::io::Write as _;
 use std::process::exit;
 
 struct Args {
@@ -30,11 +37,14 @@ struct Args {
     schema: Option<String>,
     config: PipelineConfig,
     top: usize,
+    lenient: bool,
+    quarantine: Option<String>,
 }
 
 const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
     [--schema SCHEMA.txt] [--threshold-ms N | --threshold-unrestricted]\n\
-    [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]";
+    [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]\n\
+    [--lenient] [--quarantine BAD.tsv]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
@@ -43,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
     let mut schema = None;
     let mut config = PipelineConfig::default();
     let mut top = 15usize;
+    let mut lenient = false;
+    let mut quarantine = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -77,9 +89,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --top: {e}"))?;
             }
+            "--lenient" => lenient = true,
+            "--quarantine" => quarantine = Some(value("--quarantine")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if quarantine.is_some() && !lenient {
+        return Err("--quarantine requires --lenient".to_string());
     }
     Ok(Args {
         input: input.ok_or("--in is required")?,
@@ -88,7 +105,38 @@ fn parse_args() -> Result<Args, String> {
         schema,
         config,
         top,
+        lenient,
+        quarantine,
     })
+}
+
+/// Reads the input log under the selected ingestion policy, writing skipped
+/// lines to the quarantine sidecar when one was requested.
+fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
+    let file =
+        std::fs::File::open(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let policy = if args.lenient {
+        IngestPolicy::Lenient
+    } else {
+        IngestPolicy::Strict
+    };
+    let mut sidecar = match &args.quarantine {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let (log, stats) = read_log_with(
+        std::io::BufReader::new(file),
+        policy,
+        sidecar.as_mut().map(|w| w as &mut dyn std::io::Write),
+    )
+    .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    if let Some(w) = &mut sidecar {
+        w.flush()
+            .map_err(|e| format!("cannot write quarantine sidecar: {e}"))?;
+    }
+    Ok((log, stats))
 }
 
 fn main() {
@@ -103,14 +151,26 @@ fn main() {
         }
     };
 
-    let log = match read_log_file(&args.input) {
-        Ok(log) => log,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", args.input);
+    let (log, ingest_stats) = match ingest(&args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             exit(1);
         }
     };
     eprintln!("read {} entries from {}", log.len(), args.input);
+    if ingest_stats.quarantined > 0 {
+        eprintln!(
+            "quarantined {} unreadable lines ({} malformed, {} invalid UTF-8){}",
+            ingest_stats.quarantined,
+            ingest_stats.malformed,
+            ingest_stats.invalid_utf8,
+            args.quarantine
+                .as_deref()
+                .map(|p| format!(", copied to {p}"))
+                .unwrap_or_default()
+        );
+    }
 
     // A user-supplied schema replaces the built-in SkyServer-like one.
     let catalog: Catalog = match &args.schema {
@@ -132,7 +192,9 @@ fn main() {
         }
         None => skyserver_catalog(),
     };
-    let result = Pipeline::new(&catalog).with_config(args.config).run(&log);
+    let mut result = Pipeline::new(&catalog).with_config(args.config).run(&log);
+    result.stats.run_health.quarantined_lines = ingest_stats.quarantined;
+    result.stats.run_health.invalid_utf8_lines = ingest_stats.invalid_utf8;
 
     println!("{}", render_statistics(&result.stats));
     println!("top {} patterns (antipatterns marked):", args.top);
