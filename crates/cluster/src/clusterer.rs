@@ -24,6 +24,13 @@ pub struct Cluster {
 pub struct Clustering {
     /// Clusters, sorted by descending size.
     pub clusters: Vec<Cluster>,
+    /// Parallel workers that panicked and were re-run row by row under
+    /// per-row isolation (always 0 on the sequential path and on healthy
+    /// runs).
+    pub degraded_shards: usize,
+    /// Pair-scan rows dropped because they panicked even under per-row
+    /// isolation; their edges are missing from the clustering.
+    pub poisoned_rows: usize,
 }
 
 impl Clustering {
@@ -88,27 +95,28 @@ fn signature(region: &Region) -> String {
     s
 }
 
-/// Clusters weighted distinct regions: regions `i`, `j` are connected when
-/// `distance(i, j) < threshold`.
-pub fn cluster_regions(regions: &[Region], weights: &[u64], threshold: f64) -> Clustering {
-    assert_eq!(regions.len(), weights.len());
-    let n = regions.len();
-    let mut uf = UnionFind::new(n);
-
-    let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
-    for (i, r) in regions.iter().enumerate() {
-        buckets.entry(signature(r)).or_default().push(i);
-    }
-    for bucket in buckets.values() {
-        for (pos, &i) in bucket.iter().enumerate() {
-            for &j in &bucket[pos + 1..] {
-                if regions[i].distance(&regions[j]) < threshold {
-                    uf.union(i, j);
-                }
-            }
+/// Emits the below-threshold edges of one pair-triangle row — `bucket[pos]`
+/// against every later bucket member. The single distance predicate shared
+/// by the sequential scan, the parallel workers, and the degraded re-run of
+/// a panicked worker, so the three paths cannot silently diverge.
+fn scan_row(
+    regions: &[Region],
+    bucket: &[usize],
+    pos: usize,
+    threshold: f64,
+    emit: &mut impl FnMut(usize, usize),
+) {
+    let i = bucket[pos];
+    for &j in &bucket[pos + 1..] {
+        if regions[i].distance(&regions[j]) < threshold {
+            emit(i, j);
         }
     }
+}
 
+/// Groups union-find components into weight-summed clusters, sorted by
+/// descending size (ties broken by member list) for deterministic output.
+fn assemble(uf: &mut UnionFind, weights: &[u64]) -> Vec<Cluster> {
     let mut clusters: HashMap<usize, Cluster> = HashMap::new();
     for (i, &w) in weights.iter().enumerate() {
         let root = uf.find(i);
@@ -121,12 +129,38 @@ pub fn cluster_regions(regions: &[Region], weights: &[u64], threshold: f64) -> C
     }
     let mut clusters: Vec<Cluster> = clusters.into_values().collect();
     clusters.sort_by(|a, b| b.size.cmp(&a.size).then_with(|| a.members.cmp(&b.members)));
-    Clustering { clusters }
+    clusters
+}
+
+/// Clusters weighted distinct regions: regions `i`, `j` are connected when
+/// `distance(i, j) < threshold`.
+pub fn cluster_regions(regions: &[Region], weights: &[u64], threshold: f64) -> Clustering {
+    assert_eq!(regions.len(), weights.len());
+    let n = regions.len();
+    let mut uf = UnionFind::new(n);
+
+    let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, r) in regions.iter().enumerate() {
+        buckets.entry(signature(r)).or_default().push(i);
+    }
+    for bucket in buckets.values() {
+        for pos in 0..bucket.len().saturating_sub(1) {
+            scan_row(regions, bucket, pos, threshold, &mut |i, j| uf.union(i, j));
+        }
+    }
+
+    Clustering {
+        clusters: assemble(&mut uf, weights),
+        ..Clustering::default()
+    }
 }
 
 /// Parallel variant of [`cluster_regions`]: bucket pair-scans run on a
 /// scoped thread pool, then the edges merge into one union-find. Produces
-/// exactly the same clustering as the sequential version.
+/// exactly the same clustering as the sequential version. A worker that
+/// panics is re-run row by row under per-row isolation; the recovery is
+/// accounted in [`Clustering::degraded_shards`] / [`Clustering::poisoned_rows`]
+/// so recovered runs are never silent.
 pub fn cluster_regions_parallel(
     regions: &[Region],
     weights: &[u64],
@@ -164,6 +198,8 @@ pub fn cluster_regions_parallel(
         .collect();
 
     let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut degraded_shards = 0usize;
+    let mut poisoned_rows = 0usize;
     std::thread::scope(|s| {
         let buckets = &buckets;
         let handles: Vec<_> = shards
@@ -172,13 +208,9 @@ pub fn cluster_regions_parallel(
                 s.spawn(move || {
                     let mut local = Vec::new();
                     for &(b, pos) in shard {
-                        let bucket = &buckets[b];
-                        let i = bucket[pos];
-                        for &j in &bucket[pos + 1..] {
-                            if regions[i].distance(&regions[j]) < threshold {
-                                local.push((i, j));
-                            }
-                        }
+                        scan_row(regions, &buckets[b], pos, threshold, &mut |i, j| {
+                            local.push((i, j));
+                        });
                     }
                     local
                 })
@@ -189,24 +221,22 @@ pub fn cluster_regions_parallel(
                 Ok(local) => edges.extend(local),
                 Err(_) => {
                     // Degraded re-run of a panicked worker: each pair row
-                    // under its own panic guard, so a poison row contributes
-                    // no edges instead of aborting the clustering. Edge
-                    // order does not matter — union-find is order-blind and
-                    // the final cluster list is sorted.
+                    // under its own panic guard, so a poison row drops only
+                    // its own edges (counted below) instead of aborting the
+                    // clustering. Edge order does not matter — union-find
+                    // is order-blind and the final cluster list is sorted.
+                    degraded_shards += 1;
                     for &(b, pos) in shard {
-                        let bucket = &buckets[b];
-                        let i = bucket[pos];
                         let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut local = Vec::new();
-                            for &j in &bucket[pos + 1..] {
-                                if regions[i].distance(&regions[j]) < threshold {
-                                    local.push((i, j));
-                                }
-                            }
+                            scan_row(regions, &buckets[b], pos, threshold, &mut |i, j| {
+                                local.push((i, j));
+                            });
                             local
                         }));
-                        if let Ok(local) = row {
-                            edges.extend(local);
+                        match row {
+                            Ok(local) => edges.extend(local),
+                            Err(_) => poisoned_rows += 1,
                         }
                     }
                 }
@@ -218,19 +248,11 @@ pub fn cluster_regions_parallel(
     for (i, j) in edges {
         uf.union(i, j);
     }
-    let mut clusters: HashMap<usize, Cluster> = HashMap::new();
-    for (i, &w) in weights.iter().enumerate() {
-        let root = uf.find(i);
-        let c = clusters.entry(root).or_insert_with(|| Cluster {
-            size: 0,
-            members: Vec::new(),
-        });
-        c.size += w;
-        c.members.push(i);
+    Clustering {
+        clusters: assemble(&mut uf, weights),
+        degraded_shards,
+        poisoned_rows,
     }
-    let mut clusters: Vec<Cluster> = clusters.into_values().collect();
-    clusters.sort_by(|a, b| b.size.cmp(&a.size).then_with(|| a.members.cmp(&b.members)));
-    Clustering { clusters }
 }
 
 /// Convenience: dedup + cluster raw SQL statements. Unparsable statements
@@ -336,6 +358,9 @@ mod tests {
                 let par = cluster_regions_parallel(&rs, &weights, t, threads);
                 assert_eq!(seq.count(), par.count(), "threshold {t}");
                 assert_eq!(seq.sizes(), par.sizes(), "threshold {t}");
+                // Healthy runs never report degraded recovery.
+                assert_eq!(par.degraded_shards, 0);
+                assert_eq!(par.poisoned_rows, 0);
             }
         }
     }

@@ -14,6 +14,12 @@
 //! (never cached) so a single test process can exercise several stages in
 //! sequence.
 //!
+//! Because the hook ships in production binaries, arming it is never
+//! silent: the first time a run finds the marker armed it prints a loud
+//! warning to stderr, so a marker variable leaking into a deployment
+//! environment cannot quietly drop matching records as poison with only a
+//! run-health counter as evidence.
+//!
 //! For the `mine` stage, which sees template ids rather than statement
 //! text, the marker is matched against each record's `primary_table`
 //! instead — plant it in a table name.
@@ -27,7 +33,20 @@ pub(crate) fn armed(stage: &str) -> Option<String> {
         return None;
     }
     let target = std::env::var("SQLOG_FAULT_STAGE").unwrap_or_else(|_| "parse".to_string());
-    (target == stage).then_some(marker)
+    if target != stage {
+        return None;
+    }
+    // Once per process, not per shard: the point is an unmissable trace in
+    // a production run's stderr, not a log flood.
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "WARNING: fault injection is ARMED (SQLOG_FAULT_MARKER={marker:?}, stage {target:?}): \
+             matching records will panic and be quarantined as poison. \
+             Unset SQLOG_FAULT_MARKER unless this is a resilience test."
+        );
+    });
+    Some(marker)
 }
 
 /// Panics when `text` contains the armed marker. No-op while disarmed.

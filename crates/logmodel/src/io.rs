@@ -225,9 +225,11 @@ pub struct IngestStats {
 ///
 /// Under [`IngestPolicy::Lenient`], lines that fail to parse are skipped
 /// and counted instead of aborting the read; when `quarantine` is given,
-/// each skipped line's raw bytes are copied to it verbatim (one line per
-/// fault, newline-terminated) so the damage can be inspected or repaired
-/// and re-ingested later. Real I/O errors abort under both policies.
+/// each skipped line's raw bytes are copied to it byte-verbatim, including
+/// the original line terminator (`\n` or `\r\n`; a terminator-less final
+/// line is copied as-is), so the damage can be inspected or repaired and
+/// re-ingested later without the sidecar itself rewriting anything. Real
+/// I/O errors abort under both policies.
 pub fn read_log_with<R: Read>(
     reader: R,
     policy: IngestPolicy,
@@ -250,8 +252,7 @@ pub fn read_log_with<R: Read>(
                     _ => stats.malformed += 1,
                 }
                 if let Some(w) = quarantine.as_deref_mut() {
-                    w.write_all(reader.raw_line())?;
-                    w.write_all(b"\n")?;
+                    w.write_all(reader.raw_line_bytes())?;
                 }
             }
             Err(e) => return Err(e),
@@ -286,13 +287,20 @@ impl<R: Read> LogReader<R> {
     }
 
     /// The raw bytes (without the line terminator) of the line most recently
-    /// yielded by [`Iterator::next`] — the input for quarantine sidecars.
+    /// yielded by [`Iterator::next`].
     pub fn raw_line(&self) -> &[u8] {
         let mut end = self.line.len();
         while end > 0 && matches!(self.line[end - 1], b'\n' | b'\r') {
             end -= 1;
         }
         &self.line[..end]
+    }
+
+    /// The raw bytes of the line most recently yielded, *including* its
+    /// original terminator (`\n`, `\r\n`, or nothing for a terminator-less
+    /// final line) — the input for byte-verbatim quarantine sidecars.
+    pub fn raw_line_bytes(&self) -> &[u8] {
+        &self.line
     }
 
     /// 1-based number of the line most recently yielded.
@@ -538,6 +546,26 @@ mod tests {
         expected.extend_from_slice(b"garbage without tabs\n");
         expected.extend_from_slice(b"1\t5\t\xFFbad\t\t\t\tSELECT 2\n");
         expected.extend_from_slice(b"not-a-number\t0\t\t\t\t\tSELECT 4\n");
+        assert_eq!(sidecar, expected);
+    }
+
+    #[test]
+    fn quarantine_preserves_crlf_and_missing_terminators_byte_verbatim() {
+        // CRLF lines must keep their `\r\n` and a terminator-less final line
+        // must not gain one: the sidecar is a byte-exact copy of the damage,
+        // as the repair-and-re-ingest contract documents.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"crlf garbage\r\n");
+        data.extend_from_slice(b"0\t0\t\t\t\t\tSELECT 1\r\n"); // good CRLF line
+        data.extend_from_slice(b"last line, no newline");
+        let mut sidecar = Vec::new();
+        let (log, stats) =
+            read_log_with(&data[..], IngestPolicy::Lenient, Some(&mut sidecar)).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(stats.quarantined, 2);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"crlf garbage\r\n");
+        expected.extend_from_slice(b"last line, no newline");
         assert_eq!(sidecar, expected);
     }
 

@@ -14,6 +14,14 @@ pub struct ParseLimits {
     /// Maximum nesting depth of expressions, subqueries and parenthesized
     /// join trees. Each level costs a handful of stack frames, so this
     /// bounds recursion well below stack exhaustion.
+    ///
+    /// Also seeds the parser's *flat-nesting* budget: iteratively parsed
+    /// operator chains (`NOT NOT ...`, `- - ...`, `a OR b OR ...`, join
+    /// chains) build one AST level per node without recursing, and may
+    /// build at most `32 × max_depth` such nodes per statement. Together
+    /// the two caps bound the height of any AST the parser returns, which
+    /// keeps the tree's own recursive consumers — drop glue, visitors, the
+    /// printer — stack-safe on inputs no recursion guard ever sees.
     pub max_depth: usize,
     /// Maximum input length in bytes; longer inputs are rejected before
     /// lexing.

@@ -66,6 +66,12 @@ pub fn parse_query_with(sql: &str, limits: &ParseLimits) -> Result<Query> {
     Ok(q)
 }
 
+/// Flat-nesting budget per unit of `max_depth`: iteratively parsed operator
+/// chains may build at most `32 × max_depth` AST levels per statement (2048
+/// at the default depth of 64) — orders of magnitude above real queries,
+/// while capping AST height low enough for its recursive consumers.
+const FLAT_NODES_PER_DEPTH: usize = 32;
+
 struct Parser {
     tokens: Vec<SpannedToken>,
     pos: usize,
@@ -73,6 +79,11 @@ struct Parser {
     depth: usize,
     /// Depth at which [`Parser::descend`] refuses to go deeper.
     max_depth: usize,
+    /// AST levels built iteratively in the current statement — see
+    /// [`Parser::charge`].
+    flat: usize,
+    /// Budget at which [`Parser::charge`] refuses to build more.
+    flat_cap: usize,
 }
 
 impl Parser {
@@ -82,6 +93,8 @@ impl Parser {
             pos: 0,
             depth: 0,
             max_depth,
+            flat: 0,
+            flat_cap: max_depth.saturating_mul(FLAT_NODES_PER_DEPTH),
         }
     }
 
@@ -101,6 +114,25 @@ impl Parser {
     fn ascend(&mut self) {
         debug_assert!(self.depth > 0);
         self.depth -= 1;
+    }
+
+    /// Charges `n` AST levels built *iteratively* — left-deep binary-operator
+    /// chains, `NOT`/sign chains, join chains — against the per-statement
+    /// flat-nesting budget.
+    ///
+    /// [`Parser::descend`] bounds the parser's own recursion, but these
+    /// loops consume no parse stack while still Box-nesting the tree one
+    /// level per node. Without this charge, a flood of `NOT`s or `OR`s that
+    /// fits every byte/token limit would build an AST too deep for its
+    /// recursive consumers (drop glue, visitors, the printer) and abort the
+    /// process when the tree is walked or destroyed. Together the two guards
+    /// bound AST height by `max_depth × (FLAT_NODES_PER_DEPTH + 1)`.
+    fn charge(&mut self, n: usize) -> Result<()> {
+        self.flat += n;
+        if self.flat > self.flat_cap {
+            return Err(ParseError::limit(ParseLimit::Depth, self.offset()));
+        }
+        Ok(())
     }
 
     // ---- cursor helpers -------------------------------------------------
@@ -207,6 +239,9 @@ impl Parser {
     // ---- statements -----------------------------------------------------
 
     fn parse_statement(&mut self) -> Result<Statement> {
+        // The flat-nesting budget is per statement, so one long (but legal)
+        // statement cannot starve the rest of a `;`-separated batch.
+        self.flat = 0;
         match self.peek_kw() {
             Some(Keyword::Select) => Ok(Statement::Select(Box::new(self.parse_query()?))),
             Some(Keyword::Insert) => self.skip_classified(StatementKind::Insert),
@@ -513,6 +548,7 @@ impl Parser {
             } else {
                 break;
             };
+            self.charge(1)?;
             let right = self.parse_table_primary()?;
             let constraint = if matches!(
                 kind,
@@ -574,8 +610,10 @@ impl Parser {
     ///
     /// Every nested expression — parenthesized groups, subqueries, function
     /// arguments — re-enters here, so this single guard bounds the parser's
-    /// recursion over arbitrarily hostile inputs (`NOT`/unary chains are
-    /// parsed iteratively and do not recurse at all).
+    /// recursion over arbitrarily hostile inputs. Operator *chains*
+    /// (`NOT`/sign chains, left-deep binary chains) are parsed iteratively
+    /// and instead charge the flat-nesting budget ([`Parser::charge`]),
+    /// which bounds the depth of the AST they build.
     fn parse_expr(&mut self) -> Result<Expr> {
         self.descend()?;
         let e = self.parse_or();
@@ -586,6 +624,7 @@ impl Parser {
     fn parse_or(&mut self) -> Result<Expr> {
         let mut left = self.parse_and()?;
         while self.eat_kw(Keyword::Or) {
+            self.charge(1)?;
             let right = self.parse_and()?;
             left = Expr::Binary {
                 left: Box::new(left),
@@ -599,6 +638,7 @@ impl Parser {
     fn parse_and(&mut self) -> Result<Expr> {
         let mut left = self.parse_not()?;
         while self.eat_kw(Keyword::And) {
+            self.charge(1)?;
             let right = self.parse_not()?;
             left = Expr::Binary {
                 left: Box::new(left),
@@ -610,8 +650,10 @@ impl Parser {
     }
 
     fn parse_not(&mut self) -> Result<Expr> {
-        // Iterative: a chain of `NOT NOT NOT ...` consumes no stack, so it
-        // cannot defeat the depth guard by recursing outside `parse_expr`.
+        // Iterative: a chain of `NOT NOT NOT ...` consumes no parse stack,
+        // but every `NOT` still nests the AST one level, so the whole chain
+        // is charged against the flat-nesting budget before any node is
+        // built.
         let mut nots = 0usize;
         while self.peek_kw() == Some(Keyword::Not)
             && !matches!(
@@ -622,6 +664,7 @@ impl Parser {
             self.pos += 1;
             nots += 1;
         }
+        self.charge(nots)?;
         let mut expr = self.parse_predicate()?;
         for _ in 0..nots {
             expr = Expr::Unary {
@@ -637,6 +680,7 @@ impl Parser {
         loop {
             // `IS [NOT] NULL`
             if self.eat_kw(Keyword::Is) {
+                self.charge(1)?;
                 let negated = self.eat_kw(Keyword::Not);
                 self.expect_kw(Keyword::Null)?;
                 expr = Expr::IsNull {
@@ -657,6 +701,7 @@ impl Parser {
                 false
             };
             if self.eat_kw(Keyword::In) {
+                self.charge(1)?;
                 self.expect(&Token::LParen)?;
                 if self.peek_kw() == Some(Keyword::Select) {
                     let subquery = Box::new(self.parse_query()?);
@@ -686,6 +731,7 @@ impl Parser {
                 continue;
             }
             if self.eat_kw(Keyword::Between) {
+                self.charge(1)?;
                 let low = self.parse_bitwise()?;
                 self.expect_kw(Keyword::And)?;
                 let high = self.parse_bitwise()?;
@@ -698,6 +744,7 @@ impl Parser {
                 continue;
             }
             if self.eat_kw(Keyword::Like) {
+                self.charge(1)?;
                 let pattern = self.parse_bitwise()?;
                 expr = Expr::Like {
                     expr: Box::new(expr),
@@ -720,6 +767,7 @@ impl Parser {
                 _ => break,
             };
             self.pos += 1;
+            self.charge(1)?;
             let right = self.parse_bitwise()?;
             expr = Expr::Binary {
                 left: Box::new(expr),
@@ -742,6 +790,7 @@ impl Parser {
                 _ => break,
             };
             self.pos += 1;
+            self.charge(1)?;
             let right = self.parse_additive()?;
             left = Expr::Binary {
                 left: Box::new(left),
@@ -761,6 +810,7 @@ impl Parser {
                 _ => break,
             };
             self.pos += 1;
+            self.charge(1)?;
             let right = self.parse_multiplicative()?;
             left = Expr::Binary {
                 left: Box::new(left),
@@ -781,6 +831,7 @@ impl Parser {
                 _ => break,
             };
             self.pos += 1;
+            self.charge(1)?;
             let right = self.parse_unary()?;
             left = Expr::Binary {
                 left: Box::new(left),
@@ -793,7 +844,9 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<Expr> {
         // Iterative for the same reason as `parse_not`: sign chains like
-        // `- - - - x` must not consume stack proportional to their length.
+        // `- - - - x` must not consume parse stack proportional to their
+        // length — and, like `NOT` chains, they pay for the AST levels they
+        // build up front via the flat-nesting budget.
         let mut ops = Vec::new();
         loop {
             if self.eat(&Token::Minus) {
@@ -804,6 +857,7 @@ impl Parser {
                 break;
             }
         }
+        self.charge(ops.len())?;
         let mut expr = self.parse_primary()?;
         for op in ops.into_iter().rev() {
             expr = Expr::Unary {

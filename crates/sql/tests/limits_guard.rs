@@ -52,11 +52,58 @@ fn parenthesized_join_tree_bomb_returns_limit_error() {
 #[test]
 fn not_and_sign_chains_are_stack_free() {
     // Unary chains are parsed iteratively, so a chain far longer than the
-    // depth limit still parses — it nests the AST, not the parser's stack.
+    // recursion-depth limit still parses; only the (much larger)
+    // flat-nesting budget bounds their length.
     let not_chain = format!("SELECT {}1", "NOT ".repeat(500));
     parse_statement(&not_chain).expect("NOT chain parses");
     let sign_chain = format!("SELECT {}1", "- ".repeat(500));
     parse_statement(&sign_chain).expect("sign chain parses");
+}
+
+#[test]
+fn flat_not_chain_bomb_returns_limit_error() {
+    // 200 000 `NOT`s fit every byte/token limit and consume no parse stack,
+    // but would build a 200 000-deep AST whose recursive drop glue aborts
+    // the process (uncatchably) — the flat-nesting budget must reject the
+    // statement before any such tree exists.
+    let sql = format!("SELECT {}1 FROM t", "NOT ".repeat(200_000));
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn flat_sign_chain_bomb_returns_limit_error() {
+    let sql = format!("SELECT {}1", "- ".repeat(200_000));
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn flat_binary_chain_bombs_return_limit_error() {
+    // Left-deep chains: every term nests one `Expr::Binary` level.
+    let or_bomb = format!("SELECT 1 FROM t WHERE 1 = 1{}", " OR 1 = 1".repeat(50_000));
+    assert_limit(parse_statement(&or_bomb), ParseLimit::Depth);
+    let add_bomb = format!("SELECT 1{}", " + 1".repeat(120_000));
+    assert_limit(parse_statement(&add_bomb), ParseLimit::Depth);
+}
+
+#[test]
+fn flat_join_chain_bomb_returns_limit_error() {
+    // `JOIN` chains nest `TableRef::Join` one level per join.
+    let sql = format!("SELECT a FROM t{}", " JOIN u".repeat(100_000));
+    assert_limit(parse_statement(&sql), ParseLimit::Depth);
+}
+
+#[test]
+fn flat_budget_is_per_statement_and_generous() {
+    // Real queries sit far below the budget (32 × max_depth = 2048 by
+    // default): a 500-conjunct filter parses...
+    let chain = " AND x = 0".repeat(499);
+    let sql = format!("SELECT a FROM t WHERE x = 0{chain}");
+    parse_statement(&sql).expect("500-conjunct chain parses");
+    // ...and the budget resets between statements of a batch, so a long
+    // statement cannot starve its successors.
+    let batch = format!("SELECT a FROM t WHERE x = 0{chain}; SELECT b FROM u WHERE y = 1{chain}");
+    let stmts = parse_statements_with(&batch, &ParseLimits::default()).expect("batch parses");
+    assert_eq!(stmts.len(), 2);
 }
 
 #[test]
