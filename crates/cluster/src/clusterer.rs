@@ -8,6 +8,7 @@
 //! overlap 0 by construction, so only intra-bucket pairs are compared.
 
 use crate::region::Region;
+use sqlog_obs::Recorder;
 use std::collections::HashMap;
 
 /// One cluster of queries.
@@ -167,7 +168,23 @@ pub fn cluster_regions_parallel(
     threshold: f64,
     threads: usize,
 ) -> Clustering {
+    cluster_regions_traced(regions, weights, threshold, threads, &Recorder::disabled())
+}
+
+/// [`cluster_regions_parallel`] with observability: a `"cluster"` stage
+/// span, per-worker `"cluster.shard"` spans (with a shard-latency
+/// histogram) and outcome counters land in `rec`. The clustering is
+/// identical to the untraced call.
+pub fn cluster_regions_traced(
+    regions: &[Region],
+    weights: &[u64],
+    threshold: f64,
+    threads: usize,
+    rec: &Recorder,
+) -> Clustering {
     assert_eq!(regions.len(), weights.len());
+    let stage_span = rec.span("cluster");
+    let stage_id = stage_span.id();
     let n = regions.len();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -204,14 +221,20 @@ pub fn cluster_regions_parallel(
         let buckets = &buckets;
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(t, shard)| {
                 s.spawn(move || {
+                    let mut span = rec.span_in(stage_id, "cluster.shard");
+                    span.field("shard", t as u64);
+                    span.field("items", shard.len() as u64);
+                    let started = std::time::Instant::now();
                     let mut local = Vec::new();
                     for &(b, pos) in shard {
                         scan_row(regions, &buckets[b], pos, threshold, &mut |i, j| {
                             local.push((i, j));
                         });
                     }
+                    rec.histogram("cluster.shard_us", started.elapsed().as_micros() as u64);
                     local
                 })
             })
@@ -226,6 +249,9 @@ pub fn cluster_regions_parallel(
                     // clustering. Edge order does not matter — union-find
                     // is order-blind and the final cluster list is sorted.
                     degraded_shards += 1;
+                    let mut span = rec.span_in(stage_id, "cluster.shard");
+                    span.field("items", shard.len() as u64);
+                    span.field("degraded", 1u64);
                     for &(b, pos) in shard {
                         let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut local = Vec::new();
@@ -245,14 +271,20 @@ pub fn cluster_regions_parallel(
     });
 
     let mut uf = UnionFind::new(n);
+    rec.counter("cluster.regions", n as u64);
+    rec.counter("cluster.edges", edges.len() as u64);
+    rec.counter("cluster.degraded_shards", degraded_shards as u64);
+    rec.counter("cluster.poisoned_rows", poisoned_rows as u64);
     for (i, j) in edges {
         uf.union(i, j);
     }
-    Clustering {
+    let clustering = Clustering {
         clusters: assemble(&mut uf, weights),
         degraded_shards,
         poisoned_rows,
-    }
+    };
+    rec.counter("cluster.clusters", clustering.clusters.len() as u64);
+    clustering
 }
 
 /// Convenience: dedup + cluster raw SQL statements. Unparsable statements

@@ -53,6 +53,14 @@ pub struct PipelineConfig {
     /// Maximum lexed tokens per statement
     /// ([`sqlog_sql::ParseLimits::max_tokens`]).
     pub max_parse_tokens: usize,
+    /// Observability sink. [`sqlog_obs::Recorder::disabled`] (the default)
+    /// reduces every instrumentation point to a branch-on-a-bool no-op;
+    /// an enabled recorder collects per-stage/per-shard spans, counters
+    /// and latency histograms for `--trace-events` / `--stats-json`.
+    /// Cloning the config shares the recorder (and its collected data).
+    /// `PartialEq` compares only enablement, never collected data, so the
+    /// derived config equality still means "same tunables".
+    pub recorder: sqlog_obs::Recorder,
 }
 
 impl PipelineConfig {
@@ -82,6 +90,7 @@ impl Default for PipelineConfig {
             max_parse_depth: sqlog_sql::ParseLimits::default().max_depth,
             max_statement_bytes: sqlog_sql::ParseLimits::default().max_statement_bytes,
             max_parse_tokens: sqlog_sql::ParseLimits::default().max_tokens,
+            recorder: sqlog_obs::Recorder::disabled(),
         }
     }
 }

@@ -15,8 +15,11 @@
 //! `String`) is ever cloned on this path.
 
 use crate::fault;
-use crate::shard::{balance_chunks, guarded, resolve_threads, run_shards_isolated, whole_range};
+use crate::shard::{
+    balance_chunks, guarded, resolve_threads, run_shards_traced, whole_range, ShardTrace,
+};
 use sqlog_log::{LogView, QueryLog};
+use sqlog_obs::{Recorder, SpanId};
 use sqlog_skeleton::{text_fingerprint, Fingerprint};
 use std::collections::HashMap;
 
@@ -140,6 +143,20 @@ pub fn dedup_view<'a>(
     threshold_ms: Option<u64>,
     threads: usize,
 ) -> (LogView<'a>, DedupStats) {
+    dedup_view_traced(view, threshold_ms, threads, &Recorder::disabled(), None)
+}
+
+/// [`dedup_view`] with observability: per-shard spans (`"dedup.shard"`,
+/// parented under `parent`), a shard-latency histogram and outcome counters
+/// land in `rec`. The deduplicated view and statistics are identical to the
+/// untraced call.
+pub fn dedup_view_traced<'a>(
+    view: &LogView<'a>,
+    threshold_ms: Option<u64>,
+    threads: usize,
+    rec: &Recorder,
+    parent: Option<SpanId>,
+) -> (LogView<'a>, DedupStats) {
     debug_assert!(view.is_time_sorted(), "dedup requires a time-sorted log");
     let n = view.len();
     let threads = resolve_threads(threads).min(n.max(1));
@@ -165,8 +182,17 @@ pub fn dedup_view<'a>(
         balance_chunks(&counts, threads)
     };
     let uids = &uids;
-    let (shards, degraded) = run_shards_isolated(
+    let counts = &counts;
+    let (shards, degraded) = run_shards_traced(
         ranges,
+        ShardTrace {
+            rec,
+            parent,
+            span_name: "dedup.shard",
+            hist_name: "dedup.shard_us",
+        },
+        // Work units = entries belonging to the shard's user range.
+        |r| counts[r.clone()].iter().sum(),
         |r| {
             (
                 scan_partition(view, uids, r.start as u32..r.end as u32, threshold_ms),
@@ -192,6 +218,11 @@ pub fn dedup_view<'a>(
         poison,
         degraded_shards: degraded,
     };
+    rec.counter("dedup.input", stats.input as u64);
+    rec.counter("dedup.removed", stats.removed as u64);
+    rec.counter("dedup.kept", stats.kept as u64);
+    rec.counter("dedup.poison_records", stats.poison as u64);
+    rec.counter("dedup.degraded_shards", stats.degraded_shards as u64);
     (view.select(kept), stats)
 }
 

@@ -133,7 +133,28 @@ pub fn detect_builtin(ctx: &DetectCtx<'_>) -> Vec<AntipatternInstance> {
     out.extend(cth::CthDetector.detect(ctx));
     out.extend(snc::SncDetector.detect(ctx));
     sort_instances(&mut out);
+    let rec = &ctx.config.recorder;
+    if rec.is_enabled() {
+        rec.counter("detect.instances", out.len() as u64);
+        for inst in &out {
+            rec.counter(class_counter_name(&inst.class), 1);
+        }
+    }
     out
+}
+
+/// Static counter name for a class's detected instances. Extension classes
+/// share one bucket — counter names must be `'static`, and the per-class
+/// split for extensions is available from `Statistics::per_class` anyway.
+fn class_counter_name(class: &AntipatternClass) -> &'static str {
+    match class {
+        AntipatternClass::DwStifle => "detect.dw_stifle",
+        AntipatternClass::DsStifle => "detect.ds_stifle",
+        AntipatternClass::DfStifle => "detect.df_stifle",
+        AntipatternClass::CthCandidate => "detect.cth",
+        AntipatternClass::Snc => "detect.snc",
+        AntipatternClass::Custom(_) => "detect.custom",
+    }
 }
 
 /// Sorts instances by order of appearance (first covered record, then

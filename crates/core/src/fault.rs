@@ -49,6 +49,22 @@ pub(crate) fn armed(stage: &str) -> Option<String> {
     Some(marker)
 }
 
+/// Describes the armed fault injection regardless of target stage, or
+/// `None` while disarmed. The pipeline routes this through the obs event
+/// sink (when one is configured) so the arming warning reaches machine
+/// consumers of `--trace-events`, not just stderr.
+pub(crate) fn armed_description() -> Option<String> {
+    let marker = std::env::var("SQLOG_FAULT_MARKER").ok()?;
+    if marker.is_empty() {
+        return None;
+    }
+    let stage = std::env::var("SQLOG_FAULT_STAGE").unwrap_or_else(|_| "parse".to_string());
+    Some(format!(
+        "fault injection is ARMED: marker {marker:?}, stage {stage:?} — \
+         matching records will panic and be quarantined as poison"
+    ))
+}
+
 /// Panics when `text` contains the armed marker. No-op while disarmed.
 pub(crate) fn trip(marker: &Option<String>, text: &str) {
     if let Some(m) = marker {

@@ -48,6 +48,7 @@ pub mod parse_step;
 pub mod pipeline;
 pub mod recommend;
 pub mod report;
+pub mod run_report;
 pub mod shard;
 pub mod solve;
 pub mod stats;
@@ -55,18 +56,23 @@ pub mod store;
 pub mod sws;
 
 pub use config::PipelineConfig;
-pub use dedup::{dedup, dedup_view, DedupStats};
+pub use dedup::{dedup, dedup_view, dedup_view_traced, DedupStats};
 pub use detect::{AntipatternClass, AntipatternInstance, DetectCtx, Detector};
 pub use ext::{ExtensionRegistry, Solver, SolverSet};
 pub use mine::{
-    build_sessions, build_sessions_view, mine_patterns, mine_patterns_sharded, MinedPatterns,
-    PatternData, Session, Sessions,
+    build_sessions, build_sessions_view, build_sessions_view_traced, mine_patterns,
+    mine_patterns_sharded, mine_patterns_traced, MinedPatterns, PatternData, Session, Sessions,
 };
-pub use parse_step::{parse_log, parse_view, parse_view_with, ParseStats, ParsedLog, ParsedRecord};
+pub use parse_step::{
+    parse_log, parse_view, parse_view_traced, parse_view_with, ParseStats, ParsedLog, ParsedRecord,
+};
 pub use pipeline::{Pipeline, PipelineResult};
 pub use recommend::{evaluate_against_marks, RecommendationEval, Recommender};
 pub use report::{render_pattern_table, render_statistics, top_patterns, PatternRow};
-pub use shard::{balance_chunks, resolve_threads, run_shards_isolated};
+pub use run_report::{statistics_from_json, statistics_to_json, RunReport, RUN_REPORT_SCHEMA};
+pub use shard::{
+    balance_chunks, resolve_threads, run_shards_isolated, run_shards_traced, ShardTrace,
+};
 pub use stats::{ClassCounts, RunHealth, StageTimings, Statistics};
 pub use store::{TemplateId, TemplateStore};
 pub use sws::{classify_sws, sws_grid, union_windows, SwsResult, SwsThresholds};

@@ -29,9 +29,12 @@
 use crate::config::PipelineConfig;
 use crate::fault;
 use crate::parse_step::ParsedRecord;
-use crate::shard::{balance_chunks, guarded, resolve_threads, run_shards_isolated, whole_range};
+use crate::shard::{
+    balance_chunks, guarded, resolve_threads, run_shards_traced, whole_range, ShardTrace,
+};
 use crate::store::TemplateId;
 use sqlog_log::{LogView, QueryLog};
+use sqlog_obs::{Recorder, SpanId};
 use std::collections::{HashMap, HashSet};
 
 /// One per-user session: indices into the parsed-record vector.
@@ -134,6 +137,21 @@ pub fn build_sessions_view(
     gap_ms: u64,
     threads: usize,
 ) -> Sessions {
+    build_sessions_view_traced(view, records, gap_ms, threads, &Recorder::disabled(), None)
+}
+
+/// [`build_sessions_view`] with observability: per-shard spans
+/// (`"sessions.shard"`, parented under `parent`), a shard-latency histogram
+/// and outcome counters land in `rec`. Sessions are identical to the
+/// untraced call.
+pub fn build_sessions_view_traced(
+    view: &LogView<'_>,
+    records: &[ParsedRecord],
+    gap_ms: u64,
+    threads: usize,
+    rec: &Recorder,
+    parent: Option<SpanId>,
+) -> Sessions {
     let mut user_ids: HashMap<&str, u32> = HashMap::new();
     let mut user_names: Vec<String> = Vec::new();
     let mut streams: Vec<Vec<usize>> = Vec::new();
@@ -157,8 +175,16 @@ pub fn build_sessions_view(
         balance_chunks(&weights, threads)
     };
     let streams = &streams;
-    let (shards, degraded) = run_shards_isolated(
+    let (shards, degraded) = run_shards_traced(
         ranges,
+        ShardTrace {
+            rec,
+            parent,
+            span_name: "sessions.shard",
+            hist_name: "sessions.shard_us",
+        },
+        // Work units = records belonging to the shard's user range.
+        |r| streams[r.clone()].iter().map(|s| s.len() as u64).sum(),
         |r| {
             let guard = SplitGuard {
                 fault: fault::armed("sessions"),
@@ -208,6 +234,10 @@ pub fn build_sessions_view(
         sessions.extend(shard);
         poison += shard_poison;
     }
+    rec.counter("sessions.count", sessions.len() as u64);
+    rec.counter("sessions.users", user_names.len() as u64);
+    rec.counter("sessions.poison_records", poison as u64);
+    rec.counter("sessions.degraded_shards", degraded as u64);
     Sessions {
         sessions,
         user_names,
@@ -453,6 +483,21 @@ pub fn mine_patterns_sharded(
     cfg: &PipelineConfig,
     threads: usize,
 ) -> MinedPatterns {
+    mine_patterns_traced(sessions, records, cfg, threads, &Recorder::disabled(), None)
+}
+
+/// [`mine_patterns_sharded`] with observability: per-shard spans
+/// (`"mine.shard"`, parented under `parent`), a shard-latency histogram, a
+/// session-size histogram and outcome counters land in `rec`. Counts are
+/// identical to the untraced call.
+pub fn mine_patterns_traced(
+    sessions: &Sessions,
+    records: &[ParsedRecord],
+    cfg: &PipelineConfig,
+    threads: usize,
+    rec: &Recorder,
+    parent: Option<SpanId>,
+) -> MinedPatterns {
     let all = &sessions.sessions;
     let threads = resolve_threads(threads).min(all.len().max(1));
     let ranges = if threads <= 1 || all.len() < 2 {
@@ -461,8 +506,16 @@ pub fn mine_patterns_sharded(
         let weights: Vec<u64> = all.iter().map(|s| s.records.len() as u64).collect();
         balance_chunks(&weights, threads)
     };
-    let (shards, degraded) = run_shards_isolated(
+    let (shards, degraded) = run_shards_traced(
         ranges,
+        ShardTrace {
+            rec,
+            parent,
+            span_name: "mine.shard",
+            hist_name: "mine.shard_us",
+        },
+        // Work units = queries in the shard's session range.
+        |r| all[r.clone()].iter().map(|s| s.records.len() as u64).sum(),
         |r| {
             (
                 vec![PatternCounter::mine_sessions(
@@ -484,6 +537,19 @@ pub fn mine_patterns_sharded(
     let mut mined = merge_counters(counters);
     mined.poison_sessions = poison;
     mined.degraded_shards = degraded;
+    rec.counter("mine.patterns", mined.patterns.len() as u64);
+    rec.counter("mine.total_queries", mined.total_queries);
+    rec.counter("mine.poison_sessions", poison as u64);
+    rec.counter("mine.degraded_shards", degraded as u64);
+    if rec.is_enabled() {
+        // Session-length distribution: one batched merge, not a lock per
+        // session.
+        let mut sizes = sqlog_obs::Histogram::default();
+        for s in all {
+            sizes.record(s.records.len() as u64);
+        }
+        rec.histogram_merge("mine.session_len", &sizes);
+    }
     mined
 }
 

@@ -20,9 +20,10 @@
 //!   count.
 
 use crate::fault;
-use crate::shard::{guarded, resolve_threads, run_shards_isolated, whole_range};
+use crate::shard::{guarded, resolve_threads, run_shards_traced, whole_range, ShardTrace};
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_log::{LogView, QueryLog};
+use sqlog_obs::{Recorder, SpanId};
 use sqlog_skeleton::{primary_table, Fingerprint, OutputColumns, PredicateProfile, QueryTemplate};
 use sqlog_sql::{parse_statements_with, ParseLimits, Statement, StatementKind};
 use std::collections::HashMap;
@@ -198,6 +199,22 @@ pub fn parse_view_with(
     limits: &ParseLimits,
     threads: usize,
 ) -> ParsedLog {
+    parse_view_traced(view, store, limits, threads, &Recorder::disabled(), None)
+}
+
+/// [`parse_view_with`] with observability: per-shard spans
+/// (`"parse.shard"`, parented under `parent`), a shard-latency histogram
+/// and outcome counters — including template-interner effectiveness
+/// (`parse.templates_interned` vs `parse.template_cache_hits`) — land in
+/// `rec`. Records and statistics are identical to the untraced call.
+pub fn parse_view_traced(
+    view: &LogView<'_>,
+    store: &TemplateStore,
+    limits: &ParseLimits,
+    threads: usize,
+    rec: &Recorder,
+    parent: Option<SpanId>,
+) -> ParsedLog {
     let n = view.len();
     let threads = resolve_threads(threads).min(n.max(1));
     let preexisting = store.len();
@@ -210,8 +227,15 @@ pub fn parse_view_with(
     if ranges.is_empty() {
         ranges = whole_range(0);
     }
-    let (results, degraded) = run_shards_isolated(
+    let (results, degraded) = run_shards_traced(
         ranges,
+        ShardTrace {
+            rec,
+            parent,
+            span_name: "parse.shard",
+            hist_name: "parse.shard_us",
+        },
+        |r| r.len() as u64,
         |r| {
             let fault = fault::armed("parse");
             let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
@@ -265,6 +289,22 @@ pub fn parse_view_with(
         }
     }
     canonicalize_templates(store, preexisting, &mut records);
+    rec.counter("parse.total", stats.total as u64);
+    rec.counter("parse.selects", stats.selects as u64);
+    rec.counter("parse.errors", stats.errors as u64);
+    rec.counter("parse.limit_rejected", stats.limit_exceeded as u64);
+    rec.counter("parse.non_select", stats.non_select_total() as u64);
+    rec.counter("parse.poison_records", stats.poison as u64);
+    rec.counter("parse.degraded_shards", stats.degraded_shards as u64);
+    // Interner effectiveness at stage granularity: every surviving SELECT
+    // resolved a template; the ones that did not mint a fresh id hit a
+    // worker memo or the shared store.
+    let interned = (store.len() - preexisting) as u64;
+    rec.counter("parse.templates_interned", interned);
+    rec.counter(
+        "parse.template_cache_hits",
+        (stats.selects as u64).saturating_sub(interned),
+    );
     ParsedLog { records, stats }
 }
 

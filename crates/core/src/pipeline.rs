@@ -7,15 +7,17 @@
 //! ```
 
 use crate::config::PipelineConfig;
-use crate::dedup::dedup_view;
+use crate::dedup::dedup_view_traced;
 use crate::detect::{
     detect_builtin, sort_instances, AntipatternClass, AntipatternInstance, DetectCtx,
 };
 use crate::ext::ExtensionRegistry;
 use crate::fault;
-use crate::mine::{build_sessions_view, mine_patterns_sharded, MinedPatterns};
-use crate::parse_step::parse_view_with;
-use crate::shard::{balance_chunks, guarded, resolve_threads, run_shards_isolated, whole_range};
+use crate::mine::{build_sessions_view_traced, mine_patterns_traced, MinedPatterns};
+use crate::parse_step::parse_view_traced;
+use crate::shard::{
+    balance_chunks, guarded, resolve_threads, run_shards_traced, whole_range, ShardTrace,
+};
 use crate::solve::apply_solutions;
 use crate::stats::{ClassCounts, RunHealth, StageTimings, Statistics};
 use crate::store::{TemplateId, TemplateStore};
@@ -107,38 +109,86 @@ impl<'a> Pipeline<'a> {
         let t_total = Instant::now();
         let threads = resolve_threads(self.config.parallelism);
         let ms = |t: Instant| t.elapsed().as_millis() as u64;
+        let rec = &self.config.recorder;
+        let mut pipeline_span = rec.span("pipeline");
+        pipeline_span.field("threads", threads as u64);
+        pipeline_span.field("input", original.len() as u64);
+        if rec.is_enabled() {
+            // Route the fault-injection arming into the event stream too —
+            // `fault::armed` already shouts on stderr, but machine consumers
+            // of the trace must not need to scrape stderr for it.
+            if let Some(desc) = fault::armed_description() {
+                rec.warning(desc);
+            }
+        }
 
         // Step 0: order by time. A sorted *view* (index permutation) over
         // the original entries — the log itself is never cloned.
         let t = Instant::now();
-        let input = LogView::sorted_by_time(original);
+        let input = {
+            let _span = rec.span("sort");
+            LogView::sorted_by_time(original)
+        };
         let sort_ms = ms(t);
 
         // Step 1: delete duplicates (§5.2), sharded by user.
         let t = Instant::now();
-        let (pre_clean, dedup_stats) =
-            dedup_view(&input, self.config.duplicate_threshold_ms, threads);
+        let (pre_clean, dedup_stats) = {
+            let span = rec.span("dedup");
+            dedup_view_traced(
+                &input,
+                self.config.duplicate_threshold_ms,
+                threads,
+                rec,
+                span.id(),
+            )
+        };
         let dedup_ms = ms(t);
 
         // Step 2: parse statements (§5.3); template ids are canonicalized
         // to first-appearance order after the parallel phase. The configured
         // resource guards bound what the parser will attempt per statement.
         let t = Instant::now();
-        let store = TemplateStore::new();
-        let parsed = parse_view_with(&pre_clean, &store, &self.config.parse_limits(), threads);
+        let store = TemplateStore::with_recorder(rec.clone());
+        let parsed = {
+            let span = rec.span("parse");
+            parse_view_traced(
+                &pre_clean,
+                &store,
+                &self.config.parse_limits(),
+                threads,
+                rec,
+                span.id(),
+            )
+        };
         let parse_ms = ms(t);
 
         // Step 3: sessions + pattern mining (§4.1, Defs. 7–10).
         let t = Instant::now();
-        let sessions = build_sessions_view(
-            &pre_clean,
-            &parsed.records,
-            self.config.session_gap_ms,
-            threads,
-        );
+        let sessions = {
+            let span = rec.span("sessions");
+            build_sessions_view_traced(
+                &pre_clean,
+                &parsed.records,
+                self.config.session_gap_ms,
+                threads,
+                rec,
+                span.id(),
+            )
+        };
         let sessions_ms = ms(t);
         let t = Instant::now();
-        let mined = mine_patterns_sharded(&sessions, &parsed.records, &self.config, threads);
+        let mined = {
+            let span = rec.span("mine");
+            mine_patterns_traced(
+                &sessions,
+                &parsed.records,
+                &self.config,
+                threads,
+                rec,
+                span.id(),
+            )
+        };
         let mine_ms = ms(t);
 
         // Step 4: antipattern detection (Defs. 11–16 + extensions),
@@ -146,6 +196,8 @@ impl<'a> Pipeline<'a> {
         // (see `DetectCtx`), so shard outputs concatenate cleanly; the final
         // total-order sort makes the result independent of shard boundaries.
         let t = Instant::now();
+        let detect_span = rec.span("detect");
+        let detect_span_id = detect_span.id();
         let detect_shard = |sess: &[crate::mine::Session]| {
             let fault = fault::armed("detect");
             if fault.is_some() {
@@ -180,8 +232,21 @@ impl<'a> Pipeline<'a> {
                 .collect();
             balance_chunks(&weights, threads)
         };
-        let (detect_shards, detect_degraded) = run_shards_isolated(
+        let (detect_shards, detect_degraded) = run_shards_traced(
             ranges,
+            ShardTrace {
+                rec,
+                parent: detect_span_id,
+                span_name: "detect.shard",
+                hist_name: "detect.shard_us",
+            },
+            // Work units = queries in the shard's session range.
+            |r| {
+                sessions.sessions[r.clone()]
+                    .iter()
+                    .map(|s| s.records.len() as u64)
+                    .sum()
+            },
             |r| (detect_shard(&sessions.sessions[r]), 0usize),
             |r| {
                 // Degraded re-run: detect each session of the panicked shard
@@ -204,6 +269,7 @@ impl<'a> Pipeline<'a> {
             detect_poison_sessions += shard_poison;
         }
         sort_instances(&mut instances);
+        drop(detect_span);
         let detect_ms = ms(t);
 
         // Pattern marks.
@@ -228,7 +294,10 @@ impl<'a> Pipeline<'a> {
             config: &self.config,
         };
         let solvers = self.extensions.solver_set();
-        let outcome = apply_solutions(&ctx, &instances, &solvers);
+        let outcome = {
+            let _span = rec.span("solve");
+            apply_solutions(&ctx, &instances, &solvers)
+        };
         let solve_ms = ms(t);
 
         // Statistics.
@@ -274,6 +343,9 @@ impl<'a> Pipeline<'a> {
             rewritten_statements: outcome.rewritten_statements,
             skipped_overlaps: outcome.skipped_overlaps,
             timings: StageTimings {
+                // Ingest and report happen outside the pipeline; the binary
+                // that drives the run fills these (and extends total_ms).
+                ingest_ms: 0,
                 sort_ms,
                 dedup_ms,
                 parse_ms,
@@ -281,6 +353,7 @@ impl<'a> Pipeline<'a> {
                 mine_ms,
                 detect_ms,
                 solve_ms,
+                report_ms: 0,
                 total_ms: ms(t_total),
             },
             run_health: RunHealth {

@@ -157,7 +157,9 @@ pub fn render_statistics(s: &Statistics) -> String {
     row(
         "Stage timings (ms)",
         format!(
-            "sort {} | dedup {} | parse {} | sessions {} | mine {} | detect {} | solve {} | total {}",
+            "ingest {} | sort {} | dedup {} | parse {} | sessions {} | mine {} | detect {} \
+             | solve {} | report {} | total {}",
+            t.ingest_ms,
             t.sort_ms,
             t.dedup_ms,
             t.parse_ms,
@@ -165,6 +167,7 @@ pub fn render_statistics(s: &Statistics) -> String {
             t.mine_ms,
             t.detect_ms,
             t.solve_ms,
+            t.report_ms,
             t.total_ms
         ),
     );

@@ -8,8 +8,10 @@
 //! processing order, so the merged result is independent of the thread
 //! count.
 
+use sqlog_obs::{Recorder, SpanId};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Runs `f`, converting a panic into `None`.
 ///
@@ -84,6 +86,76 @@ where
         out.insert(slot, recover(r));
     }
     (out, degraded)
+}
+
+/// Where a stage's shard observations go: the recorder, the stage span to
+/// parent shard spans under, and the static names the stage publishes its
+/// shard spans and latency histogram as (convention: `"<stage>.shard"` /
+/// `"<stage>.shard_us"` — [`sqlog_obs::ObsReport`] groups on the suffix).
+pub struct ShardTrace<'a> {
+    /// The sink. Disabled → [`run_shards_traced`] degenerates to
+    /// [`run_shards_isolated`] with zero extra work.
+    pub rec: &'a Recorder,
+    /// The enclosing stage span (captured on the coordinating thread before
+    /// workers spawn — worker threads cannot see its thread-local stack).
+    pub parent: Option<SpanId>,
+    /// Shard span name, e.g. `"parse.shard"`.
+    pub span_name: &'static str,
+    /// Shard latency histogram name, e.g. `"parse.shard_us"`.
+    pub hist_name: &'static str,
+}
+
+/// [`run_shards_isolated`] with per-shard observability: each shard's work
+/// runs inside a span named [`ShardTrace::span_name`] carrying `shard`
+/// (index) and `items` (work units, from `items_of`) fields, and its
+/// wall-clock lands in the [`ShardTrace::hist_name`] histogram. Degraded
+/// re-runs get their own span with a `degraded = 1` field, so recovery time
+/// stays visible in the trace. Results are bit-identical to the untraced
+/// call — instrumentation only observes.
+pub fn run_shards_traced<T, W, Rec, I>(
+    ranges: Vec<Range<usize>>,
+    trace: ShardTrace<'_>,
+    items_of: I,
+    work: W,
+    mut recover: Rec,
+) -> (Vec<T>, usize)
+where
+    T: Send,
+    W: Fn(Range<usize>) -> T + Sync,
+    Rec: FnMut(Range<usize>) -> T,
+    I: Fn(&Range<usize>) -> u64 + Sync,
+{
+    if !trace.rec.is_enabled() {
+        return run_shards_isolated(ranges, work, recover);
+    }
+    // Ranges are contiguous and ordered, so a range's index is the position
+    // of its start — recoverable inside the worker without threading an
+    // index through `run_shards_isolated`'s signature.
+    let starts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+    let starts = &starts;
+    let items_of = &items_of;
+    let rec = trace.rec;
+    run_shards_isolated(
+        ranges,
+        move |r| {
+            let shard = starts.binary_search(&r.start).unwrap_or(0) as u64;
+            let mut span = rec.span_in(trace.parent, trace.span_name);
+            span.field("shard", shard);
+            span.field("items", items_of(&r));
+            let t = Instant::now();
+            let out = work(r);
+            rec.histogram(trace.hist_name, t.elapsed().as_micros() as u64);
+            out
+        },
+        move |r| {
+            let shard = starts.binary_search(&r.start).unwrap_or(0) as u64;
+            let mut span = rec.span_in(trace.parent, trace.span_name);
+            span.field("shard", shard);
+            span.field("items", items_of(&r));
+            span.field("degraded", 1u64);
+            recover(r)
+        },
+    )
 }
 
 /// The single range covering `0..n` — the one-shard plan used by the

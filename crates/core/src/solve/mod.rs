@@ -41,6 +41,12 @@ pub fn apply_solutions(
     instances: &[AntipatternInstance],
     solvers: &SolverSet<'_>,
 ) -> SolveOutcome {
+    // Solving is sequential, so its observability is one span (nested under
+    // the pipeline's "solve" stage span via the thread-local) plus outcome
+    // counters at the end.
+    let rec = &ctx.config.recorder;
+    let mut span = rec.span("solve.apply");
+    span.field("instances", instances.len() as u64);
     let n_records = ctx.records.len();
     let mut consumed = vec![false; n_records];
     let mut in_any_instance = vec![false; n_records];
@@ -123,6 +129,10 @@ pub fn apply_solutions(
         e.id = i as u64;
     }
 
+    rec.counter("solve.solved_instances", solved_instances as u64);
+    rec.counter("solve.solved_queries", solved_queries as u64);
+    rec.counter("solve.rewritten_statements", rewritten_statements as u64);
+    rec.counter("solve.skipped_overlaps", skipped_overlaps as u64);
     SolveOutcome {
         clean_log,
         removal_log,

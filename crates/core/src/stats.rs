@@ -22,6 +22,10 @@ pub struct ClassCounts {
 /// should go through [`Statistics::with_zeroed_timings`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageTimings {
+    /// Reading + quarantining the input log. The pipeline never sees
+    /// ingestion, so it leaves this zero; the binary that read the log
+    /// fills it in (and folds it into `total_ms`).
+    pub ingest_ms: u64,
     /// Sorting the input by timestamp (zero when already sorted).
     pub sort_ms: u64,
     /// Duplicate elimination (§5.2).
@@ -36,8 +40,29 @@ pub struct StageTimings {
     pub detect_ms: u64,
     /// Solving / rewriting (§5.5).
     pub solve_ms: u64,
-    /// End-to-end pipeline time.
+    /// Rendering the statistics report and writing outputs. Filled by the
+    /// binary, like `ingest_ms`.
+    pub report_ms: u64,
+    /// End-to-end time: the pipeline's own wall-clock, plus `ingest_ms`
+    /// and `report_ms` once the binary adds them.
     pub total_ms: u64,
+}
+
+impl StageTimings {
+    /// Sum of the individual stage timings (including ingest/report).
+    /// `total_ms` should be ≥ this minus rounding slack; the reconciliation
+    /// test in the CLI harness checks it.
+    pub fn stage_sum_ms(&self) -> u64 {
+        self.ingest_ms
+            + self.sort_ms
+            + self.dedup_ms
+            + self.parse_ms
+            + self.sessions_ms
+            + self.mine_ms
+            + self.detect_ms
+            + self.solve_ms
+            + self.report_ms
+    }
 }
 
 /// Run-to-completion accounting: everything the pipeline skipped, rejected

@@ -4,6 +4,7 @@
 //! templates by fingerprint and hands out dense [`TemplateId`]s that the
 //! miner and detectors use as cheap keys.
 
+use sqlog_obs::Recorder;
 use sqlog_skeleton::{Fingerprint, QueryTemplate};
 use std::collections::HashMap;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -16,6 +17,11 @@ pub struct TemplateId(pub u32);
 #[derive(Debug, Default)]
 pub struct TemplateStore {
     inner: RwLock<StoreInner>,
+    /// Observability sink for interner counters (disabled by default).
+    /// Counters fire on the slow path only — a memoized worker never
+    /// reaches the store, so an enabled recorder costs one counter update
+    /// per *distinct-template sighting*, not per record.
+    recorder: Recorder,
 }
 
 #[derive(Debug, Default)]
@@ -30,6 +36,15 @@ impl TemplateStore {
         TemplateStore::default()
     }
 
+    /// An empty store that publishes interner counters (`store.intern_hits`,
+    /// `store.intern_inserts`, `store.lock_poison_recovered`) to `rec`.
+    pub fn with_recorder(rec: Recorder) -> Self {
+        TemplateStore {
+            inner: RwLock::default(),
+            recorder: rec,
+        }
+    }
+
     // A panic while the write guard is held poisons the lock, but the store's
     // writers (`intern`, `renumber`) mutate `by_fp` and `templates` in
     // matched pairs with no fallible code in between — a poisoned store is
@@ -37,30 +52,38 @@ impl TemplateStore {
     // panic into every thread that touches the store afterwards.
 
     fn read(&self) -> RwLockReadGuard<'_, StoreInner> {
-        self.inner
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.inner.read().unwrap_or_else(|poisoned| {
+            self.recorder.counter("store.lock_poison_recovered", 1);
+            poisoned.into_inner()
+        })
     }
 
     fn write(&self) -> RwLockWriteGuard<'_, StoreInner> {
-        self.inner
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.inner.write().unwrap_or_else(|poisoned| {
+            self.recorder.counter("store.lock_poison_recovered", 1);
+            poisoned.into_inner()
+        })
     }
 
     /// Interns a template, returning its id (existing or fresh).
     pub fn intern(&self, template: QueryTemplate) -> TemplateId {
-        // Fast path: read lock only.
+        // Fast path: read lock only. Counter updates take the recorder's own
+        // mutex, so they run after the store guard drops.
         if let Some(&id) = self.read().by_fp.get(&template.fingerprint) {
+            self.recorder.counter("store.intern_hits", 1);
             return id;
         }
         let mut inner = self.write();
         if let Some(&id) = inner.by_fp.get(&template.fingerprint) {
+            drop(inner);
+            self.recorder.counter("store.intern_hits", 1);
             return id;
         }
         let id = TemplateId(u32::try_from(inner.templates.len()).expect("template count < 2^32"));
         inner.by_fp.insert(template.fingerprint, id);
         inner.templates.push(template);
+        drop(inner);
+        self.recorder.counter("store.intern_inserts", 1);
         id
     }
 

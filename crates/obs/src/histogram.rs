@@ -1,0 +1,221 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! Bucket 0 holds the value `0`; bucket `k` (1 ≤ k ≤ 64) holds values in
+//! `[2^(k-1), 2^k)`, with bucket 64's upper bound saturating at
+//! [`u64::MAX`]. 65 buckets therefore cover the full `u64` range with no
+//! configuration, which is what makes them safe to hard-code into a
+//! recorder that must never allocate per observation.
+
+use crate::json::Json;
+
+/// Number of buckets: the zero bucket plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A log2 histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation counts per bucket (see module docs for bounds).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (meaningless while `count == 0`).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket a value falls into.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        // floor(log2(value)) + 1: value 1 → bucket 1, u64::MAX → bucket 64.
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` bounds of a bucket.
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    assert!(bucket < BUCKETS, "bucket {bucket} out of range");
+    if bucket == 0 {
+        (0, 0)
+    } else if bucket == BUCKETS - 1 {
+        (1u64 << (bucket - 1), u64::MAX)
+    } else {
+        (1u64 << (bucket - 1), (1u64 << bucket) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// JSON form: only non-empty buckets are listed, as `[bucket, count]`
+    /// pairs, keeping NDJSON lines short for sparse distributions.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::U64(self.count)),
+            ("sum", Json::U64(self.sum)),
+            ("min", Json::U64(if self.count == 0 { 0 } else { self.min })),
+            ("max", Json::U64(self.max)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Rebuilds a histogram from its [`Histogram::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        h.count = v
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or("histogram: missing count")?;
+        h.sum = v
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or("histogram: missing sum")?;
+        let min = v
+            .get("min")
+            .and_then(Json::as_u64)
+            .ok_or("histogram: missing min")?;
+        h.min = if h.count == 0 { u64::MAX } else { min };
+        h.max = v
+            .get("max")
+            .and_then(Json::as_u64)
+            .ok_or("histogram: missing max")?;
+        for pair in v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram: missing buckets")?
+        {
+            let pair = pair.as_arr().ok_or("histogram: bucket not a pair")?;
+            let [idx, cnt] = pair else {
+                return Err("histogram: bucket pair arity".to_string());
+            };
+            let idx = idx.as_usize().ok_or("histogram: bad bucket index")?;
+            if idx >= BUCKETS {
+                return Err(format!("histogram: bucket {idx} out of range"));
+            }
+            h.buckets[idx] = cnt.as_u64().ok_or("histogram: bad bucket count")?;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // The satellite-task edge cases: 0, 1, u64::MAX — plus every power
+        // of two boundary.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            assert_eq!(bucket_of(lo), k, "2^{}", k - 1);
+            assert_eq!(bucket_of(lo * 2 - 1), k, "2^{k}-1");
+            let (blo, bhi) = bucket_bounds(k);
+            assert_eq!((blo, bhi), (lo, lo * 2 - 1));
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bounds() {
+        for v in [0, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "{v} not in bucket {b} [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 0);
+        assert_eq!(a.max, u64::MAX);
+        assert_eq!(a.sum, u64::MAX); // saturated
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[3], 1); // 5 ∈ [4, 8)
+        assert_eq!(a.buckets[64], 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 900, u64::MAX] {
+            h.record(v);
+        }
+        let parsed = Histogram::from_json(&Json::parse(&h.to_json().render()).unwrap()).unwrap();
+        assert_eq!(parsed, h);
+
+        let empty = Histogram::new();
+        let parsed =
+            Histogram::from_json(&Json::parse(&empty.to_json().render()).unwrap()).unwrap();
+        assert_eq!(parsed, empty);
+    }
+}

@@ -1,0 +1,549 @@
+//! The recorder: spans, counters, histograms and warnings.
+//!
+//! A [`Recorder`] is either **enabled** — it owns shared state behind an
+//! `Arc` and every observation lands there — or **disabled**, in which case
+//! it holds nothing and every call is a branch on `Option::is_none` followed
+//! by an immediate return. There is no global registry: the pipeline passes
+//! its recorder through `PipelineConfig`, tests create their own, and two
+//! recorders never interfere.
+//!
+//! **Spans** measure monotonic wall-clock (microseconds since the
+//! recorder's creation) and nest: a span opened while another is active on
+//! the same thread becomes its child. Work handed to another thread cannot
+//! see the spawning thread's stack, so shard workers open their spans with
+//! [`Recorder::span_in`], passing the parent id captured before the spawn.
+//! Completed spans are pushed into the shared state under a mutex — one
+//! lock per span *completion*, never per record.
+//!
+//! **Counters** are monotonic sums and **histograms** are fixed log2
+//! buckets ([`crate::histogram`]); both are keyed by `&'static str` names.
+//! Stages accumulate locally and flush per shard, so the mutex is taken a
+//! handful of times per stage, not per query.
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identifier of a recorded span (unique within one recorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// A field attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned number.
+    U64(u64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id.
+    pub id: u64,
+    /// Parent span id (`None` for roots).
+    pub parent: Option<u64>,
+    /// Span name (a static label like `"parse.shard"`).
+    pub name: &'static str,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Start, in microseconds since the recorder's creation.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A recorded warning (routed diagnostics, e.g. fault-injection arming).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarningRecord {
+    /// When it was recorded, microseconds since recorder creation.
+    pub at_us: u64,
+    /// The message.
+    pub message: String,
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    warnings: Vec<WarningRecord>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_span: AtomicU64,
+    state: Mutex<State>,
+}
+
+thread_local! {
+    /// The innermost active span on this thread (0 = none). Only parent
+    /// *ids* flow through here; records always land in the guard's own
+    /// recorder.
+    static CURRENT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Structured tracing + metrics sink. Cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+// `Debug`/`PartialEq` care only about enablement: two enabled recorders
+// compare equal even when their collected data differs, so a
+// `PipelineConfig` carrying a recorder keeps its derived `PartialEq`
+// meaning "same tunables".
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.inner.is_some() {
+            f.write_str("Recorder(enabled)")
+        } else {
+            f.write_str("Recorder(disabled)")
+        }
+    }
+}
+
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Recorder) -> bool {
+        self.is_enabled() == other.is_enabled()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with empty state.
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// The no-op recorder: every call returns after one branch.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether observations are collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_us(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    fn state(inner: &Inner) -> std::sync::MutexGuard<'_, State> {
+        // Observability must never take the pipeline down: a panic while
+        // the state lock was held loses nothing we cannot tolerate losing.
+        inner.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Opens a span whose parent is the innermost active span on this
+    /// thread (if any). Closed — and recorded — when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let parent = CURRENT.with(|c| c.get());
+        self.span_impl(
+            name,
+            if parent == 0 {
+                None
+            } else {
+                Some(SpanId(parent))
+            },
+        )
+    }
+
+    /// Opens a span under an explicit parent — the cross-thread form:
+    /// capture [`Recorder::current`] before spawning, pass it to workers.
+    pub fn span_in(&self, parent: Option<SpanId>, name: &'static str) -> SpanGuard {
+        self.span_impl(name, parent)
+    }
+
+    fn span_impl(&self, name: &'static str, parent: Option<SpanId>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                inner: None,
+                id: 0,
+                parent: None,
+                prev: 0,
+                name,
+                fields: Vec::new(),
+                start_us: 0,
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT.with(|c| c.replace(id));
+        SpanGuard {
+            inner: Some(Arc::clone(inner)),
+            id,
+            parent: parent.map(|p| p.0),
+            prev,
+            name,
+            fields: Vec::new(),
+            start_us: Self::now_us(inner),
+        }
+    }
+
+    /// The innermost active span on this thread.
+    pub fn current(&self) -> Option<SpanId> {
+        self.inner.as_ref()?;
+        let id = CURRENT.with(|c| c.get());
+        (id != 0).then_some(SpanId(id))
+    }
+
+    /// Adds `delta` to a named monotonic counter.
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        if delta == 0 {
+            return;
+        }
+        *Self::state(inner).counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one observation into a named log2 histogram.
+    pub fn histogram(&self, name: &'static str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        Self::state(inner)
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Merges a locally accumulated histogram (one lock for the batch).
+    pub fn histogram_merge(&self, name: &'static str, local: &Histogram) {
+        let Some(inner) = &self.inner else { return };
+        if local.count == 0 {
+            return;
+        }
+        Self::state(inner)
+            .histograms
+            .entry(name)
+            .or_default()
+            .merge(local);
+    }
+
+    /// Records a diagnostic warning into the event stream.
+    pub fn warning(&self, message: impl Into<String>) {
+        let Some(inner) = &self.inner else { return };
+        let at_us = Self::now_us(inner);
+        Self::state(inner).warnings.push(WarningRecord {
+            at_us,
+            message: message.into(),
+        });
+    }
+
+    /// Snapshot of all completed spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => Self::state(inner).spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => Self::state(inner)
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Snapshot of the histograms.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        match &self.inner {
+            Some(inner) => Self::state(inner)
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Snapshot of the warnings.
+    pub fn warnings(&self) -> Vec<WarningRecord> {
+        match &self.inner {
+            Some(inner) => Self::state(inner).warnings.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Writes the full event stream as NDJSON: one `meta` line, one line
+    /// per span (completion order), per warning, per counter, and per
+    /// histogram. Every line is a complete JSON object (see the schema
+    /// table in DESIGN.md).
+    pub fn write_events(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let meta = Json::obj(vec![
+            ("type", Json::from("meta")),
+            ("schema", Json::U64(1)),
+            ("clock", Json::from("us_since_recorder_epoch")),
+            ("enabled", Json::Bool(self.is_enabled())),
+        ]);
+        writeln!(w, "{}", meta.render())?;
+        for s in self.spans() {
+            let fields = Json::Obj(
+                s.fields
+                    .iter()
+                    .map(|(k, v)| {
+                        let jv = match v {
+                            FieldValue::U64(n) => Json::U64(*n),
+                            FieldValue::Str(t) => Json::Str(t.clone()),
+                        };
+                        (k.to_string(), jv)
+                    })
+                    .collect(),
+            );
+            let line = Json::obj(vec![
+                ("type", Json::from("span")),
+                ("id", Json::U64(s.id)),
+                ("parent", s.parent.map(Json::U64).unwrap_or(Json::Null)),
+                ("name", Json::from(s.name)),
+                ("start_us", Json::U64(s.start_us)),
+                ("dur_us", Json::U64(s.dur_us)),
+                ("fields", fields),
+            ]);
+            writeln!(w, "{}", line.render())?;
+        }
+        for warning in self.warnings() {
+            let line = Json::obj(vec![
+                ("type", Json::from("warning")),
+                ("at_us", Json::U64(warning.at_us)),
+                ("message", Json::Str(warning.message)),
+            ]);
+            writeln!(w, "{}", line.render())?;
+        }
+        for (name, value) in self.counters() {
+            let line = Json::obj(vec![
+                ("type", Json::from("counter")),
+                ("name", Json::Str(name)),
+                ("value", Json::U64(value)),
+            ]);
+            writeln!(w, "{}", line.render())?;
+        }
+        for (name, h) in self.histograms() {
+            let mut pairs = vec![
+                ("type".to_string(), Json::from("histogram")),
+                ("name".to_string(), Json::Str(name)),
+            ];
+            if let Json::Obj(hp) = h.to_json() {
+                pairs.extend(hp);
+            }
+            writeln!(w, "{}", Json::Obj(pairs).render())?;
+        }
+        Ok(())
+    }
+}
+
+/// RAII guard of an open span; records the span when dropped.
+pub struct SpanGuard {
+    inner: Option<Arc<Inner>>,
+    id: u64,
+    parent: Option<u64>,
+    prev: u64,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    /// Attaches a field to the span.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.inner.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// The span's id, for parenting work handed to other threads.
+    /// `None` when the recorder is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.inner.as_ref().map(|_| SpanId(self.id))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        CURRENT.with(|c| c.set(self.prev));
+        let end = Recorder::now_us(&inner);
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            fields: std::mem::take(&mut self.fields),
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+        };
+        Recorder::state(&inner).spans.push(record);
+    }
+}
+
+/// Opens a span on a recorder with optional `key = value` fields:
+/// `span!(rec, "parse.shard", shard = i, items = n)`. Returns the
+/// [`SpanGuard`]; bind it (`let _span = …`) so it lives for the region.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut guard = $rec.span($name);
+        $( guard.field(stringify!($key), $value); )*
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let rec = Recorder::disabled();
+        {
+            let mut g = span!(rec, "root", k = 1u64);
+            g.field("more", "x");
+            assert_eq!(g.id(), None);
+        }
+        rec.counter("c", 5);
+        rec.histogram("h", 1);
+        rec.warning("w");
+        assert!(rec.spans().is_empty());
+        assert!(rec.counters().is_empty());
+        assert!(rec.histograms().is_empty());
+        assert!(rec.warnings().is_empty());
+        assert_eq!(rec.current(), None);
+    }
+
+    #[test]
+    fn same_thread_nesting() {
+        let rec = Recorder::new();
+        {
+            let root = span!(rec, "root");
+            let root_id = root.id().unwrap();
+            {
+                let child = span!(rec, "child");
+                assert_eq!(rec.current(), child.id());
+                let _grand = span!(rec, "grandchild");
+            }
+            assert_eq!(rec.current(), Some(root_id));
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        // Completion order: innermost first.
+        assert_eq!(spans[0].name, "grandchild");
+        assert_eq!(spans[1].name, "child");
+        assert_eq!(spans[2].name, "root");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, Some(spans[2].id));
+        assert_eq!(spans[2].parent, None);
+    }
+
+    #[test]
+    fn cross_thread_parenting_via_span_in() {
+        let rec = Recorder::new();
+        let stage = rec.span("stage");
+        let stage_id = stage.id();
+        std::thread::scope(|s| {
+            for i in 0..3u64 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let mut g = rec.span_in(stage_id, "stage.shard");
+                    g.field("shard", i);
+                });
+            }
+        });
+        drop(stage);
+        let spans = rec.spans();
+        let stage_rec = spans.iter().find(|s| s.name == "stage").unwrap();
+        let shards: Vec<_> = spans.iter().filter(|s| s.name == "stage.shard").collect();
+        assert_eq!(shards.len(), 3);
+        for s in shards {
+            assert_eq!(s.parent, Some(stage_rec.id));
+        }
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let rec = Recorder::new();
+        rec.counter("parsed", 2);
+        rec.counter("parsed", 3);
+        rec.counter("zero", 0); // no-op: absent from the snapshot
+        rec.histogram("lat", 3);
+        rec.histogram("lat", 100);
+        let counters = rec.counters();
+        assert_eq!(counters.get("parsed"), Some(&5));
+        assert!(!counters.contains_key("zero"));
+        assert_eq!(rec.histograms()["lat"].count, 2);
+    }
+
+    #[test]
+    fn events_are_valid_ndjson() {
+        let rec = Recorder::new();
+        {
+            let mut g = span!(rec, "work", shard = 1u64);
+            g.field("label", "q\"uote");
+        }
+        rec.counter("n", 7);
+        rec.histogram("h", 42);
+        rec.warning("something\nodd");
+        let mut buf = Vec::new();
+        rec.write_events(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 5, "{text}");
+        for line in &lines {
+            let v = Json::parse(line).expect(line);
+            assert!(v.get("type").is_some(), "{line}");
+        }
+        assert_eq!(
+            Json::parse(lines[0]).unwrap().get("type").unwrap().as_str(),
+            Some("meta")
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        clone.counter("shared", 1);
+        assert_eq!(rec.counters().get("shared"), Some(&1));
+        assert_eq!(rec, clone);
+        assert_ne!(rec, Recorder::disabled());
+        assert_eq!(format!("{:?}", Recorder::disabled()), "Recorder(disabled)");
+    }
+}

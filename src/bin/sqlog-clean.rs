@@ -10,6 +10,7 @@
 //!             [--threshold-ms N | --threshold-unrestricted]
 //!             [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]
 //!             [--lenient] [--quarantine BAD.tsv]
+//!             [--trace-events EVENTS.ndjson] [--stats-json STATS.json]
 //! ```
 //!
 //! The built-in SkyServer-like schema provides the key metadata for
@@ -21,14 +22,24 @@
 //! line aborts with a non-zero exit. `--lenient` skips such lines (copying
 //! them verbatim to `--quarantine PATH` when given), reports their counts
 //! in the run-health section, and always runs to completion.
+//!
+//! `--trace-events PATH` and `--stats-json PATH` enable the observability
+//! recorder (see `sqlog-obs`): the first writes the full span/counter/
+//! histogram/warning event stream as NDJSON, the second a machine-readable
+//! run report (statistics + aggregated observability). Both sinks are
+//! created *before* the run, so an unwritable path fails fast. Without
+//! either flag the recorder stays disabled and the pipeline output is
+//! byte-identical.
 
 use sqlog::catalog::{parse_schema, skyserver_catalog, Catalog};
 use sqlog::core::{
-    render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig,
+    render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig, RunReport,
 };
 use sqlog::logmodel::{read_log_with, write_log_file, IngestPolicy, IngestStats, QueryLog};
+use sqlog::obs::{ObsReport, Recorder};
 use std::io::Write as _;
 use std::process::exit;
+use std::time::Instant;
 
 struct Args {
     input: String,
@@ -39,12 +50,15 @@ struct Args {
     top: usize,
     lenient: bool,
     quarantine: Option<String>,
+    trace_events: Option<String>,
+    stats_json: Option<String>,
 }
 
 const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
     [--schema SCHEMA.txt] [--threshold-ms N | --threshold-unrestricted]\n\
     [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]\n\
-    [--lenient] [--quarantine BAD.tsv]";
+    [--lenient] [--quarantine BAD.tsv]\n\
+    [--trace-events EVENTS.ndjson] [--stats-json STATS.json]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
@@ -55,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
     let mut top = 15usize;
     let mut lenient = false;
     let mut quarantine = None;
+    let mut trace_events = None;
+    let mut stats_json = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -91,6 +107,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--lenient" => lenient = true,
             "--quarantine" => quarantine = Some(value("--quarantine")?),
+            "--trace-events" => trace_events = Some(value("--trace-events")?),
+            "--stats-json" => stats_json = Some(value("--stats-json")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -107,7 +125,20 @@ fn parse_args() -> Result<Args, String> {
         top,
         lenient,
         quarantine,
+        trace_events,
+        stats_json,
     })
+}
+
+/// Creates an observability sink file up front: an unwritable path must
+/// fail before the run, not after minutes of pipeline work.
+fn create_sink(path: Option<&str>) -> Result<Option<std::io::BufWriter<std::fs::File>>, String> {
+    path.map(|p| {
+        std::fs::File::create(p)
+            .map(std::io::BufWriter::new)
+            .map_err(|e| format!("cannot create {p}: {e}"))
+    })
+    .transpose()
 }
 
 /// Reads the input log under the selected ingestion policy, writing skipped
@@ -140,7 +171,7 @@ fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             if !msg.is_empty() {
@@ -151,16 +182,40 @@ fn main() {
         }
     };
 
-    let (log, ingest_stats) = match ingest(&args) {
-        Ok(r) => r,
-        Err(msg) => {
+    // Observability: either flag enables the recorder; the sinks are opened
+    // before any work so a bad path cannot waste a run.
+    let (mut trace_sink, mut stats_sink) = match (
+        create_sink(args.trace_events.as_deref()),
+        create_sink(args.stats_json.as_deref()),
+    ) {
+        (Ok(t), Ok(s)) => (t, s),
+        (Err(msg), _) | (_, Err(msg)) => {
             eprintln!("error: {msg}");
             exit(1);
         }
     };
+    let rec = if trace_sink.is_some() || stats_sink.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    args.config.recorder = rec.clone();
+
+    let t_ingest = Instant::now();
+    let (log, ingest_stats) = {
+        let _span = rec.span("ingest");
+        match ingest(&args) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                exit(1);
+            }
+        }
+    };
+    let ingest_ms = t_ingest.elapsed().as_millis() as u64;
     eprintln!("read {} entries from {}", log.len(), args.input);
     if ingest_stats.quarantined > 0 {
-        eprintln!(
+        let msg = format!(
             "quarantined {} unreadable lines ({} malformed, {} invalid UTF-8){}",
             ingest_stats.quarantined,
             ingest_stats.malformed,
@@ -170,7 +225,16 @@ fn main() {
                 .map(|p| format!(", copied to {p}"))
                 .unwrap_or_default()
         );
+        eprintln!("{msg}");
+        // Machine consumers of the trace must not need to scrape stderr.
+        rec.warning(msg);
+        rec.counter("ingest.quarantined_lines", ingest_stats.quarantined as u64);
+        rec.counter(
+            "ingest.invalid_utf8_lines",
+            ingest_stats.invalid_utf8 as u64,
+        );
     }
+    rec.counter("ingest.entries", log.len() as u64);
 
     // A user-supplied schema replaces the built-in SkyServer-like one.
     let catalog: Catalog = match &args.schema {
@@ -195,10 +259,24 @@ fn main() {
     let mut result = Pipeline::new(&catalog).with_config(args.config).run(&log);
     result.stats.run_health.quarantined_lines = ingest_stats.quarantined;
     result.stats.run_health.invalid_utf8_lines = ingest_stats.invalid_utf8;
+    result.stats.timings.ingest_ms = ingest_ms;
+    result.stats.timings.total_ms += ingest_ms;
+
+    // Render once under the report span to measure its cost, fold the
+    // measurement into the timings, then render again so the printed (and
+    // serialized) report carries its own cost.
+    let t_report = Instant::now();
+    let rows = {
+        let _span = rec.span("report");
+        let _ = render_statistics(&result.stats);
+        top_patterns(&result.mined, &result.marks, &result.store, args.top, 2)
+    };
+    let report_ms = t_report.elapsed().as_millis() as u64;
+    result.stats.timings.report_ms = report_ms;
+    result.stats.timings.total_ms += report_ms;
 
     println!("{}", render_statistics(&result.stats));
     println!("top {} patterns (antipatterns marked):", args.top);
-    let rows = top_patterns(&result.mined, &result.marks, &result.store, args.top, 2);
     println!("{}", render_pattern_table(&rows));
 
     if let Some(path) = &args.output {
@@ -219,6 +297,31 @@ fn main() {
         eprintln!(
             "wrote removal log ({} entries) to {path}",
             result.removal_log.len()
+        );
+    }
+
+    if let Some(w) = &mut trace_sink {
+        if let Err(e) = rec.write_events(w).and_then(|()| w.flush()) {
+            eprintln!("error: cannot write trace events: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "wrote trace events to {}",
+            args.trace_events.as_deref().unwrap_or_default()
+        );
+    }
+    if let Some(w) = &mut stats_sink {
+        let report = RunReport {
+            stats: result.stats.clone(),
+            obs: ObsReport::from_recorder(&rec),
+        };
+        if let Err(e) = writeln!(w, "{}", report.render()).and_then(|()| w.flush()) {
+            eprintln!("error: cannot write stats json: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "wrote run report to {}",
+            args.stats_json.as_deref().unwrap_or_default()
         );
     }
 }

@@ -14,19 +14,27 @@
 //!
 //! ```text
 //! sqlog-import --in RAW.log --out LOG.tsv [--sep CHAR] [--no-user]
+//!              [--trace-events EVENTS.ndjson]
 //! ```
+//!
+//! `--trace-events PATH` records the import (an `import` span plus entry
+//! and skip counters) as NDJSON, in the same event schema as `sqlog-clean`.
 
 use sqlog::logmodel::{write_log_file, LogEntry, QueryLog, Timestamp};
+use sqlog::obs::Recorder;
 use std::io::BufRead;
+use std::io::Write as _;
 use std::process::exit;
 
-const USAGE: &str = "usage: sqlog-import --in RAW.log --out LOG.tsv [--sep CHAR] [--no-user]";
+const USAGE: &str = "usage: sqlog-import --in RAW.log --out LOG.tsv [--sep CHAR] [--no-user]\n\
+    [--trace-events EVENTS.ndjson]";
 
 fn main() {
     let mut input = None;
     let mut output = None;
     let mut sep = '\t';
     let mut with_user = true;
+    let mut trace_events: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -43,6 +51,7 @@ fn main() {
                 sep = v.chars().next().unwrap_or('\t');
             }
             "--no-user" => with_user = false,
+            "--trace-events" => trace_events = Some(value("--trace-events")),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 exit(0);
@@ -57,6 +66,22 @@ fn main() {
         eprintln!("error: --in and --out are required\n{USAGE}");
         exit(2);
     };
+
+    // Open the trace sink before the import so a bad path fails fast.
+    let mut trace_sink = trace_events.as_deref().map(|p| {
+        std::fs::File::create(p)
+            .map(std::io::BufWriter::new)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot create {p}: {e}");
+                exit(1);
+            })
+    });
+    let rec = if trace_sink.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let import_span = rec.span("import");
 
     let file = std::fs::File::open(&input).unwrap_or_else(|e| {
         eprintln!("error: cannot open {input}: {e}");
@@ -115,4 +140,21 @@ fn main() {
         "imported {} entries to {output} ({skipped} lines skipped)",
         log.len()
     );
+
+    rec.counter("import.entries", log.len() as u64);
+    rec.counter("import.skipped_lines", skipped as u64);
+    if skipped > 0 {
+        rec.warning(format!("{skipped} unparsable input lines were skipped"));
+    }
+    drop(import_span);
+    if let Some(w) = &mut trace_sink {
+        if let Err(e) = rec.write_events(w).and_then(|()| w.flush()) {
+            eprintln!("error: cannot write trace events: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "wrote trace events to {}",
+            trace_events.as_deref().unwrap_or_default()
+        );
+    }
 }

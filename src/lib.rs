@@ -21,6 +21,7 @@
 //! | [`core`] | `sqlog-core` | the cleaning pipeline: dedup → parse → mine → detect → solve |
 //! | [`minidb`] | `sqlog-minidb` | in-memory SQL engine with a round-trip cost model |
 //! | [`cluster`] | `sqlog-cluster` | data-space-overlap query clustering |
+//! | [`obs`] | `sqlog-obs` | structured tracing + metrics: spans, counters, histograms, NDJSON export |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,9 @@ pub use sqlog_gen as gen;
 pub use sqlog_log as logmodel;
 /// In-memory SQL engine (re-export of `sqlog-minidb`).
 pub use sqlog_minidb as minidb;
+/// Observability: spans, counters, histograms, NDJSON export (re-export of
+/// `sqlog-obs`).
+pub use sqlog_obs as obs;
 /// Skeletons and templates (re-export of `sqlog-skeleton`).
 pub use sqlog_skeleton as skeleton;
 /// SQL front end (re-export of `sqlog-sql`).

@@ -1,0 +1,165 @@
+//! `sqlog-clean` observability flags, end to end through the real binary.
+//!
+//! A run with `--trace-events` and `--stats-json` must produce valid NDJSON
+//! (every line a complete JSON object of a known type), per-shard spans
+//! covering every pipeline stage plus ingest and report, and a stats JSON
+//! whose statistics render to exactly the block printed on stdout. An
+//! unwritable sink path must fail before any pipeline work.
+
+use sqlog::core::{render_statistics, RunReport};
+use sqlog::gen::{generate, GenConfig};
+use sqlog::logmodel::write_log_file;
+use sqlog::obs::Json;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sqlog-clean");
+
+/// A scratch directory unique to this test process, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(label: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("sqlog-obs-{label}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const STAGES: &[&str] = &[
+    "ingest", "sort", "dedup", "parse", "sessions", "mine", "detect", "solve", "report",
+];
+
+#[test]
+fn trace_events_and_stats_json_cover_the_run() {
+    let scratch = Scratch::new("full");
+    let input = scratch.path("input.tsv");
+    let clean = scratch.path("clean.tsv");
+    let trace = scratch.path("trace.ndjson");
+    let stats = scratch.path("stats.json");
+    let log = generate(&GenConfig::with_scale(2_000, 7));
+    write_log_file(&log, &input).expect("write generated log");
+
+    let out = Command::new(BIN)
+        .args([
+            "--in",
+            input.to_str().unwrap(),
+            "--out",
+            clean.to_str().unwrap(),
+            "--lenient",
+            "--parallelism",
+            "2",
+            "--trace-events",
+            trace.to_str().unwrap(),
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run sqlog-clean");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "run failed\n{stderr}");
+
+    // Every NDJSON line is a complete JSON object of a known type; the
+    // stream opens with the meta line.
+    let trace_text = std::fs::read_to_string(&trace).expect("read trace");
+    let mut span_ids: HashMap<u64, String> = HashMap::new(); // id → span name
+    let mut names: HashSet<String> = HashSet::new();
+    let mut shard_parents: Vec<(String, u64)> = Vec::new();
+    for (i, line) in trace_text.lines().enumerate() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        let ty = v.get("type").and_then(Json::as_str).expect("type field");
+        assert!(
+            ["meta", "span", "warning", "counter", "histogram"].contains(&ty),
+            "unknown event type {ty:?}"
+        );
+        if i == 0 {
+            assert_eq!(ty, "meta", "first line must be meta");
+            assert_eq!(v.get("schema").and_then(Json::as_u64), Some(1));
+            continue;
+        }
+        if ty == "span" {
+            let name = v.get("name").and_then(Json::as_str).expect("span name");
+            let id = v.get("id").and_then(Json::as_u64).expect("span id");
+            span_ids.insert(id, name.to_string());
+            names.insert(name.to_string());
+            if let Some(stage) = name.strip_suffix(".shard") {
+                let parent = v
+                    .get("parent")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| panic!("{name} span has no parent"));
+                shard_parents.push((stage.to_string(), parent));
+                assert!(
+                    v.get("fields").and_then(|f| f.get("shard")).is_some(),
+                    "{name} span lacks a shard field: {line}"
+                );
+            }
+        }
+    }
+    for stage in STAGES {
+        assert!(names.contains(*stage), "missing {stage} span: {names:?}");
+    }
+    assert!(names.contains("pipeline"), "missing pipeline root span");
+    // Every shard span hangs under its own stage span.
+    assert!(!shard_parents.is_empty(), "no shard spans recorded");
+    for (stage, parent) in &shard_parents {
+        assert_eq!(
+            span_ids.get(parent).map(String::as_str),
+            Some(stage.as_str()),
+            "a {stage}.shard span is parented to the wrong span"
+        );
+    }
+
+    // The stats JSON round-trips and its statistics render to exactly the
+    // block printed on stdout — the two views cannot disagree.
+    let stats_text = std::fs::read_to_string(&stats).expect("read stats");
+    let report = RunReport::parse(&stats_text).expect("parse run report");
+    assert_eq!(report.stats.original_size, log.len());
+    assert!(
+        stdout.contains(&render_statistics(&report.stats)),
+        "stdout does not contain the serialized statistics block\n{stdout}"
+    );
+    // The aggregated observability section covers every stage.
+    for stage in STAGES {
+        assert!(
+            report.obs.stages.contains_key(*stage),
+            "obs report lacks stage {stage}: {:?}",
+            report.obs.stages.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn unwritable_trace_path_fails_before_the_run() {
+    let scratch = Scratch::new("badpath");
+    let input = scratch.path("input.tsv");
+    write_log_file(&generate(&GenConfig::with_scale(50, 1)), &input).expect("write log");
+    for flag in ["--trace-events", "--stats-json"] {
+        let out = Command::new(BIN)
+            .args([
+                "--in",
+                input.to_str().unwrap(),
+                flag,
+                "/nonexistent-dir/sink.out",
+            ])
+            .output()
+            .expect("run sqlog-clean");
+        assert_eq!(out.status.code(), Some(1), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cannot create"), "{flag}: {stderr}");
+        // Failed before ingesting anything.
+        assert!(!stderr.contains("read "), "{flag}: ran anyway\n{stderr}");
+        assert!(out.stdout.is_empty(), "{flag}: produced a report anyway");
+    }
+}

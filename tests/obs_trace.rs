@@ -1,0 +1,109 @@
+//! Recorder wiring through the pipeline, in process: span nesting must be
+//! correct at every thread count, and instrumentation must only *observe* —
+//! the pipeline's output is byte-identical with the recorder enabled or
+//! disabled, at every thread count.
+
+use sqlog::catalog::skyserver_catalog;
+use sqlog::core::{Pipeline, PipelineConfig, PipelineResult};
+use sqlog::gen::{generate, GenConfig};
+use sqlog::logmodel::write_log;
+use sqlog::obs::Recorder;
+use std::collections::HashMap;
+
+/// Thread counts the satellite task pins down: 1, 2, 8 and auto (0).
+const THREADS: &[usize] = &[1, 2, 8, 0];
+
+fn rendered_logs(result: &PipelineResult) -> (Vec<u8>, Vec<u8>) {
+    let mut clean = Vec::new();
+    write_log(&result.clean_log, &mut clean).expect("render clean log");
+    let mut removal = Vec::new();
+    write_log(&result.removal_log, &mut removal).expect("render removal log");
+    (clean, removal)
+}
+
+#[test]
+fn span_nesting_is_correct_at_every_thread_count() {
+    let catalog = skyserver_catalog();
+    let log = generate(&GenConfig::with_scale(1_500, 13));
+    for &threads in THREADS {
+        let rec = Recorder::new();
+        let config = PipelineConfig {
+            parallelism: threads,
+            recorder: rec.clone(),
+            ..PipelineConfig::default()
+        };
+        let _ = Pipeline::new(&catalog).with_config(config).run(&log);
+        let spans = rec.spans();
+        let by_id: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+
+        let pipeline = spans
+            .iter()
+            .find(|s| s.name == "pipeline")
+            .expect("pipeline root span");
+        assert_eq!(pipeline.parent, None, "threads {threads}");
+
+        // Every stage span is a direct child of the pipeline root.
+        for stage in [
+            "sort", "dedup", "parse", "sessions", "mine", "detect", "solve",
+        ] {
+            let s = spans
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("missing {stage} span at threads {threads}"));
+            assert_eq!(
+                s.parent,
+                Some(pipeline.id),
+                "{stage} not under pipeline at threads {threads}"
+            );
+        }
+
+        // Every shard span hangs under its own stage span and fits inside
+        // it temporally (same monotonic clock, child closes first).
+        let mut shard_spans = 0usize;
+        for s in &spans {
+            let Some(stage) = s.name.strip_suffix(".shard") else {
+                continue;
+            };
+            shard_spans += 1;
+            let parent = &spans[by_id[&s.parent.expect("shard span has a parent")]];
+            assert_eq!(parent.name, stage, "threads {threads}");
+            assert!(s.start_us >= parent.start_us, "threads {threads}");
+            assert!(
+                s.start_us + s.dur_us <= parent.start_us + parent.dur_us,
+                "{} does not fit inside {} at threads {threads}",
+                s.name,
+                parent.name
+            );
+        }
+        assert!(shard_spans > 0, "no shard spans at threads {threads}");
+    }
+}
+
+#[test]
+fn output_is_byte_identical_with_recorder_enabled_or_disabled() {
+    let catalog = skyserver_catalog();
+    let log = generate(&GenConfig::with_scale(1_500, 13));
+    let mut baseline: Option<(Vec<u8>, Vec<u8>)> = None;
+    for &threads in THREADS {
+        for enabled in [false, true] {
+            let config = PipelineConfig {
+                parallelism: threads,
+                recorder: if enabled {
+                    Recorder::new()
+                } else {
+                    Recorder::disabled()
+                },
+                ..PipelineConfig::default()
+            };
+            let result = Pipeline::new(&catalog).with_config(config).run(&log);
+            let rendered = rendered_logs(&result);
+            match &baseline {
+                None => baseline = Some(rendered),
+                Some(b) => assert_eq!(
+                    *b, rendered,
+                    "output differs at threads {threads}, recorder enabled={enabled}"
+                ),
+            }
+        }
+    }
+}
