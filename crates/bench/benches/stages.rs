@@ -134,10 +134,43 @@ fn bench_mine_and_detect(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parse stage alone, template-aware parse cache on vs off, on the
+/// same ~100k-entry log as `pipeline_sharded`. The cache-on row is the
+/// acceptance number: repeated query shapes skip lexing/parsing entirely,
+/// so parse-stage throughput must be a multiple of the cache-off row.
+fn bench_parse_cache(c: &mut Criterion) {
+    use sqlog_core::{parse_view_traced, ParseOptions};
+    use sqlog_obs::Recorder;
+
+    let log = generate(&GenConfig::with_scale(100_000, SEED));
+    let view = sqlog_log::LogView::identity(&log);
+    let rec = Recorder::disabled();
+    let mut group = c.benchmark_group("parse_cache");
+    group.throughput(Throughput::Elements(log.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for (label, cache) in [("cache_off", false), ("cache_on", true)] {
+        let options = ParseOptions {
+            cache,
+            ..ParseOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let store = TemplateStore::new();
+                let parsed = parse_view_traced(&view, &store, &options, 1, &rec, None);
+                black_box((parsed.stats.selects, parsed.cache.hits))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The tentpole benchmark: the full pipeline under increasing
 /// `parallelism`, on a log large enough for sharding to matter. Thread
 /// counts cover sequential (1), minimal sharding (2), and one worker per
-/// available core.
+/// available core. The `threads_1_nocache` row isolates what the parse
+/// cache contributes end-to-end.
 fn bench_pipeline_sharded(c: &mut Criterion) {
     let catalog = skyserver_catalog();
     let log = generate(&GenConfig::with_scale(100_000, SEED));
@@ -152,12 +185,18 @@ fn bench_pipeline_sharded(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(5));
-    for threads in thread_counts {
+    let mut rows: Vec<(String, usize, bool)> = thread_counts
+        .iter()
+        .map(|&t| (format!("threads_{t}"), t, true))
+        .collect();
+    rows.push(("threads_1_nocache".to_string(), 1, false));
+    for (label, threads, parse_cache) in rows {
         let cfg = PipelineConfig {
             parallelism: threads,
+            parse_cache,
             ..PipelineConfig::default()
         };
-        group.bench_function(&format!("threads_{threads}"), |b| {
+        group.bench_function(&label, |b| {
             b.iter(|| {
                 black_box(
                     Pipeline::new(&catalog)
@@ -234,6 +273,7 @@ criterion_group!(
     bench_dedup,
     bench_mine_and_detect,
     bench_full_pipeline,
+    bench_parse_cache,
     bench_pipeline_sharded,
     bench_cluster
 );

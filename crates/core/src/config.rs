@@ -53,6 +53,15 @@ pub struct PipelineConfig {
     /// Maximum lexed tokens per statement
     /// ([`sqlog_sql::ParseLimits::max_tokens`]).
     pub max_parse_tokens: usize,
+    /// Enable the template-aware parse cache: statements whose raw shape
+    /// (text modulo whitespace, case and literals) was already parsed skip
+    /// lexing/parsing and reuse the cached template and facts. Output is
+    /// byte-identical with the cache on or off; `--no-parse-cache`
+    /// disables it for A/B runs.
+    pub parse_cache: bool,
+    /// Debug builds cross-check this many parse-cache hits per worker
+    /// against a full parse (0 disables the self-check).
+    pub parse_cache_crosscheck: usize,
     /// Observability sink. [`sqlog_obs::Recorder::disabled`] (the default)
     /// reduces every instrumentation point to a branch-on-a-bool no-op;
     /// an enabled recorder collects per-stage/per-shard spans, counters
@@ -70,6 +79,15 @@ impl PipelineConfig {
             max_depth: self.max_parse_depth,
             max_statement_bytes: self.max_statement_bytes,
             max_tokens: self.max_parse_tokens,
+        }
+    }
+
+    /// The parse-stage knobs as a [`crate::parse_step::ParseOptions`].
+    pub fn parse_options(&self) -> crate::parse_step::ParseOptions {
+        crate::parse_step::ParseOptions {
+            limits: self.parse_limits(),
+            cache: self.parse_cache,
+            crosscheck: self.parse_cache_crosscheck,
         }
     }
 }
@@ -90,6 +108,8 @@ impl Default for PipelineConfig {
             max_parse_depth: sqlog_sql::ParseLimits::default().max_depth,
             max_statement_bytes: sqlog_sql::ParseLimits::default().max_statement_bytes,
             max_parse_tokens: sqlog_sql::ParseLimits::default().max_tokens,
+            parse_cache: true,
+            parse_cache_crosscheck: 64,
             recorder: sqlog_obs::Recorder::disabled(),
         }
     }

@@ -44,6 +44,7 @@ pub mod detect;
 pub mod ext;
 mod fault;
 pub mod mine;
+mod parse_cache;
 pub mod parse_step;
 pub mod pipeline;
 pub mod recommend;
@@ -64,7 +65,8 @@ pub use mine::{
     mine_patterns_sharded, mine_patterns_traced, MinedPatterns, PatternData, Session, Sessions,
 };
 pub use parse_step::{
-    parse_log, parse_view, parse_view_traced, parse_view_with, ParseStats, ParsedLog, ParsedRecord,
+    parse_log, parse_view, parse_view_traced, parse_view_with, ParseCacheStats, ParseOptions,
+    ParseStats, ParsedLog, ParsedRecord,
 };
 pub use pipeline::{Pipeline, PipelineResult};
 pub use recommend::{evaluate_against_marks, RecommendationEval, Recommender};

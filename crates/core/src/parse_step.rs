@@ -20,8 +20,10 @@
 //!   count.
 
 use crate::fault;
+use crate::parse_cache::ShapeCache;
 use crate::shard::{guarded, resolve_threads, run_shards_traced, whole_range, ShardTrace};
 use crate::store::{TemplateId, TemplateStore};
+use serde::{Deserialize, Serialize};
 use sqlog_log::{LogView, QueryLog};
 use sqlog_obs::{Recorder, SpanId};
 use sqlog_skeleton::{primary_table, Fingerprint, OutputColumns, PredicateProfile, QueryTemplate};
@@ -72,6 +74,62 @@ impl ParseStats {
     }
 }
 
+/// Effectiveness counters of the template-aware parse cache
+/// (see [`crate::parse_cache`]).
+///
+/// Kept separate from [`ParseStats`]: each worker owns its cache, so the
+/// hit/miss split depends on how statements shard across threads. The
+/// *parse result* is identical either way; determinism comparisons zero
+/// this struct alongside timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseCacheStats {
+    /// Whether the cache was enabled for this parse.
+    pub enabled: bool,
+    /// Statements served from a worker's shape cache.
+    pub hits: u64,
+    /// Statements that populated a new cache entry (full parse).
+    pub misses: u64,
+    /// Statements that bypassed the cache — unkeyable text, oversized, or
+    /// an uncacheable shape (full parse).
+    pub fallbacks: u64,
+    /// Cache hits verified against a full parse (debug builds only).
+    pub crosschecks: u64,
+}
+
+impl ParseCacheStats {
+    /// Hit rate over the cache-eligible statements, in percent.
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Knobs of the parse stage beyond the resource limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Parser resource guards.
+    pub limits: ParseLimits,
+    /// Enable the template-aware parse cache ([`crate::parse_cache`]).
+    pub cache: bool,
+    /// In debug builds, cross-check this many cache hits per worker
+    /// against a full parse (panics on divergence).
+    pub crosscheck: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            limits: ParseLimits::default(),
+            cache: true,
+            crosscheck: 64,
+        }
+    }
+}
+
 /// The parsed log: records (in log order) plus statistics.
 #[derive(Debug)]
 pub struct ParsedLog {
@@ -79,9 +137,11 @@ pub struct ParsedLog {
     pub records: Vec<ParsedRecord>,
     /// Parse statistics.
     pub stats: ParseStats,
+    /// Parse-cache effectiveness (all-zero when the cache is disabled).
+    pub cache: ParseCacheStats,
 }
 
-enum Outcome {
+pub(crate) enum Outcome {
     Select(Box<ParsedRecord>),
     NonSelect(StatementKind),
     Error {
@@ -91,7 +151,7 @@ enum Outcome {
     Poison,
 }
 
-fn parse_one(
+pub(crate) fn parse_one(
     store: &TemplateStore,
     memo: &mut HashMap<Fingerprint, TemplateId>,
     limits: &ParseLimits,
@@ -199,18 +259,25 @@ pub fn parse_view_with(
     limits: &ParseLimits,
     threads: usize,
 ) -> ParsedLog {
-    parse_view_traced(view, store, limits, threads, &Recorder::disabled(), None)
+    let options = ParseOptions {
+        limits: *limits,
+        ..ParseOptions::default()
+    };
+    parse_view_traced(view, store, &options, threads, &Recorder::disabled(), None)
 }
 
 /// [`parse_view_with`] with observability: per-shard spans
 /// (`"parse.shard"`, parented under `parent`), a shard-latency histogram
 /// and outcome counters — including template-interner effectiveness
-/// (`parse.templates_interned` vs `parse.template_cache_hits`) — land in
-/// `rec`. Records and statistics are identical to the untraced call.
+/// (`parse.templates_interned` vs `parse.template_cache_hits`) and
+/// parse-cache effectiveness (`parse.cache_hits` / `parse.cache_misses` /
+/// `parse.cache_fallbacks`) — land in `rec`. Records and statistics are
+/// identical to the untraced call, and identical whether or not the parse
+/// cache is enabled.
 pub fn parse_view_traced(
     view: &LogView<'_>,
     store: &TemplateStore,
-    limits: &ParseLimits,
+    options: &ParseOptions,
     threads: usize,
     rec: &Recorder,
     parent: Option<SpanId>,
@@ -239,28 +306,52 @@ pub fn parse_view_traced(
         |r| {
             let fault = fault::armed("parse");
             let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
-            r.map(|i| {
-                let sql = &view.entry(i).statement;
-                fault::trip(&fault, sql);
-                parse_one(store, &mut memo, limits, i as u32, sql)
-            })
-            .collect::<Vec<_>>()
+            let mut cache = options.cache.then(ShapeCache::default);
+            let outcomes = r
+                .map(|i| {
+                    let sql = &view.entry(i).statement;
+                    fault::trip(&fault, sql);
+                    parse_one_maybe_cached(
+                        cache.as_mut(),
+                        store,
+                        &mut memo,
+                        options,
+                        view,
+                        i as u32,
+                        sql,
+                    )
+                })
+                .collect::<Vec<_>>();
+            (outcomes, cache.map(tally).unwrap_or_default())
         },
         |r| {
             // Degraded re-run: each statement under its own panic guard.
-            // The memo only caches fingerprint → interned id, so a panic
-            // mid-record at worst wastes a memo entry — never corrupts one.
+            // The memo only caches fingerprint → interned id, and the shape
+            // cache inserts entries only after a successful parse, so a
+            // panic mid-record at worst wastes an entry — never corrupts
+            // one.
             let fault = fault::armed("parse");
             let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
-            r.map(|i| {
-                let sql = &view.entry(i).statement;
-                guarded(|| {
-                    fault::trip(&fault, sql);
-                    parse_one(store, &mut memo, limits, i as u32, sql)
+            let mut cache = options.cache.then(ShapeCache::default);
+            let outcomes = r
+                .map(|i| {
+                    let sql = &view.entry(i).statement;
+                    guarded(|| {
+                        fault::trip(&fault, sql);
+                        parse_one_maybe_cached(
+                            cache.as_mut(),
+                            store,
+                            &mut memo,
+                            options,
+                            view,
+                            i as u32,
+                            sql,
+                        )
+                    })
+                    .unwrap_or(Outcome::Poison)
                 })
-                .unwrap_or(Outcome::Poison)
-            })
-            .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            (outcomes, cache.map(tally).unwrap_or_default())
         },
     );
 
@@ -269,23 +360,33 @@ pub fn parse_view_traced(
         degraded_shards: degraded,
         ..ParseStats::default()
     };
+    let mut cache_stats = ParseCacheStats {
+        enabled: options.cache,
+        ..ParseCacheStats::default()
+    };
     let mut records = Vec::with_capacity(n);
-    for outcome in results.into_iter().flatten() {
-        match outcome {
-            Outcome::Select(rec) => {
-                stats.selects += 1;
-                records.push(*rec);
-            }
-            Outcome::NonSelect(kind) => {
-                *stats.non_select.entry(kind).or_default() += 1;
-            }
-            Outcome::Error { limit } => {
-                stats.errors += 1;
-                if limit {
-                    stats.limit_exceeded += 1;
+    for (outcomes, shard_cache) in results {
+        cache_stats.hits += shard_cache.hits;
+        cache_stats.misses += shard_cache.misses;
+        cache_stats.fallbacks += shard_cache.fallbacks;
+        cache_stats.crosschecks += shard_cache.crosschecks;
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Select(rec) => {
+                    stats.selects += 1;
+                    records.push(*rec);
                 }
+                Outcome::NonSelect(kind) => {
+                    *stats.non_select.entry(kind).or_default() += 1;
+                }
+                Outcome::Error { limit } => {
+                    stats.errors += 1;
+                    if limit {
+                        stats.limit_exceeded += 1;
+                    }
+                }
+                Outcome::Poison => stats.poison += 1,
             }
-            Outcome::Poison => stats.poison += 1,
         }
     }
     canonicalize_templates(store, preexisting, &mut records);
@@ -305,7 +406,51 @@ pub fn parse_view_traced(
         "parse.template_cache_hits",
         (stats.selects as u64).saturating_sub(interned),
     );
-    ParsedLog { records, stats }
+    rec.counter("parse.cache_hits", cache_stats.hits);
+    rec.counter("parse.cache_misses", cache_stats.misses);
+    rec.counter("parse.cache_fallbacks", cache_stats.fallbacks);
+    rec.counter("parse.cache_crosschecks", cache_stats.crosschecks);
+    ParsedLog {
+        records,
+        stats,
+        cache: cache_stats,
+    }
+}
+
+/// Routes one statement through the shape cache when enabled, or straight
+/// to the parser otherwise.
+fn parse_one_maybe_cached(
+    cache: Option<&mut ShapeCache>,
+    store: &TemplateStore,
+    memo: &mut HashMap<Fingerprint, TemplateId>,
+    options: &ParseOptions,
+    view: &LogView<'_>,
+    entry_idx: u32,
+    sql: &str,
+) -> Outcome {
+    match cache {
+        Some(c) => c.parse_one_cached(
+            store,
+            memo,
+            &options.limits,
+            options.crosscheck,
+            entry_idx,
+            sql,
+            &|i| view.entry(i as usize).statement.as_str(),
+        ),
+        None => parse_one(store, memo, &options.limits, entry_idx, sql),
+    }
+}
+
+/// Reduces a worker's shape cache to its counters (the map is dropped).
+fn tally(cache: ShapeCache) -> ParseCacheStats {
+    ParseCacheStats {
+        enabled: true,
+        hits: cache.hits,
+        misses: cache.misses,
+        fallbacks: cache.fallbacks,
+        crosschecks: cache.crosschecks,
+    }
 }
 
 /// Parses a pre-cleaned log into records, interning templates in `store`.

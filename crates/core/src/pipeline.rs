@@ -155,7 +155,7 @@ impl<'a> Pipeline<'a> {
             parse_view_traced(
                 &pre_clean,
                 &store,
-                &self.config.parse_limits(),
+                &self.config.parse_options(),
                 threads,
                 rec,
                 span.id(),
@@ -356,6 +356,7 @@ impl<'a> Pipeline<'a> {
                 report_ms: 0,
                 total_ms: ms(t_total),
             },
+            parse_cache: parsed.cache,
             run_health: RunHealth {
                 // Ingestion counts are filled by the caller that read the
                 // log (e.g. sqlog-clean's lenient mode).

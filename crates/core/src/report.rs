@@ -171,6 +171,21 @@ pub fn render_statistics(s: &Statistics) -> String {
             t.total_ms
         ),
     );
+    let c = &s.parse_cache;
+    if c.enabled {
+        row(
+            "Parse cache",
+            format!(
+                "{} hits | {} misses | {} fallbacks ({:.1}% hit rate)",
+                c.hits,
+                c.misses,
+                c.fallbacks,
+                c.hit_rate_pct()
+            ),
+        );
+    } else {
+        row("Parse cache", "disabled".to_string());
+    }
     let h = &s.run_health;
     if h.is_clean() {
         row("Run health", "clean (no faults)".to_string());

@@ -7,6 +7,7 @@
 //! The format is versioned (`schema`) and round-trips: `from_json ∘
 //! to_json` is the identity, which the tests pin down field by field.
 
+use crate::parse_step::ParseCacheStats;
 use crate::stats::{ClassCounts, RunHealth, StageTimings, Statistics};
 use sqlog_obs::{Json, ObsReport};
 
@@ -69,6 +70,29 @@ fn timings_from_json(v: &Json) -> Result<StageTimings, String> {
     })
 }
 
+fn cache_to_json(c: &ParseCacheStats) -> Json {
+    Json::obj(vec![
+        ("enabled", Json::Bool(c.enabled)),
+        ("hits", Json::U64(c.hits)),
+        ("misses", Json::U64(c.misses)),
+        ("fallbacks", Json::U64(c.fallbacks)),
+        ("crosschecks", Json::U64(c.crosschecks)),
+    ])
+}
+
+fn cache_from_json(v: &Json) -> Result<ParseCacheStats, String> {
+    Ok(ParseCacheStats {
+        enabled: v
+            .get("enabled")
+            .and_then(Json::as_bool)
+            .ok_or("run report: missing or non-boolean \"enabled\"")?,
+        hits: get_u64(v, "hits")?,
+        misses: get_u64(v, "misses")?,
+        fallbacks: get_u64(v, "fallbacks")?,
+        crosschecks: get_u64(v, "crosschecks")?,
+    })
+}
+
 fn health_to_json(h: &RunHealth) -> Json {
     Json::obj(vec![
         ("quarantined_lines", u(h.quarantined_lines)),
@@ -125,6 +149,7 @@ pub fn statistics_to_json(s: &Statistics) -> Json {
         ("rewritten_statements", u(s.rewritten_statements)),
         ("skipped_overlaps", u(s.skipped_overlaps)),
         ("timings", timings_to_json(&s.timings)),
+        ("parse_cache", cache_to_json(&s.parse_cache)),
         ("run_health", health_to_json(&s.run_health)),
     ])
 }
@@ -147,6 +172,10 @@ pub fn statistics_from_json(v: &Json) -> Result<Statistics, String> {
         rewritten_statements: get_usize(v, "rewritten_statements")?,
         skipped_overlaps: get_usize(v, "skipped_overlaps")?,
         timings: timings_from_json(v.get("timings").ok_or("run report: missing \"timings\"")?)?,
+        parse_cache: cache_from_json(
+            v.get("parse_cache")
+                .ok_or("run report: missing \"parse_cache\"")?,
+        )?,
         run_health: health_from_json(
             v.get("run_health")
                 .ok_or("run report: missing \"run_health\"")?,
@@ -258,6 +287,13 @@ mod tests {
                 solve_ms: 2,
                 report_ms: 1,
                 total_ms: 30,
+            },
+            parse_cache: ParseCacheStats {
+                enabled: true,
+                hits: 700,
+                misses: 90,
+                fallbacks: 10,
+                crosschecks: 64,
             },
             run_health: RunHealth {
                 quarantined_lines: 7,

@@ -1,6 +1,7 @@
 //! Pipeline statistics — the fields of the paper's Table 5.
 
 use crate::detect::AntipatternClass;
+use crate::parse_step::ParseCacheStats;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -137,6 +138,11 @@ pub struct Statistics {
     pub skipped_overlaps: usize,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
+    /// Parse-cache effectiveness. Like timings, these counters are
+    /// measurement detail, not results: the hit/miss split depends on how
+    /// statements shard across workers, while the parse *output* does not.
+    /// [`Statistics::with_zeroed_timings`] zeroes them too.
+    pub parse_cache: ParseCacheStats,
     /// Faults skipped, rejected or recovered during the run.
     pub run_health: RunHealth,
 }
@@ -147,6 +153,7 @@ impl Statistics {
     pub fn with_zeroed_timings(&self) -> Statistics {
         Statistics {
             timings: StageTimings::default(),
+            parse_cache: ParseCacheStats::default(),
             ..self.clone()
         }
     }

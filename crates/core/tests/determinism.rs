@@ -13,9 +13,14 @@ use sqlog_log::QueryLog;
 use std::collections::HashSet;
 
 fn run_with(log: &QueryLog, threads: usize) -> PipelineResult {
+    run_with_cache(log, threads, true)
+}
+
+fn run_with_cache(log: &QueryLog, threads: usize, parse_cache: bool) -> PipelineResult {
     let catalog = skyserver_catalog();
     let cfg = PipelineConfig {
         parallelism: threads,
+        parse_cache,
         ..PipelineConfig::default()
     };
     Pipeline::new(&catalog).with_config(cfg).run(log)
@@ -60,6 +65,35 @@ fn sharded_pipeline_is_identical_for_all_thread_counts() {
     // parallelism = 0 (auto) must agree too, whatever the core count.
     let auto = run_with(&log, 0);
     assert_identical(&sequential, &auto, "threads=auto");
+}
+
+#[test]
+fn parse_cache_output_is_identical_to_uncached() {
+    // The template-aware parse cache must be a pure optimization: for every
+    // thread count, every output with the cache on equals the cache-off run
+    // (which in turn equals sequential cache-off — the seed behavior).
+    let log = generate(&GenConfig::with_scale(6_000, 4242));
+    let baseline = run_with_cache(&log, 1, false);
+    assert!(!baseline.stats.parse_cache.enabled);
+    for threads in [1usize, 2, 8, 0] {
+        for cache in [false, true] {
+            let run = run_with_cache(&log, threads, cache);
+            assert_eq!(run.stats.parse_cache.enabled, cache);
+            if cache {
+                // The generated workload repeats shapes heavily; the cache
+                // must actually engage for the comparison to mean anything.
+                assert!(
+                    run.stats.parse_cache.hits > 0,
+                    "no cache hits at threads={threads}"
+                );
+            }
+            assert_identical(
+                &baseline,
+                &run,
+                &format!("threads={threads}, cache={cache}"),
+            );
+        }
+    }
 }
 
 #[test]

@@ -25,6 +25,7 @@
 pub mod fingerprint;
 pub mod normalize;
 pub mod predicate;
+pub mod rawkey;
 pub mod skeleton;
 pub mod template;
 
@@ -33,6 +34,7 @@ pub use normalize::{normalize_sql_text, text_fingerprint};
 pub use predicate::{
     base_tables, primary_table, OutputColumns, PredicateKind, PredicateProfile, Theta, ValueKind,
 };
+pub use rawkey::{raw_shape_scan, RawKey, RawLiteral, RawLiteralKind};
 pub use skeleton::{
     render_from_clause, render_query, render_select_clause, render_tail, render_where_clause, Mode,
 };

@@ -1,0 +1,146 @@
+//! Property tests for the raw-shape-key soundness contract.
+//!
+//! The parse cache in `sqlog-core` relies on one invariant: **equal raw
+//! keys imply equal query templates** (equal (SFC, SWC, SSC) triples and
+//! fingerprints) — literals, whitespace, case and comments must never
+//! reach the key, and nothing *else* may be erased by it. These tests
+//! generate statement pairs that differ only in literals (same key
+//! required) and pairs with perturbed spacing/casing/comments (same key
+//! required), then assert the templates agree whenever the keys do.
+
+use proptest::prelude::*;
+use sqlog_skeleton::{raw_shape_scan, QueryTemplate, RawKey, RawLiteral};
+use sqlog_sql::parse_query;
+
+#[derive(Debug, Clone)]
+enum Shape {
+    PointLookup,
+    Window,
+    StringFilter,
+    InListLookup,
+    LikeAndBetween,
+    NegatedNumber,
+    EscapedString,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::PointLookup),
+        Just(Shape::Window),
+        Just(Shape::StringFilter),
+        Just(Shape::InListLookup),
+        Just(Shape::LikeAndBetween),
+        Just(Shape::NegatedNumber),
+        Just(Shape::EscapedString),
+    ]
+}
+
+fn render(shape: &Shape, a: u64, b: u64, s: &str) -> String {
+    match shape {
+        Shape::PointLookup => format!("SELECT x FROM t WHERE id = {a}"),
+        Shape::Window => format!("SELECT x FROM t WHERE h >= {a} AND h <= {}", a + b),
+        Shape::StringFilter => format!("SELECT x FROM t WHERE name = '{s}'"),
+        Shape::InListLookup => format!("SELECT x FROM t WHERE id IN ({a}, {b})"),
+        Shape::LikeAndBetween => {
+            format!("SELECT x FROM t WHERE s LIKE '{s}%' AND r BETWEEN {a} AND {b}")
+        }
+        Shape::NegatedNumber => format!("SELECT x FROM t WHERE z = -{a}"),
+        Shape::EscapedString => format!("SELECT x FROM t WHERE name = '{s}''{s}'"),
+    }
+}
+
+fn key_of(sql: &str) -> (RawKey, Vec<RawLiteral>) {
+    let mut lits = Vec::new();
+    let key = raw_shape_scan(sql, &mut lits).expect("generated SQL must be keyable");
+    (key, lits)
+}
+
+/// Whitespace/comment/case perturbations that must not change the key.
+/// Index selects the variant, so shrinking stays meaningful.
+fn perturb(sql: &str, variant: u8) -> String {
+    match variant % 4 {
+        0 => sql.replace(' ', "  \t "),
+        1 => format!(
+            "  /* c */ {} -- trail",
+            sql.replace(" WHERE ", " /*x*/ wHeRe ")
+        ),
+        2 => sql.to_string(),
+        _ => sql.replace(" = ", "="),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Statements of one shape differing only in literal values share a
+    /// raw key, and — the cache's soundness direction — produce identical
+    /// query-template triples and literal spans covering exactly the
+    /// varying text.
+    #[test]
+    fn equal_keys_imply_equal_templates(
+        shape in shape_strategy(),
+        a1 in 0u64..1_000_000, b1 in 0u64..1_000,
+        a2 in 0u64..1_000_000, b2 in 0u64..1_000,
+        s1 in "[a-z]{1,8}", s2 in "[a-z]{1,8}",
+    ) {
+        let sql1 = render(&shape, a1, b1, &s1);
+        let sql2 = render(&shape, a2, b2, &s2);
+        let (k1, lits1) = key_of(&sql1);
+        let (k2, lits2) = key_of(&sql2);
+        prop_assert_eq!(k1, k2, "literals leaked into the key");
+        prop_assert_eq!(lits1.len(), lits2.len());
+
+        let t1 = QueryTemplate::of_query(&parse_query(&sql1).unwrap());
+        let t2 = QueryTemplate::of_query(&parse_query(&sql2).unwrap());
+        prop_assert!(t1.similar(&t2));
+        prop_assert_eq!(t1.fingerprint, t2.fingerprint);
+        prop_assert_eq!(&t1.full, &t2.full);
+
+        // Recorded spans must slice cleanly out of their statement.
+        for (lit, sql) in lits1.iter().map(|l| (l, &sql1)).chain(lits2.iter().map(|l| (l, &sql2))) {
+            prop_assert!(lit.text(sql).is_some());
+        }
+    }
+
+    /// Whitespace, comments and keyword/identifier case never reach the key.
+    #[test]
+    fn key_ignores_whitespace_comments_and_case(
+        shape in shape_strategy(),
+        a in 0u64..1_000_000, b in 0u64..1_000, s in "[a-z]{1,8}",
+        variant in 0u8..4,
+    ) {
+        let sql = render(&shape, a, b, &s);
+        let noisy = perturb(&sql, variant);
+        let (k1, _) = key_of(&sql);
+        let (k2, _) = key_of(&noisy);
+        prop_assert_eq!(k1, k2, "perturbation changed the key: {}", noisy);
+    }
+
+    /// Different shapes never share a key (the key may be finer than
+    /// template equality, but for these shapes it must separate them).
+    #[test]
+    fn different_shapes_get_different_keys(
+        a in 0u64..1_000_000, b in 0u64..1_000, s in "[a-z]{1,8}",
+    ) {
+        // EscapedString is omitted: it is *supposed* to share a key with
+        // StringFilter (both are `name = <str>`; the escape only affects
+        // the recorded span, not the shape).
+        let shapes = [
+            Shape::PointLookup,
+            Shape::Window,
+            Shape::StringFilter,
+            Shape::InListLookup,
+            Shape::LikeAndBetween,
+            Shape::NegatedNumber,
+        ];
+        let keys: Vec<RawKey> = shapes
+            .iter()
+            .map(|sh| key_of(&render(sh, a, b, &s)).0)
+            .collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                prop_assert_ne!(keys[i], keys[j], "shapes {} and {} collide", i, j);
+            }
+        }
+    }
+}

@@ -13,18 +13,21 @@
 use crate::error::{ParseError, ParseLimit, Result};
 use crate::limits::ParseLimits;
 use crate::token::{Keyword, SpannedToken, Token};
+use std::borrow::Cow;
 
 /// Tokenizes `input` into a vector of spanned tokens with default limits.
 ///
-/// Whitespace and comments are skipped. Errors are reported with the byte
-/// offset of the offending character.
-pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
+/// Tokens borrow from `input` (see [`Token`]); the lexer allocates only for
+/// string literals containing `''` escapes. Whitespace and comments are
+/// skipped. Errors are reported with the byte offset of the offending
+/// character.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken<'_>>> {
     tokenize_with(input, &ParseLimits::default())
 }
 
 /// Tokenizes `input`, enforcing the statement-length and token-budget
 /// guards of `limits` (a violation is [`ParseError::LimitExceeded`]).
-pub fn tokenize_with(input: &str, limits: &ParseLimits) -> Result<Vec<SpannedToken>> {
+pub fn tokenize_with<'a>(input: &'a str, limits: &ParseLimits) -> Result<Vec<SpannedToken<'a>>> {
     if input.len() > limits.max_statement_bytes {
         return Err(ParseError::limit(ParseLimit::StatementBytes, 0));
     }
@@ -36,7 +39,7 @@ struct Lexer<'a> {
     bytes: &'a [u8],
     pos: usize,
     max_tokens: usize,
-    out: Vec<SpannedToken>,
+    out: Vec<SpannedToken<'a>>,
 }
 
 impl<'a> Lexer<'a> {
@@ -67,7 +70,7 @@ impl<'a> Lexer<'a> {
         b
     }
 
-    fn push(&mut self, token: Token, offset: usize) {
+    fn push(&mut self, token: Token<'a>, offset: usize) {
         self.out.push(SpannedToken { token, offset });
     }
 
@@ -79,7 +82,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn run(mut self) -> Result<Vec<SpannedToken>> {
+    fn run(mut self) -> Result<Vec<SpannedToken<'a>>> {
         while let Some(b) = self.peek() {
             let start = self.pos;
             match b {
@@ -165,7 +168,7 @@ impl<'a> Lexer<'a> {
         Ok(self.out)
     }
 
-    fn single(&mut self, token: Token) {
+    fn single(&mut self, token: Token<'a>) {
         let start = self.pos;
         self.pos += 1;
         self.push(token, start);
@@ -204,39 +207,52 @@ impl<'a> Lexer<'a> {
     fn lex_string(&mut self) -> Result<()> {
         let start = self.pos;
         self.pos += 1; // opening quote
-        let mut value = String::new();
+        let content_start = self.pos;
+        // Fast path: scan bytes to the closing quote and borrow the content
+        // slice. Byte-wise scanning is UTF-8 safe — `'` cannot occur inside
+        // a multi-byte sequence. Only a `''` escape forces an owned copy.
         loop {
             match self.bump() {
                 Some(b'\'') => {
                     if self.peek() == Some(b'\'') {
-                        value.push('\'');
-                        self.pos += 1;
-                    } else {
-                        break;
+                        return self.lex_string_escaped(start, content_start);
                     }
+                    let value = &self.input[content_start..self.pos - 1];
+                    self.push(Token::String(Cow::Borrowed(value)), start);
+                    return Ok(());
                 }
-                Some(_) => {
-                    // Re-slice to preserve UTF-8 sequences byte-for-byte.
-                    let ch_start = self.pos - 1;
-                    let ch_end = self.next_char_boundary(ch_start);
-                    value.push_str(&self.input[ch_start..ch_end]);
-                    self.pos = ch_end;
-                }
+                Some(_) => {}
                 None => return Err(ParseError::new("unterminated string literal", start)),
             }
         }
-        self.push(Token::String(value), start);
-        Ok(())
     }
 
-    /// Given the byte index of the first byte of a char, returns the index one
-    /// past its final byte.
-    fn next_char_boundary(&self, start: usize) -> usize {
-        let mut end = start + 1;
-        while end < self.input.len() && !self.input.is_char_boundary(end) {
-            end += 1;
+    /// Slow path for strings with `''` escapes: folds each doubled quote
+    /// while copying whole segments between escapes (never per character).
+    /// On entry `pos` is just past the first quote of a `''` pair.
+    fn lex_string_escaped(&mut self, start: usize, content_start: usize) -> Result<()> {
+        let mut value = String::with_capacity(self.pos + 16 - content_start);
+        // Include the first quote of the pair: the fold keeps one of the two.
+        value.push_str(&self.input[content_start..self.pos]);
+        self.pos += 1; // second quote of the pair
+        let mut segment = self.pos;
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        value.push_str(&self.input[segment..self.pos]);
+                        self.pos += 1;
+                        segment = self.pos;
+                    } else {
+                        value.push_str(&self.input[segment..self.pos - 1]);
+                        self.push(Token::String(Cow::Owned(value)), start);
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(ParseError::new("unterminated string literal", start)),
+            }
         }
-        end
     }
 
     fn lex_quoted_ident(&mut self, open: u8, close: u8) -> Result<()> {
@@ -246,7 +262,7 @@ impl<'a> Lexer<'a> {
         let ident_start = self.pos;
         while let Some(b) = self.peek() {
             if b == close {
-                let value = self.input[ident_start..self.pos].to_string();
+                let value = &self.input[ident_start..self.pos];
                 self.pos += 1;
                 // Quoted identifiers never become keywords.
                 self.push(
@@ -281,7 +297,7 @@ impl<'a> Lexer<'a> {
         if self.pos == ident_start {
             return Err(ParseError::new("expected variable name after '@'", start));
         }
-        let name = self.input[start + 1..self.pos].to_string();
+        let name = &self.input[start + 1..self.pos];
         self.push(Token::Variable(name), start);
         Ok(())
     }
@@ -300,7 +316,7 @@ impl<'a> Lexer<'a> {
             while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
                 self.pos += 1;
             }
-            let text = self.input[start..self.pos].to_string();
+            let text = &self.input[start..self.pos];
             self.push(Token::Number(text), start);
             return;
         }
@@ -327,7 +343,7 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        let text = self.input[start..self.pos].to_string();
+        let text = &self.input[start..self.pos];
         self.push(Token::Number(text), start);
     }
 
@@ -344,8 +360,8 @@ impl<'a> Lexer<'a> {
         while self.pos < self.input.len() && !self.input.is_char_boundary(self.pos) {
             self.pos += 1;
         }
-        let value = self.input[start..self.pos].to_string();
-        let keyword = Keyword::lookup(&value);
+        let value = &self.input[start..self.pos];
+        let keyword = Keyword::lookup(value);
         self.push(Token::Word { value, keyword }, start);
     }
 }
@@ -354,7 +370,7 @@ impl<'a> Lexer<'a> {
 mod tests {
     use super::*;
 
-    fn toks(sql: &str) -> Vec<Token> {
+    fn toks(sql: &str) -> Vec<Token<'_>> {
         tokenize(sql)
             .unwrap()
             .into_iter()
@@ -370,12 +386,12 @@ mod tests {
         assert_eq!(
             t[1],
             Token::Word {
-                value: "a".into(),
+                value: "a",
                 keyword: None
             }
         );
         assert_eq!(t[8], Token::Eq);
-        assert_eq!(t[9], Token::Number("1".into()));
+        assert_eq!(t[9], Token::Number("1"));
     }
 
     #[test]
@@ -396,21 +412,21 @@ mod tests {
         assert_eq!(
             t[1],
             Token::Word {
-                value: "My Col".into(),
+                value: "My Col",
                 keyword: None
             }
         );
         assert_eq!(
             t[3],
             Token::Word {
-                value: "Other".into(),
+                value: "Other",
                 keyword: None
             }
         );
         assert_eq!(
             t[5],
             Token::Word {
-                value: "photo primary".into(),
+                value: "photo primary",
                 keyword: None
             }
         );
@@ -425,31 +441,31 @@ mod tests {
     #[test]
     fn lexes_variables() {
         let t = toks("WHERE ra = @ra AND n = @@rowcount");
-        assert_eq!(t[3], Token::Variable("ra".into()));
-        assert_eq!(t[7], Token::Variable("@rowcount".into()));
+        assert_eq!(t[3], Token::Variable("ra"));
+        assert_eq!(t[7], Token::Variable("@rowcount"));
     }
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("1")[0], Token::Number("1".into()));
-        assert_eq!(toks("3.25")[0], Token::Number("3.25".into()));
-        assert_eq!(toks(".5")[0], Token::Number(".5".into()));
-        assert_eq!(toks("1e10")[0], Token::Number("1e10".into()));
-        assert_eq!(toks("2.5E-3")[0], Token::Number("2.5E-3".into()));
-        assert_eq!(toks("0x1AF")[0], Token::Number("0x1AF".into()));
+        assert_eq!(toks("1")[0], Token::Number("1"));
+        assert_eq!(toks("3.25")[0], Token::Number("3.25"));
+        assert_eq!(toks(".5")[0], Token::Number(".5"));
+        assert_eq!(toks("1e10")[0], Token::Number("1e10"));
+        assert_eq!(toks("2.5E-3")[0], Token::Number("2.5E-3"));
+        assert_eq!(toks("0x1AF")[0], Token::Number("0x1AF"));
         // `12.` style trailing-dot decimals.
-        assert_eq!(toks("12.")[0], Token::Number("12.".into()));
+        assert_eq!(toks("12.")[0], Token::Number("12."));
     }
 
     #[test]
     fn exponent_requires_digits() {
         // `1e` is a number `1` followed by identifier `e`.
         let t = toks("1e");
-        assert_eq!(t[0], Token::Number("1".into()));
+        assert_eq!(t[0], Token::Number("1"));
         assert_eq!(
             t[1],
             Token::Word {
-                value: "e".into(),
+                value: "e",
                 keyword: None
             }
         );
@@ -515,7 +531,7 @@ mod tests {
         assert_eq!(
             t[1],
             Token::Word {
-                value: "größe".into(),
+                value: "größe",
                 keyword: None
             }
         );

@@ -72,8 +72,8 @@ pub fn parse_query_with(sql: &str, limits: &ParseLimits) -> Result<Query> {
 /// while capping AST height low enough for its recursive consumers.
 const FLAT_NODES_PER_DEPTH: usize = 32;
 
-struct Parser {
-    tokens: Vec<SpannedToken>,
+struct Parser<'a> {
+    tokens: Vec<SpannedToken<'a>>,
     pos: usize,
     /// Current nesting depth (expressions, subqueries, join trees).
     depth: usize,
@@ -86,8 +86,8 @@ struct Parser {
     flat_cap: usize,
 }
 
-impl Parser {
-    fn new(tokens: Vec<SpannedToken>, max_depth: usize) -> Self {
+impl<'a> Parser<'a> {
+    fn new(tokens: Vec<SpannedToken<'a>>, max_depth: usize) -> Self {
         Parser {
             tokens,
             pos: 0,
@@ -141,11 +141,11 @@ impl Parser {
         self.pos >= self.tokens.len()
     }
 
-    fn peek(&self) -> Option<&Token> {
+    fn peek(&self) -> Option<&Token<'a>> {
         self.tokens.get(self.pos).map(|t| &t.token)
     }
 
-    fn peek_at(&self, n: usize) -> Option<&Token> {
+    fn peek_at(&self, n: usize) -> Option<&Token<'a>> {
         self.tokens.get(self.pos + n).map(|t| &t.token)
     }
 
@@ -161,7 +161,7 @@ impl Parser {
             .unwrap_or(0)
     }
 
-    fn advance(&mut self) -> Option<&Token> {
+    fn advance(&mut self) -> Option<&Token<'a>> {
         let t = self.tokens.get(self.pos).map(|t| &t.token);
         if t.is_some() {
             self.pos += 1;
@@ -169,7 +169,7 @@ impl Parser {
         t
     }
 
-    fn eat(&mut self, token: &Token) -> bool {
+    fn eat(&mut self, token: &Token<'a>) -> bool {
         if self.peek() == Some(token) {
             self.pos += 1;
             true
@@ -187,7 +187,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, token: &Token) -> Result<()> {
+    fn expect(&mut self, token: &Token<'a>) -> Result<()> {
         if self.eat(token) {
             Ok(())
         } else {
@@ -458,8 +458,8 @@ impl Parser {
     fn parse_optional_alias(&mut self) -> Result<Option<Ident>> {
         if self.eat_kw(Keyword::As) {
             match self.advance() {
-                Some(Token::Word { value, .. }) => Ok(Some(Ident::new(value.clone()))),
-                Some(Token::String(s)) => Ok(Some(Ident::new(s.clone()))),
+                Some(Token::Word { value, .. }) => Ok(Some(Ident::new(*value))),
+                Some(Token::String(s)) => Ok(Some(Ident::new(s.as_ref()))),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     Err(self.err("expected alias after AS"))
@@ -471,7 +471,7 @@ impl Parser {
                     value,
                     keyword: None,
                 }) => {
-                    let ident = Ident::new(value.clone());
+                    let ident = Ident::new(*value);
                     self.pos += 1;
                     Ok(Some(ident))
                 }
@@ -485,7 +485,7 @@ impl Parser {
         loop {
             match self.peek() {
                 Some(Token::Word { value, .. }) => {
-                    parts.push(Ident::new(value.clone()));
+                    parts.push(Ident::new(*value));
                     self.pos += 1;
                 }
                 _ => return Err(self.err("expected identifier")),
@@ -874,19 +874,19 @@ impl Parser {
                 let Some(Token::Number(n)) = self.advance() else {
                     unreachable!()
                 };
-                Ok(Expr::Literal(Literal::Number(n.clone())))
+                Ok(Expr::Literal(Literal::Number((*n).to_string())))
             }
             Some(Token::String(_)) => {
                 let Some(Token::String(s)) = self.advance() else {
                     unreachable!()
                 };
-                Ok(Expr::Literal(Literal::String(s.clone())))
+                Ok(Expr::Literal(Literal::String(s.to_string())))
             }
             Some(Token::Variable(_)) => {
                 let Some(Token::Variable(v)) = self.advance() else {
                     unreachable!()
                 };
-                Ok(Expr::Variable(v.clone()))
+                Ok(Expr::Variable((*v).to_string()))
             }
             Some(Token::LParen) => {
                 self.pos += 1;
@@ -1023,7 +1023,7 @@ impl Parser {
         self.expect_kw(Keyword::As)?;
         // Type name: word plus optional `(n[,m])` size suffix.
         let mut ty = match self.advance() {
-            Some(Token::Word { value, .. }) => value.clone(),
+            Some(Token::Word { value, .. }) => (*value).to_string(),
             _ => return Err(self.err("expected type name in CAST")),
         };
         if self.eat(&Token::LParen) {

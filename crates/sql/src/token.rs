@@ -4,8 +4,15 @@
 //! becomes a [`Token::Word`], and keyword recognition is case-insensitive so
 //! that real-world logs (which mix `SELECT`, `select`, `Select`) normalize to
 //! one token stream.
+//!
+//! Tokens are **zero-copy**: every payload borrows a span of the input
+//! (`&'a str`), except string literals with `''` escapes, which need the
+//! escapes folded and therefore own their text ([`std::borrow::Cow`]).
+//! Owned `String`s materialize only when the parser builds AST nodes, so
+//! the lexing hot path performs no per-token allocation.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// SQL keywords recognized by the parser.
@@ -183,32 +190,33 @@ impl Keyword {
 
 /// One lexical token with its source span start (byte offset).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SpannedToken {
+pub struct SpannedToken<'a> {
     /// The token itself.
-    pub token: Token,
+    pub token: Token<'a>,
     /// Byte offset of the first character of the token in the input.
     pub offset: usize,
 }
 
-/// Lexical token kinds.
+/// Lexical token kinds, borrowing from the input text.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Token {
+pub enum Token<'a> {
     /// A word: identifier or keyword. `keyword` is set when the word matches
     /// a known keyword (case-insensitively); the parser may still treat such
     /// a word as a plain identifier in non-reserved positions.
     Word {
         /// Raw text as written (quotes stripped for quoted identifiers).
-        value: String,
+        value: &'a str,
         /// Recognized keyword, if any. Always `None` for quoted identifiers.
         keyword: Option<Keyword>,
     },
     /// Numeric literal (integer, decimal or scientific notation), kept as
     /// written so no precision is lost.
-    Number(String),
+    Number(&'a str),
     /// Single-quoted string literal, with `''` escapes already folded.
-    String(String),
+    /// Borrowed when the source contains no escape; owned otherwise.
+    String(Cow<'a, str>),
     /// Host variable such as `@ra`.
-    Variable(String),
+    Variable(&'a str),
     /// `,`
     Comma,
     /// `.`
@@ -249,7 +257,7 @@ pub enum Token {
     GtEq,
 }
 
-impl Token {
+impl Token<'_> {
     /// Returns the keyword if this token is an unquoted word matching one.
     pub fn keyword(&self) -> Option<Keyword> {
         match self {
@@ -264,7 +272,7 @@ impl Token {
     }
 }
 
-impl fmt::Display for Token {
+impl fmt::Display for Token<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Token::Word { value, .. } => write!(f, "{value}"),
@@ -327,7 +335,7 @@ mod tests {
     #[test]
     fn token_keyword_accessor() {
         let t = Token::Word {
-            value: "FROM".into(),
+            value: "FROM",
             keyword: Some(Keyword::From),
         };
         assert!(t.is_keyword(Keyword::From));

@@ -9,7 +9,7 @@
 //!             [--schema SCHEMA.txt]
 //!             [--threshold-ms N | --threshold-unrestricted]
 //!             [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]
-//!             [--lenient] [--quarantine BAD.tsv]
+//!             [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]
 //!             [--trace-events EVENTS.ndjson] [--stats-json STATS.json]
 //! ```
 //!
@@ -22,6 +22,11 @@
 //! line aborts with a non-zero exit. `--lenient` skips such lines (copying
 //! them verbatim to `--quarantine PATH` when given), reports their counts
 //! in the run-health section, and always runs to completion.
+//!
+//! The template-aware parse cache is on by default: repeated query shapes
+//! skip re-parsing, with byte-identical output either way (the cache
+//! hit-rate is reported in the statistics). `--no-parse-cache` disables it,
+//! e.g. for A/B timing runs.
 //!
 //! `--trace-events PATH` and `--stats-json PATH` enable the observability
 //! recorder (see `sqlog-obs`): the first writes the full span/counter/
@@ -57,7 +62,7 @@ struct Args {
 const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
     [--schema SCHEMA.txt] [--threshold-ms N | --threshold-unrestricted]\n\
     [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]\n\
-    [--lenient] [--quarantine BAD.tsv]\n\
+    [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]\n\
     [--trace-events EVENTS.ndjson] [--stats-json STATS.json]";
 
 fn parse_args() -> Result<Args, String> {
@@ -105,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --top: {e}"))?;
             }
+            "--no-parse-cache" => config.parse_cache = false,
             "--lenient" => lenient = true,
             "--quarantine" => quarantine = Some(value("--quarantine")?),
             "--trace-events" => trace_events = Some(value("--trace-events")?),
