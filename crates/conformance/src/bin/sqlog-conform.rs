@@ -1,0 +1,132 @@
+//! `sqlog-conform` — the conformance harness as a command-line tool.
+//!
+//! Generates a seeded log with planted antipatterns, then runs the full
+//! suite (see `sqlog-conformance`): the differential execution matrix, the
+//! metamorphic invariants, recall scoring against the generator's ground
+//! truth and — with `--oracle` — semantic result-set checking of every
+//! solver rewrite against `sqlog-minidb`.
+//!
+//! ```text
+//! sqlog-conform [--seed N] [--cases N] [--oracle] [--db-rows N]
+//!               [--json REPORT.json] [--quiet]
+//! ```
+//!
+//! Exit status 0 iff every enabled check passed. `--json` writes the
+//! machine-readable report (schema 1, including the harness's `sqlog-obs`
+//! counters); `-` writes it to stdout.
+
+use sqlog_conformance::{run_conformance, ConformanceConfig};
+use sqlog_obs::{Json, Recorder};
+use std::io::Write as _;
+use std::process::exit;
+
+struct Args {
+    cfg: ConformanceConfig,
+    json: Option<String>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: sqlog-conform [--seed N] [--cases N] [--oracle] [--db-rows N]\n\
+    [--json REPORT.json] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ConformanceConfig {
+        oracle: false, // opt-in on the command line
+        recorder: Recorder::new(),
+        ..ConformanceConfig::default()
+    };
+    let mut json = None;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--cases" => {
+                cfg.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?;
+            }
+            "--oracle" => cfg.oracle = true,
+            "--db-rows" => {
+                cfg.db_rows = value("--db-rows")?
+                    .parse()
+                    .map_err(|e| format!("bad --db-rows: {e}"))?;
+            }
+            "--json" => json = Some(value("--json")?),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args { cfg, json, quiet })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                exit(0);
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            exit(2);
+        }
+    };
+
+    // Fail fast on an unwritable report path, before minutes of checking.
+    let mut sink = match args.json.as_deref() {
+        Some("-") | None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                exit(2);
+            }
+        },
+    };
+
+    let report = run_conformance(&args.cfg);
+
+    if args.json.is_some() {
+        // Attach the recorder's counters so CI artifacts carry the harness
+        // internals alongside the verdict.
+        let mut j = report.to_json();
+        let counters = Json::Obj(
+            args.cfg
+                .recorder
+                .counters()
+                .into_iter()
+                .map(|(k, v)| (k, Json::U64(v)))
+                .collect(),
+        );
+        if let Json::Obj(fields) = &mut j {
+            fields.push(("counters".to_string(), counters));
+        }
+        let rendered = j.render();
+        match &mut sink {
+            Some(f) => {
+                if let Err(e) = f.write_all(rendered.as_bytes()).and_then(|()| f.flush()) {
+                    eprintln!("error: cannot write report: {e}");
+                    exit(2);
+                }
+            }
+            None => println!("{rendered}"),
+        }
+    }
+
+    if !args.quiet {
+        eprintln!("{}", report.summary());
+        for failure in report.failures() {
+            eprintln!("  FAIL {failure}");
+        }
+    }
+    exit(if report.passed() { 0 } else { 1 });
+}

@@ -1,0 +1,153 @@
+//! # sqlog-conformance — the standing correctness harness
+//!
+//! The paper's central claim (§6) is that antipattern *solving* rewrites
+//! the log without changing query semantics. This crate turns that claim —
+//! and the pipeline's determinism and robustness contracts — into a
+//! repeatable, seeded conformance run:
+//!
+//! 1. **Differential matrix** ([`differential`]): a `sqlog-gen` log (with
+//!    planted Stifle/CTH/SNC instances) is cleaned at
+//!    `threads {1, 2, 8, auto}` × `{cache, no-cache}` ×
+//!    `{strict, lenient, lenient-over-hostile-bytes}`, and every leg's
+//!    clean log, removal log and stable statistics must be byte-identical
+//!    to the reference leg.
+//! 2. **Semantic oracle** ([`oracle`]): every (original sequence,
+//!    rewritten query) pair the solver produced is executed against
+//!    `sqlog-minidb` over generated SkyServer-like tables and checked for
+//!    result-set equivalence, with class-aware rules (DW/DS/DF projection
+//!    mapping; SNC's intended *non*-equivalence).
+//! 3. **Metamorphic invariants** ([`metamorphic`]): parse→print→parse
+//!    fixpoint, template-fingerprint invariance under whitespace / case /
+//!    comment / literal perturbation, and detection-count invariance under
+//!    per-user session time shifts.
+//! 4. **Recall scoring** ([`recall`]): detected instances are joined
+//!    against the generator's ground-truth sidecar
+//!    ([`sqlog_gen::TruthSidecar`]); every planted antipattern must be
+//!    found.
+//!
+//! The harness is both a library (see `tests/conformance_smoke.rs`) and a
+//! binary:
+//!
+//! ```text
+//! sqlog-conform --seed 42 --cases 500 --oracle --json REPORT.json
+//! ```
+//!
+//! A committed corpus of minimized adversarial logs
+//! (`crates/conformance/corpus/`) is replayed by `tests/corpus_replay.rs`
+//! so once-failing inputs stay fixed.
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod metamorphic;
+pub mod oracle;
+pub mod recall;
+pub mod report;
+
+pub use differential::DifferentialReport;
+pub use metamorphic::MetamorphicReport;
+pub use oracle::OracleReport;
+pub use recall::RecallReport;
+pub use report::ConformanceReport;
+
+use sqlog_catalog::skyserver_catalog;
+use sqlog_gen::{generate, GenConfig, TruthSidecar};
+use sqlog_minidb::datagen::skyserver_db;
+use sqlog_obs::Recorder;
+
+/// Configuration of one conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Master seed: the generated log, database and perturbations are a
+    /// pure function of it.
+    pub seed: u64,
+    /// Scale of the generated log (statements), the harness's `--cases`.
+    pub cases: usize,
+    /// Run the minidb semantic oracle over the solver's rewrites.
+    pub oracle: bool,
+    /// Rows per generated minidb table (oracle only).
+    pub db_rows: usize,
+    /// Recorder the harness reports its counters through.
+    pub recorder: Recorder,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            seed: 42,
+            cases: 500,
+            oracle: true,
+            db_rows: 2_000,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// Runs the full conformance suite and returns the report.
+pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
+    let rec = &cfg.recorder;
+    let _span = rec.span("conform");
+    let catalog = skyserver_catalog();
+
+    // One seeded log drives every check.
+    let log = {
+        let _span = rec.span("conform.generate");
+        generate(&GenConfig::with_scale(cfg.cases, cfg.seed))
+    };
+    let truth = TruthSidecar::derive(&log);
+    rec.counter("conform.log_entries", log.len() as u64);
+    rec.counter("conform.planted_groups", truth.instances.len() as u64);
+
+    let (reference, differential) = {
+        let _span = rec.span("conform.differential");
+        differential::run_matrix(&log, &catalog)
+    };
+    rec.counter("conform.differential.legs", differential.legs as u64);
+    rec.counter(
+        "conform.differential.mismatches",
+        differential.mismatches.len() as u64,
+    );
+
+    let recall = {
+        let _span = rec.span("conform.recall");
+        recall::score_recall(&truth, &reference)
+    };
+    rec.counter("conform.recall.expected", recall.expected as u64);
+    rec.counter("conform.recall.detected", recall.detected as u64);
+
+    let oracle = if cfg.oracle {
+        let _span = rec.span("conform.oracle");
+        let db = skyserver_db(cfg.db_rows, cfg.seed);
+        let r = oracle::check_rewrites(&db, &reference.rewrites);
+        rec.counter("conform.oracle.pairs", r.pairs as u64);
+        rec.counter("conform.oracle.equivalent", r.equivalent as u64);
+        rec.counter("conform.oracle.skipped", r.skipped as u64);
+        rec.counter("conform.oracle.mismatches", r.mismatches.len() as u64);
+        Some(r)
+    } else {
+        None
+    };
+
+    let metamorphic = {
+        let _span = rec.span("conform.metamorphic");
+        metamorphic::check_invariants(&log, &catalog, cfg.seed)
+    };
+    rec.counter(
+        "conform.metamorphic.checked",
+        (metamorphic.fixpoint_checked + metamorphic.skeleton_checked) as u64,
+    );
+    rec.counter(
+        "conform.metamorphic.failures",
+        metamorphic.failure_count() as u64,
+    );
+
+    ConformanceReport {
+        seed: cfg.seed,
+        cases: cfg.cases,
+        log_entries: log.len(),
+        differential,
+        oracle,
+        metamorphic,
+        recall,
+    }
+}

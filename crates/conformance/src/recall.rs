@@ -1,0 +1,139 @@
+//! Recall scoring: every planted antipattern must be detected.
+//!
+//! The generator labels each emitted statement with its intent and group id
+//! ([`sqlog_gen::TruthSidecar`] aggregates those into planted instances);
+//! the pipeline reports, for every detected instance, the original-log
+//! entry ids it covers. A planted group counts as *detected* when at least
+//! one detected instance of the expected class covers at least one of the
+//! group's entries — the detector may legitimately split one planted group
+//! into several instances (per constant pair, per session) or merge
+//! adjacent groups, so id-set equality would be the wrong join.
+
+use sqlog_core::PipelineResult;
+use sqlog_gen::TruthSidecar;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Per-class expected/detected tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassRecall {
+    /// Planted groups of this class the detector should find.
+    pub expected: usize,
+    /// Of those, how many were found.
+    pub detected: usize,
+}
+
+/// Outcome of scoring one run against the sidecar.
+#[derive(Debug, Clone, Default)]
+pub struct RecallReport {
+    /// Planted groups with an expected detector class.
+    pub expected: usize,
+    /// Of those, how many some detected instance of that class covers.
+    pub detected: usize,
+    /// Per-class breakdown, keyed by detector class label.
+    pub per_class: BTreeMap<String, ClassRecall>,
+    /// Human-readable description of every missed group (empty = pass).
+    pub missed: Vec<String>,
+}
+
+impl RecallReport {
+    /// `detected / expected`, or 1.0 for a log with nothing planted.
+    pub fn recall(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.expected as f64
+        }
+    }
+
+    /// Did the detector find every planted group?
+    pub fn passed(&self) -> bool {
+        self.missed.is_empty()
+    }
+}
+
+/// Scores the pipeline's detections against the generator's ground truth.
+pub fn score_recall(truth: &TruthSidecar, result: &PipelineResult) -> RecallReport {
+    // Index: class label → set of covered entry ids.
+    let mut covered: HashMap<&str, HashSet<u64>> = HashMap::new();
+    for (inst, entry_ids) in result.instances.iter().zip(&result.instance_entry_ids) {
+        covered
+            .entry(inst.class.label())
+            .or_default()
+            .extend(entry_ids.iter().copied());
+    }
+
+    let mut report = RecallReport::default();
+    for planted in truth.expected() {
+        let class = planted.expected.expect("expected() filters on Some");
+        report.expected += 1;
+        let tally = report.per_class.entry(class.to_string()).or_default();
+        tally.expected += 1;
+        let hit = covered
+            .get(class)
+            .is_some_and(|ids| planted.entry_ids.iter().any(|id| ids.contains(id)));
+        if hit {
+            report.detected += 1;
+            tally.detected += 1;
+        } else {
+            report.missed.push(format!(
+                "group {} ({:?}): no {class} instance covers entries {:?}",
+                planted.group, planted.kind, planted.entry_ids
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlog_catalog::skyserver_catalog;
+    use sqlog_core::Pipeline;
+    use sqlog_gen::{generate, GenConfig};
+
+    #[test]
+    fn empty_truth_scores_perfect() {
+        let catalog = skyserver_catalog();
+        let log = generate(&GenConfig::with_scale(50, 3));
+        let result = Pipeline::new(&catalog).run(&log);
+        let report = score_recall(&TruthSidecar::default(), &result);
+        assert_eq!(report.expected, 0);
+        assert!(report.passed());
+        assert_eq!(report.recall(), 1.0);
+    }
+
+    #[test]
+    fn generated_log_recall_is_total() {
+        let catalog = skyserver_catalog();
+        let log = generate(&GenConfig::with_scale(2_000, 21));
+        let truth = TruthSidecar::derive(&log);
+        let result = Pipeline::new(&catalog).run(&log);
+        let report = score_recall(&truth, &result);
+        assert!(report.expected > 0);
+        assert!(report.passed(), "missed: {:#?}", report.missed);
+        assert_eq!(report.recall(), 1.0);
+    }
+
+    #[test]
+    fn a_missing_class_is_reported() {
+        let catalog = skyserver_catalog();
+        let log = generate(&GenConfig::with_scale(2_000, 21));
+        let truth = TruthSidecar::derive(&log);
+        let mut result = Pipeline::new(&catalog).run(&log);
+        // Drop every SNC detection: all planted SNC groups must turn up missed.
+        let keep: Vec<usize> = (0..result.instances.len())
+            .filter(|&i| result.instances[i].class.label() != "SNC")
+            .collect();
+        result.instances = keep.iter().map(|&i| result.instances[i].clone()).collect();
+        result.instance_entry_ids = keep
+            .iter()
+            .map(|&i| result.instance_entry_ids[i].clone())
+            .collect();
+        let report = score_recall(&truth, &result);
+        let snc = report.per_class.get("SNC").copied().unwrap_or_default();
+        assert!(snc.expected > 0);
+        assert_eq!(snc.detected, 0);
+        assert!(!report.passed());
+        assert!(report.recall() < 1.0);
+    }
+}

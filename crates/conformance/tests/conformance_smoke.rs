@@ -1,0 +1,59 @@
+//! Fast conformance smoke: the full harness at small scale, fixed seeds.
+//! CI runs this on every push; `sqlog-conform` runs the same suite at
+//! arbitrary scale from the command line.
+
+use sqlog_conformance::{run_conformance, ConformanceConfig};
+
+#[test]
+fn full_suite_passes_at_seed_42() {
+    let report = run_conformance(&ConformanceConfig {
+        seed: 42,
+        cases: 200,
+        oracle: true,
+        db_rows: 800,
+        ..ConformanceConfig::default()
+    });
+    assert!(report.passed(), "failures: {:#?}", report.failures());
+    assert_eq!(report.differential.legs, 24);
+    assert!(report.differential.hostile_lines > 0);
+    assert_eq!(report.recall.recall(), 1.0);
+    let oracle = report.oracle.expect("oracle ran");
+    assert!(oracle.pairs > 0, "no rewrites to check");
+    assert!(
+        oracle.nonempty > 0,
+        "oracle never saw a non-empty result set"
+    );
+    assert!(report.metamorphic.fixpoint_checked > 0);
+    assert!(report.metamorphic.shift_checked);
+}
+
+#[test]
+fn suite_passes_at_a_second_seed_without_oracle() {
+    let report = run_conformance(&ConformanceConfig {
+        seed: 7,
+        cases: 150,
+        oracle: false,
+        ..ConformanceConfig::default()
+    });
+    assert!(report.passed(), "failures: {:#?}", report.failures());
+    assert!(report.oracle.is_none());
+    assert_eq!(report.recall.recall(), 1.0);
+}
+
+#[test]
+fn report_json_round_trips_through_the_obs_parser() {
+    let report = run_conformance(&ConformanceConfig {
+        seed: 3,
+        cases: 60,
+        oracle: false,
+        ..ConformanceConfig::default()
+    });
+    let rendered = report.to_json().render();
+    let parsed = sqlog_obs::Json::parse(&rendered).expect("valid JSON");
+    assert_eq!(parsed.get("schema"), Some(&sqlog_obs::Json::U64(1)));
+    assert_eq!(
+        parsed.get("passed"),
+        Some(&sqlog_obs::Json::Bool(report.passed()))
+    );
+    assert!(parsed.get("recall").is_some());
+}

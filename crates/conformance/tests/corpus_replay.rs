@@ -1,0 +1,95 @@
+//! Replays the committed seed corpus (`corpus/*.tsv`): minimized
+//! adversarial logs that once exposed (or nearly exposed) a bug. Each one
+//! runs the full differential matrix, the metamorphic invariants, recall
+//! scoring against its embedded truth labels and the minidb oracle, so a
+//! regression on any of them stays fixed.
+
+use sqlog_catalog::skyserver_catalog;
+use sqlog_conformance::{differential, metamorphic, oracle, recall};
+use sqlog_gen::TruthSidecar;
+use sqlog_log::{read_log_with, IngestPolicy, QueryLog};
+use sqlog_minidb::datagen::skyserver_db;
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+fn load(name: &str) -> QueryLog {
+    let bytes = std::fs::read(corpus_dir().join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let (log, stats) = read_log_with(std::io::Cursor::new(bytes), IngestPolicy::Strict, None)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(stats.quarantined, 0, "{name}: corpus files are well-formed");
+    log
+}
+
+/// One corpus file through the whole suite; returns the reference result.
+fn replay(name: &str) -> sqlog_core::PipelineResult {
+    let catalog = skyserver_catalog();
+    let log = load(name);
+    let truth = TruthSidecar::derive(&log);
+
+    let (reference, diff) = differential::run_matrix(&log, &catalog);
+    assert!(diff.passed(), "{name} differential: {:#?}", diff.mismatches);
+
+    let rec = recall::score_recall(&truth, &reference);
+    assert!(rec.passed(), "{name} recall: {:#?}", rec.missed);
+
+    let meta = metamorphic::check_invariants(&log, &catalog, 1);
+    assert!(meta.passed(), "{name} metamorphic: {:#?}", meta.failures);
+
+    let db = skyserver_db(50, 7);
+    let orc = oracle::check_rewrites(&db, &reference.rewrites);
+    assert!(orc.passed(), "{name} oracle: {:#?}", orc.mismatches);
+
+    reference
+}
+
+#[test]
+fn dw_run_overlapping_a_cth_source() {
+    let r = replay("dw_cth_overlap.tsv");
+    assert!(r.stats.per_class.contains_key("DW-Stifle"));
+    assert!(r.stats.per_class.contains_key("CTH"));
+    assert!(r
+        .rewrites
+        .iter()
+        .any(|rw| rw.class.label() == "DW-Stifle" && rw.original_statements.len() == 3));
+}
+
+#[test]
+fn ds_projection_split() {
+    let r = replay("ds_projection_split.tsv");
+    assert!(r.stats.per_class.contains_key("DS-Stifle"));
+}
+
+#[test]
+fn df_same_constant_two_tables() {
+    let r = replay("df_two_tables.tsv");
+    assert!(r.stats.per_class.contains_key("DF-Stifle"));
+}
+
+#[test]
+fn snc_never_true_predicates() {
+    let r = replay("snc_never_true.tsv");
+    assert_eq!(r.stats.per_class["SNC"].instances, 2);
+    // The untouched `type <> 6` query must NOT be flagged.
+    assert!(r
+        .clean_log
+        .entries
+        .iter()
+        .any(|e| e.statement.contains("type <> 6")));
+}
+
+#[test]
+fn uncacheable_shapes_survive_every_leg() {
+    // Escaped strings, CAST type-size literals, block comments and quoted
+    // identifiers: all uncacheable for the raw parse-cache key, all still
+    // byte-identical across cache on/off and thread counts.
+    let catalog = skyserver_catalog();
+    let log = load("uncacheable_shapes.tsv");
+    let (_, diff) = differential::run_matrix(&log, &catalog);
+    assert!(diff.passed(), "{:#?}", diff.mismatches);
+    let meta = metamorphic::check_invariants(&log, &catalog, 1);
+    assert!(meta.passed(), "{:#?}", meta.failures);
+    assert!(meta.skeleton_checked > 0);
+}

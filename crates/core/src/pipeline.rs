@@ -53,6 +53,9 @@ pub struct PipelineResult {
     /// For each instance, the original-log entry ids it covers (usable to
     /// join against workload-generator ground truth).
     pub instance_entry_ids: Vec<Vec<u64>>,
+    /// Every applied rewrite as an (original sequence, replacement) pair —
+    /// the input of a semantic oracle (see `sqlog-conformance`).
+    pub rewrites: Vec<crate::solve::SolvedRewrite>,
     /// The interned templates.
     pub store: TemplateStore,
 }
@@ -391,6 +394,7 @@ impl<'a> Pipeline<'a> {
             marks,
             instances,
             instance_entry_ids,
+            rewrites: outcome.rewrites,
             store,
         }
     }

@@ -13,9 +13,27 @@
 pub mod snc;
 pub mod stifle;
 
-use crate::detect::{AntipatternInstance, DetectCtx};
+use crate::detect::{AntipatternClass, AntipatternInstance, DetectCtx};
 use crate::ext::SolverSet;
 use sqlog_log::{LogEntry, QueryLog};
+
+/// One applied rewrite: the original query sequence an instance covered and
+/// the replacement statements the solver emitted for it.
+///
+/// This is the unit a semantic oracle consumes: for result-preserving
+/// solvers (the Stifle family) the union of the originals' result sets must
+/// equal the rewrites' result sets over any database instance.
+#[derive(Debug, Clone)]
+pub struct SolvedRewrite {
+    /// The antipattern class of the solved instance.
+    pub class: AntipatternClass,
+    /// Original-log entry ids of the consumed queries, in log order.
+    pub entry_ids: Vec<u64>,
+    /// The consumed statements, verbatim, in log order.
+    pub original_statements: Vec<String>,
+    /// The replacement statements spliced into the clean log.
+    pub rewritten_statements: Vec<String>,
+}
 
 /// Result of the solving step.
 #[derive(Debug)]
@@ -33,6 +51,9 @@ pub struct SolveOutcome {
     /// Solvable instances skipped because an earlier instance had already
     /// consumed one of their queries.
     pub skipped_overlaps: usize,
+    /// Every applied rewrite as an (original sequence, replacement) pair,
+    /// in order of appearance in the log.
+    pub rewrites: Vec<SolvedRewrite>,
 }
 
 /// Applies the solvers over the parsed log.
@@ -52,6 +73,7 @@ pub fn apply_solutions(
     let mut in_any_instance = vec![false; n_records];
     // Rewrites to splice in: (record index of the instance head, statements).
     let mut rewrites: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut solved: Vec<SolvedRewrite> = Vec::new();
     let mut solved_instances = 0usize;
     let mut solved_queries = 0usize;
     let mut skipped_overlaps = 0usize;
@@ -78,6 +100,17 @@ pub fn apply_solutions(
         }
         solved_instances += 1;
         solved_queries += inst.records.len();
+        let originals: Vec<&LogEntry> = inst
+            .records
+            .iter()
+            .map(|&ri| ctx.log.entry(ctx.records[ri].entry_idx as usize))
+            .collect();
+        solved.push(SolvedRewrite {
+            class: inst.class.clone(),
+            entry_ids: originals.iter().map(|e| e.id).collect(),
+            original_statements: originals.iter().map(|e| e.statement.clone()).collect(),
+            rewritten_statements: statements.clone(),
+        });
         rewrites.push((inst.records[0], statements));
     }
 
@@ -140,6 +173,7 @@ pub fn apply_solutions(
         solved_queries,
         rewritten_statements,
         skipped_overlaps,
+        rewrites: solved,
     }
 }
 
@@ -241,6 +275,22 @@ mod tests {
             assert_eq!(e.id, i as u64);
         }
         assert!(out.clean_log.is_time_sorted());
+    }
+
+    #[test]
+    fn rewrites_expose_original_and_replacement_pairs() {
+        let out = run(&[
+            "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12",
+            "SELECT E.name, E.surname FROM Employees E WHERE E.id = 15",
+        ]);
+        assert_eq!(out.rewrites.len(), 1);
+        let rw = &out.rewrites[0];
+        assert_eq!(rw.class, AntipatternClass::DwStifle);
+        assert_eq!(rw.entry_ids, vec![0, 1]);
+        assert_eq!(rw.original_statements.len(), 2);
+        assert!(rw.original_statements[0].ends_with("E.id = 12"));
+        assert_eq!(rw.rewritten_statements.len(), 1);
+        assert!(rw.rewritten_statements[0].contains("IN (12, 15)"));
     }
 
     #[test]

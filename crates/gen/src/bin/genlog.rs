@@ -2,16 +2,21 @@
 //! `sqlog-log` TSV format.
 //!
 //! ```text
-//! genlog [--scale N] [--seed S] [--out PATH]
+//! genlog [--scale N] [--seed S] [--out PATH] [--truth PATH]
 //! ```
+//!
+//! `--truth PATH` also writes the ground-truth sidecar (planted instance
+//! groups + expected detections, see `sqlog_gen::truth`) so a harness can
+//! score detection recall against the generated log.
 
-use sqlog_gen::{generate, GenConfig};
+use sqlog_gen::{generate, GenConfig, TruthSidecar};
 use sqlog_log::write_log_file;
 
 fn main() {
     let mut scale = 100_000usize;
     let mut seed = 42u64;
     let mut out = "sqlog.tsv".to_string();
+    let mut truth_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
@@ -19,9 +24,10 @@ fn main() {
             "--scale" => scale = value("--scale").parse().expect("bad --scale"),
             "--seed" => seed = value("--seed").parse().expect("bad --seed"),
             "--out" => out = value("--out"),
+            "--truth" => truth_out = Some(value("--truth")),
             other => {
                 eprintln!("unknown option {other}");
-                eprintln!("usage: genlog [--scale N] [--seed S] [--out PATH]");
+                eprintln!("usage: genlog [--scale N] [--seed S] [--out PATH] [--truth PATH]");
                 std::process::exit(2);
             }
         }
@@ -30,4 +36,13 @@ fn main() {
     let log = generate(&GenConfig::with_scale(scale, seed));
     write_log_file(&log, &out).expect("write log file");
     eprintln!("wrote {} entries to {out}", log.len());
+    if let Some(path) = truth_out {
+        let truth = TruthSidecar::derive(&log);
+        std::fs::write(&path, truth.render()).expect("write truth sidecar");
+        eprintln!(
+            "wrote truth sidecar ({} planted instances, {} expected detections) to {path}",
+            truth.instances.len(),
+            truth.expected().count()
+        );
+    }
 }

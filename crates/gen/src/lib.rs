@@ -27,6 +27,8 @@ pub mod config;
 pub mod generator;
 pub mod profiles;
 pub mod stream;
+pub mod truth;
 
 pub use config::{GenConfig, WorkloadMix};
 pub use generator::generate;
+pub use truth::{expected_class, PlantedInstance, TruthSidecar};

@@ -1,0 +1,262 @@
+//! Ground-truth sidecar: the generator's planted instances as a scoring key.
+//!
+//! Every generated entry already carries a per-statement
+//! [`sqlog_log::GroundTruth`] label (intent kind + instance group id). This
+//! module aggregates those labels into *planted instances* — one record per
+//! group id, listing the entry ids the group covers and the antipattern
+//! class the detector is expected to report for it — so a harness can score
+//! detection **recall** against known truth instead of only checking that
+//! the pipeline survives (see `sqlog-conformance`).
+//!
+//! The sidecar has a stable one-line-per-instance TSV text form
+//! ([`TruthSidecar::render`] / [`TruthSidecar::parse`]) written by
+//! `genlog --truth PATH` next to the log itself.
+
+use sqlog_log::{IntentKind, QueryLog};
+use std::collections::BTreeMap;
+
+/// The detector class a planted group is expected to surface as. The labels
+/// match `sqlog_core::AntipatternClass::label()` exactly, so the harness can
+/// join without depending on `sqlog-core` from here.
+pub fn expected_class(kind: IntentKind) -> Option<&'static str> {
+    match kind {
+        IntentKind::StifleDw => Some("DW-Stifle"),
+        IntentKind::StifleDs => Some("DS-Stifle"),
+        IntentKind::StifleDf => Some("DF-Stifle"),
+        // Both truly dependent sequences and coincidental look-alikes are
+        // *candidates* by Def. 14 — the detector is expected to flag both;
+        // the kind records which ones a §6.6-style precision study would
+        // count as false positives.
+        IntentKind::CthSource | IntentKind::CthFollowUp | IntentKind::CthCoincidental => {
+            Some("CTH")
+        }
+        IntentKind::Snc => Some("SNC"),
+        _ => None,
+    }
+}
+
+/// One planted antipattern instance (a generator group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedInstance {
+    /// The generator's group id (unique across the whole log).
+    pub group: u64,
+    /// The intent kind that defines the group. Mixed CTH groups (source +
+    /// follow-ups) report [`IntentKind::CthSource`].
+    pub kind: IntentKind,
+    /// Expected detector class label, if the group should be detected.
+    pub expected: Option<&'static str>,
+    /// Entry ids of the group's statements, in log order.
+    pub entry_ids: Vec<u64>,
+}
+
+/// The full scoring key for one generated log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TruthSidecar {
+    /// Planted instances in ascending group order.
+    pub instances: Vec<PlantedInstance>,
+}
+
+impl TruthSidecar {
+    /// Derives the sidecar from a labeled log.
+    ///
+    /// Entries without a truth label are ignored; a group whose expected
+    /// class needs a *sequence* (Stifle runs, CTH pairs) but that ended up
+    /// with a single surviving entry is kept with `expected = None` — it is
+    /// not a detectable instance, so it must not count against recall.
+    pub fn derive(log: &QueryLog) -> Self {
+        let mut by_group: BTreeMap<u64, PlantedInstance> = BTreeMap::new();
+        for e in &log.entries {
+            let Some(truth) = e.truth else { continue };
+            let inst = by_group
+                .entry(truth.group)
+                .or_insert_with(|| PlantedInstance {
+                    group: truth.group,
+                    kind: truth.kind,
+                    expected: None,
+                    entry_ids: Vec::new(),
+                });
+            inst.entry_ids.push(e.id);
+            // A CTH group mixes CthSource and CthFollowUp labels; the source
+            // kind defines it.
+            if truth.kind == IntentKind::CthSource {
+                inst.kind = truth.kind;
+            }
+        }
+        let mut instances: Vec<PlantedInstance> = by_group.into_values().collect();
+        for inst in &mut instances {
+            let expected = expected_class(inst.kind);
+            // Everything except SNC is a sequence antipattern: one entry
+            // alone (e.g. a CTH source whose follow-ups were deduplicated
+            // away) cannot be detected.
+            let min_len = match inst.kind {
+                IntentKind::Snc => 1,
+                _ => 2,
+            };
+            if inst.entry_ids.len() >= min_len {
+                inst.expected = expected;
+            }
+        }
+        TruthSidecar { instances }
+    }
+
+    /// The planted instances the detector is expected to find.
+    pub fn expected(&self) -> impl Iterator<Item = &PlantedInstance> {
+        self.instances.iter().filter(|i| i.expected.is_some())
+    }
+
+    /// Renders the stable TSV text form:
+    ///
+    /// ```text
+    /// # sqlog-truth v1
+    /// <group>\t<kind>\t<expected-or-dash>\t<id,id,...>
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::from("# sqlog-truth v1\n");
+        for inst in &self.instances {
+            let ids: Vec<String> = inst.entry_ids.iter().map(|id| id.to_string()).collect();
+            out.push_str(&format!(
+                "{}\t{:?}\t{}\t{}\n",
+                inst.group,
+                inst.kind,
+                inst.expected.unwrap_or("-"),
+                ids.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Parses the TSV text form back. The inverse of [`TruthSidecar::render`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut instances = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 4 {
+                return Err(format!("line {}: expected 4 fields", ln + 1));
+            }
+            let group: u64 = fields[0]
+                .parse()
+                .map_err(|e| format!("line {}: bad group: {e}", ln + 1))?;
+            let kind = parse_kind(fields[1])
+                .ok_or_else(|| format!("line {}: unknown intent kind {:?}", ln + 1, fields[1]))?;
+            let expected = match fields[2] {
+                "-" => None,
+                label => Some(
+                    ["DW-Stifle", "DS-Stifle", "DF-Stifle", "CTH", "SNC"]
+                        .into_iter()
+                        .find(|l| *l == label)
+                        .ok_or_else(|| format!("line {}: unknown class {label:?}", ln + 1))?,
+                ),
+            };
+            let entry_ids = fields[3]
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|e| format!("line {}: bad entry id: {e}", ln + 1))
+                })
+                .collect::<Result<Vec<u64>, String>>()?;
+            instances.push(PlantedInstance {
+                group,
+                kind,
+                expected,
+                entry_ids,
+            });
+        }
+        Ok(TruthSidecar { instances })
+    }
+}
+
+fn parse_kind(s: &str) -> Option<IntentKind> {
+    Some(match s {
+        "Human" => IntentKind::Human,
+        "WebUi" => IntentKind::WebUi,
+        "StifleDw" => IntentKind::StifleDw,
+        "StifleDs" => IntentKind::StifleDs,
+        "StifleDf" => IntentKind::StifleDf,
+        "CthSource" => IntentKind::CthSource,
+        "CthFollowUp" => IntentKind::CthFollowUp,
+        "CthCoincidental" => IntentKind::CthCoincidental,
+        "Sws" => IntentKind::Sws,
+        "Duplicate" => IntentKind::Duplicate,
+        "NonSelect" => IntentKind::NonSelect,
+        "Malformed" => IntentKind::Malformed,
+        "Snc" => IntentKind::Snc,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GenConfig};
+
+    #[test]
+    fn derive_groups_cover_all_labeled_entries() {
+        let log = generate(&GenConfig::with_scale(3_000, 9));
+        let truth = TruthSidecar::derive(&log);
+        let covered: usize = truth.instances.iter().map(|i| i.entry_ids.len()).sum();
+        let labeled = log.entries.iter().filter(|e| e.truth.is_some()).count();
+        assert_eq!(covered, labeled);
+        // Group ids are unique and ascending.
+        for w in truth.instances.windows(2) {
+            assert!(w[0].group < w[1].group);
+        }
+    }
+
+    #[test]
+    fn stifle_and_snc_groups_are_expected() {
+        let log = generate(&GenConfig::with_scale(5_000, 10));
+        let truth = TruthSidecar::derive(&log);
+        let mut saw = std::collections::HashSet::new();
+        for inst in truth.expected() {
+            saw.insert(inst.expected.unwrap());
+            // Sequence classes really have sequences.
+            if inst.expected != Some("SNC") {
+                assert!(inst.entry_ids.len() >= 2, "{inst:?}");
+            }
+        }
+        for class in ["DW-Stifle", "DS-Stifle", "DF-Stifle", "CTH", "SNC"] {
+            assert!(saw.contains(class), "no expected {class} group");
+        }
+    }
+
+    #[test]
+    fn noise_groups_are_not_expected() {
+        let log = generate(&GenConfig::with_scale(5_000, 11));
+        let truth = TruthSidecar::derive(&log);
+        for inst in &truth.instances {
+            if matches!(
+                inst.kind,
+                IntentKind::Human
+                    | IntentKind::WebUi
+                    | IntentKind::Sws
+                    | IntentKind::Duplicate
+                    | IntentKind::NonSelect
+                    | IntentKind::Malformed
+            ) {
+                assert_eq!(inst.expected, None, "{inst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let log = generate(&GenConfig::with_scale(2_000, 12));
+        let truth = TruthSidecar::derive(&log);
+        let text = truth.render();
+        let back = TruthSidecar::parse(&text).expect("parses");
+        assert_eq!(truth, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TruthSidecar::parse("1\tStifleDw\tDW-Stifle").is_err());
+        assert!(TruthSidecar::parse("x\tStifleDw\tDW-Stifle\t1").is_err());
+        assert!(TruthSidecar::parse("1\tNope\tDW-Stifle\t1").is_err());
+        assert!(TruthSidecar::parse("1\tStifleDw\tNope\t1").is_err());
+        assert!(TruthSidecar::parse("1\tStifleDw\tDW-Stifle\t1,x").is_err());
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! Implements the strategy combinators, regex string strategies, and the
 //! `proptest!`/`prop_assert*!` macros this workspace's property tests use.
-//! Sampling is deterministic per test (seeded from the test's module path),
-//! so failures reproduce exactly; there is no shrinking — the reported
-//! counterexample is the raw failing input.
+//! Sampling is deterministic per test: a master RNG seeded from the test's
+//! module path deals out one seed per case, so failures reproduce exactly
+//! and every failure message names the case seed. There is no shrinking —
+//! the reported counterexample is the raw failing input — but a failing
+//! seed can be committed to the crate's `proptest-regressions/seeds.txt`
+//! (see [`test_runner::regression_seeds`]) and is then replayed before the
+//! random cases on every run.
 
 pub mod arbitrary;
 pub mod collection;
@@ -43,23 +47,11 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config = $config;
-            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
-                module_path!(),
-                "::",
-                stringify!($name)
-            ));
-            let mut passed: u32 = 0;
-            let mut attempts: u32 = 0;
-            while passed < config.cases {
-                attempts += 1;
-                if attempts > config.cases.saturating_mul(20).max(1000) {
-                    panic!(
-                        "proptest {}: too many rejected samples ({} attempts, {} passed)",
-                        stringify!($name),
-                        attempts,
-                        passed
-                    );
-                }
+            let test_id = concat!(module_path!(), "::", stringify!($name));
+            // One case from one seed. Ok(true) = pass, Ok(false) = rejected
+            // by prop_assume!, Err = failure (message includes the inputs).
+            let run_case = |seed: u64| -> ::std::result::Result<bool, ::std::string::String> {
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
                 $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
                 let mut described = ::std::string::String::new();
                 $(described.push_str(&::std::format!(
@@ -72,15 +64,57 @@ macro_rules! __proptest_impl {
                     ::std::result::Result::Ok(())
                 })();
                 match outcome {
-                    ::std::result::Result::Ok(()) => passed += 1,
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Ok(()) => ::std::result::Result::Ok(true),
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        ::std::result::Result::Ok(false)
+                    }
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        ::std::result::Result::Err(::std::format!(
+                            "{}\ninputs:\n{}",
+                            msg,
+                            described
+                        ))
+                    }
+                }
+            };
+            // Committed regression seeds replay before any random case.
+            for seed in $crate::test_runner::regression_seeds(env!("CARGO_MANIFEST_DIR"), test_id)
+            {
+                if let ::std::result::Result::Err(msg) = run_case(seed) {
+                    panic!(
+                        "proptest {} failed replaying regression seed {:#018x}: {}",
+                        stringify!($name),
+                        seed,
+                        msg
+                    );
+                }
+            }
+            let mut master = $crate::test_runner::TestRng::deterministic(test_id);
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20).max(1000) {
+                    panic!(
+                        "proptest {}: too many rejected samples ({} attempts, {} passed)",
+                        stringify!($name),
+                        attempts,
+                        passed
+                    );
+                }
+                let seed = master.next_u64();
+                match run_case(seed) {
+                    ::std::result::Result::Ok(true) => passed += 1,
+                    ::std::result::Result::Ok(false) => {}
+                    ::std::result::Result::Err(msg) => {
                         panic!(
-                            "proptest {} failed after {} passing case(s): {}\ninputs:\n{}",
+                            "proptest {} failed after {} passing case(s) with seed {seed:#018x}: {}\n\
+                             to pin this case, add the line\n  {} {seed:#018x}\n\
+                             to this crate's proptest-regressions/seeds.txt",
                             stringify!($name),
                             passed,
                             msg,
-                            described
+                            test_id
                         );
                     }
                 }

@@ -19,6 +19,57 @@ impl Default for Config {
     }
 }
 
+/// Loads the committed regression seeds for one test from
+/// `<manifest_dir>/proptest-regressions/seeds.txt`.
+///
+/// Format, one entry per line:
+///
+/// ```text
+/// # comment
+/// <test_id> <seed>
+/// ```
+///
+/// where `<test_id>` is `module_path!()::test_name` exactly as a failure
+/// message prints it and `<seed>` is the failing case's seed (decimal or
+/// `0x`-prefixed hex). The `proptest!` macro replays every matching seed
+/// before its random cases, so once-failing inputs stay fixed. A missing
+/// file means no seeds; a malformed line panics — a typo must not silently
+/// drop a regression.
+pub fn regression_seeds(manifest_dir: &str, test_id: &str) -> Vec<u64> {
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join("seeds.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(seed), None) = (parts.next(), parts.next(), parts.next()) else {
+            panic!(
+                "{}:{}: expected `<test_id> <seed>`, got {line:?}",
+                path.display(),
+                ln + 1
+            );
+        };
+        let parsed = match seed.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => seed.parse(),
+        };
+        let Ok(parsed) = parsed else {
+            panic!("{}:{}: bad seed {seed:?}", path.display(), ln + 1);
+        };
+        if id == test_id {
+            seeds.push(parsed);
+        }
+    }
+    seeds
+}
+
 /// Why a single test case did not pass.
 #[derive(Debug, Clone)]
 pub enum TestCaseError {
