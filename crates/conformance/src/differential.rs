@@ -14,11 +14,18 @@
 //! damage, invalid UTF-8) to the wire bytes; lenient ingestion must
 //! quarantine exactly those lines and leave the surviving log — and thus
 //! every downstream byte — untouched.
+//!
+//! A final **resumed leg** covers the crash-recovery promise: the same
+//! input run through the checkpointing driver, interrupted after the mine
+//! stage, and resumed at a *different* thread count must still match the
+//! reference digest byte for byte.
 
 use sqlog_catalog::Catalog;
+use sqlog_core::checkpoint::{run_checkpointed, CheckpointOptions, RunDir, Stage};
 use sqlog_core::{Pipeline, PipelineConfig, PipelineResult, Statistics};
 use sqlog_log::{read_log_with, write_log, IngestPolicy, QueryLog};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Thread counts exercised by the matrix (0 = auto).
 pub const THREAD_COUNTS: &[usize] = &[1, 2, 8, 0];
@@ -236,8 +243,87 @@ pub fn run_matrix(log: &QueryLog, catalog: &Catalog) -> (PipelineResult, Differe
         }
     }
 
-    let (_, reference) = reference.expect("at least the reference leg ran");
+    let (ref_digest, reference) = reference.expect("at least the reference leg ran");
+    run_resumed_leg(&clean_bytes, catalog, &ref_digest, &mut report);
     (reference, report)
+}
+
+/// The interrupted-and-resumed leg: checkpoint the run into a scratch run
+/// directory, stop after the mine stage (a clean stand-in for a crash at
+/// that boundary), then resume at a different thread count. The resumed
+/// result must match the reference digest exactly; `interruptions` is the
+/// only run-health field allowed to differ, and the digest ignores it by
+/// construction (an interruption is not a semantic outcome).
+fn run_resumed_leg(
+    clean_bytes: &[u8],
+    catalog: &Catalog,
+    ref_digest: &[u8],
+    report: &mut DifferentialReport,
+) {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let scratch = std::env::temp_dir().join(format!(
+        "sqlog-conf-resume-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let fail = |report: &mut DifferentialReport, msg: String| {
+        report.mismatches.push(format!("resumed: {msg}"));
+    };
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        return fail(report, format!("cannot create scratch dir: {e}"));
+    }
+    let input = scratch.join("input.tsv");
+    let outcome = (|| -> Result<_, String> {
+        std::fs::write(&input, clean_bytes).map_err(|e| format!("cannot write input: {e}"))?;
+        let dir = RunDir::create(scratch.join("rundir"))?;
+        let opts = |resume: bool, stop_after: Option<Stage>| CheckpointOptions {
+            input: input.clone(),
+            policy: IngestPolicy::Strict,
+            quarantine: None,
+            resume,
+            stop_after,
+        };
+        // Interrupt a 2-thread run after mine; resume with 8 threads.
+        let two = Pipeline::new(catalog).with_config(pipeline_config(2, true));
+        run_checkpointed(&two, &dir, &opts(false, Some(Stage::Mine)))?;
+        let eight = Pipeline::new(catalog).with_config(pipeline_config(8, true));
+        run_checkpointed(&eight, &dir, &opts(true, None))?
+            .ok_or_else(|| "resumed run did not complete".to_string())
+    })();
+    match outcome {
+        Err(e) => fail(report, e),
+        Ok(outcome) => {
+            report.legs += 1;
+            if !outcome.warnings.is_empty() {
+                fail(
+                    report,
+                    format!("unexpected warnings: {:?}", outcome.warnings),
+                );
+            }
+            if outcome.result.stats.run_health.interruptions != 1 {
+                fail(
+                    report,
+                    format!(
+                        "expected 1 recorded interruption, got {}",
+                        outcome.result.stats.run_health.interruptions
+                    ),
+                );
+            }
+            let d = digest(&outcome.result);
+            if d != ref_digest {
+                let at = d
+                    .iter()
+                    .zip(ref_digest.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| d.len().min(ref_digest.len()));
+                fail(
+                    report,
+                    format!("output diverges from reference at byte {at}"),
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[cfg(test)]
@@ -282,7 +368,7 @@ mod tests {
         let catalog = skyserver_catalog();
         let (reference, report) = run_matrix(&small_log(), &catalog);
         assert!(report.passed(), "{:?}", report.mismatches);
-        assert_eq!(report.legs, 24);
+        assert_eq!(report.legs, 25); // 24 matrix legs + the resumed leg
         assert!(reference.rewrites.len() >= 2); // DW pair + SNC
     }
 

@@ -14,7 +14,7 @@ fn full_suite_passes_at_seed_42() {
         ..ConformanceConfig::default()
     });
     assert!(report.passed(), "failures: {:#?}", report.failures());
-    assert_eq!(report.differential.legs, 24);
+    assert_eq!(report.differential.legs, 25); // 24 matrix legs + the resumed leg
     assert!(report.differential.hostile_lines > 0);
     assert_eq!(report.recall.recall(), 1.0);
     let oracle = report.oracle.expect("oracle ran");

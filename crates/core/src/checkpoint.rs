@@ -1,0 +1,1665 @@
+//! Crash-safe checkpointed runs: the versioned run directory, per-stage
+//! checkpoints, and the resumable driver over the pipeline's stage
+//! operators.
+//!
+//! A **run directory** (`sqlog-clean --run-dir DIR`) holds everything one
+//! cleaning run persists:
+//!
+//! ```text
+//! DIR/
+//!   MANIFEST.json            run identity: config fingerprint, input hash,
+//!                            ingest policy, attempt/interruption counters
+//!   checkpoints/<stage>.ckpt one file per completed stage
+//!   quarantine.tsv           lenient-mode sidecar (default location)
+//! ```
+//!
+//! Each checkpoint file is written atomically (temp file + fsync + rename,
+//! see [`sqlog_log::atomic`]) and carries a header line with the payload's
+//! byte length and FNV-1a hash — a torn or tampered write is always
+//! detectable, never silently half-loaded. The payload is explicit JSON
+//! (the vendored serde is a no-op stand-in), with the ingested/clean/
+//! removal logs embedded in their TSV wire form.
+//!
+//! `sqlog-clean --resume DIR` validates the manifest against the current
+//! config and input — refusing with a precise diagnostic on mismatch —
+//! loads the longest valid prefix of stage checkpoints, and re-executes
+//! only the remaining stages. Because the config fingerprint covers only
+//! *semantic* knobs (never thread counts, the parse cache, or the
+//! recorder), a run may be resumed at a different parallelism or cache
+//! setting and still produce byte-identical output: every stage operator
+//! is deterministic over its checkpointed inputs.
+//!
+//! A corrupted checkpoint is a non-fatal diagnostic: the stage (and
+//! everything after it, whose checkpoints are then stale) is simply
+//! re-run and re-checkpointed.
+
+use crate::dedup::DedupStats;
+use crate::detect::{AntipatternClass, AntipatternInstance};
+use crate::fault;
+use crate::mine::{MinedPatterns, PatternData, Session, Sessions};
+use crate::parse_step::{ParseCacheStats, ParseStats, ParsedLog, ParsedRecord};
+use crate::pipeline::{DetectOutput, Pipeline, PipelineResult};
+use crate::solve::{SolveOutcome, SolvedRewrite};
+use crate::stats::StageTimings;
+use crate::store::{TemplateId, TemplateStore};
+use sqlog_catalog::Catalog;
+use sqlog_log::{
+    read_log, read_log_with, write_log, AtomicFile, IngestPolicy, IngestStats, LogView, QueryLog,
+};
+use sqlog_obs::{Json, Recorder};
+use sqlog_skeleton::{
+    Fingerprint, Fnv1a, OutputColumns, PredicateKind, PredicateProfile, QueryTemplate, Theta,
+    ValueKind,
+};
+use sqlog_sql::StatementKind;
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version written into every manifest.
+pub const MANIFEST_SCHEMA: u64 = 1;
+/// Version written into every checkpoint header.
+pub const CHECKPOINT_SCHEMA: u64 = 1;
+
+/// The checkpointable pipeline stages, in execution order.
+///
+/// `sort` is not a stage of its own: it is a cheap, deterministic
+/// permutation whose only consumer is dedup, and the dedup checkpoint
+/// stores base-log indices — so a resume past dedup never needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Reading (and optionally quarantining) the input log.
+    Ingest,
+    /// Duplicate elimination (§5.2).
+    Dedup,
+    /// Parsing + template interning (§5.3).
+    Parse,
+    /// Per-user session building (Def. 7).
+    Sessions,
+    /// Pattern mining (Defs. 8–10).
+    Mine,
+    /// Antipattern detection (Defs. 11–16 + extensions).
+    Detect,
+    /// Solving / rewriting (§5.5).
+    Solve,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Ingest,
+        Stage::Dedup,
+        Stage::Parse,
+        Stage::Sessions,
+        Stage::Mine,
+        Stage::Detect,
+        Stage::Solve,
+    ];
+
+    /// The stage's checkpoint-file stem and fault-injection name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Dedup => "dedup",
+            Stage::Parse => "parse",
+            Stage::Sessions => "sessions",
+            Stage::Mine => "mine",
+            Stage::Detect => "detect",
+            Stage::Solve => "solve",
+        }
+    }
+
+    /// Parses a stage name (the inverse of [`Stage::name`]).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The run-identity record at `DIR/MANIFEST.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Manifest format version ([`MANIFEST_SCHEMA`]).
+    pub schema: u64,
+    /// Fingerprint of the semantic configuration + catalog
+    /// ([`config_fingerprint`]). Execution knobs (threads, parse cache)
+    /// are deliberately excluded — resuming at a different parallelism is
+    /// supported and byte-identical.
+    pub config_fingerprint: u64,
+    /// Input file length in bytes.
+    pub input_bytes: u64,
+    /// FNV-1a 64 hash of the input file contents.
+    pub input_fnv: u64,
+    /// Ingestion policy of the run (`strict` / `lenient`).
+    pub ingest_policy: IngestPolicy,
+    /// Times this run was started (initial run + every resume).
+    pub attempts: u64,
+    /// Resumes of an incomplete run — i.e. starts that followed an
+    /// interruption. Surfaced as `RunHealth::interruptions`.
+    pub interruptions: u64,
+    /// Set once the run's final artifacts were written.
+    pub completed: bool,
+}
+
+fn policy_name(p: IngestPolicy) -> &'static str {
+    match p {
+        IngestPolicy::Strict => "strict",
+        IngestPolicy::Lenient => "lenient",
+    }
+}
+
+fn policy_from_name(s: &str) -> Option<IngestPolicy> {
+    match s {
+        "strict" => Some(IngestPolicy::Strict),
+        "lenient" => Some(IngestPolicy::Lenient),
+        _ => None,
+    }
+}
+
+impl Manifest {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::U64(self.schema)),
+            ("config_fingerprint", Json::U64(self.config_fingerprint)),
+            ("input_bytes", Json::U64(self.input_bytes)),
+            ("input_fnv", Json::U64(self.input_fnv)),
+            (
+                "ingest_policy",
+                Json::Str(policy_name(self.ingest_policy).to_string()),
+            ),
+            ("attempts", Json::U64(self.attempts)),
+            ("interruptions", Json::U64(self.interruptions)),
+            ("completed", Json::Bool(self.completed)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Manifest, String> {
+        Ok(Manifest {
+            schema: get_u64(v, "schema")?,
+            config_fingerprint: get_u64(v, "config_fingerprint")?,
+            input_bytes: get_u64(v, "input_bytes")?,
+            input_fnv: get_u64(v, "input_fnv")?,
+            ingest_policy: policy_from_name(get_str(v, "ingest_policy")?)
+                .ok_or("manifest: unknown ingest_policy")?,
+            attempts: get_u64(v, "attempts")?,
+            interruptions: get_u64(v, "interruptions")?,
+            completed: get_bool(v, "completed")?,
+        })
+    }
+}
+
+/// A run directory on disk: manifest + checkpoints + sidecars.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Creates (or re-initializes) a run directory for a **fresh** run:
+    /// the directory and its `checkpoints/` subdirectory are created, and
+    /// any checkpoints or manifest left by a previous run are removed.
+    /// Use [`RunDir::open`] to resume instead.
+    pub fn create(root: impl AsRef<Path>) -> Result<RunDir, String> {
+        let dir = RunDir {
+            root: root.as_ref().to_path_buf(),
+        };
+        std::fs::create_dir_all(dir.checkpoints_dir())
+            .map_err(|e| format!("cannot create run directory {}: {e}", dir.root.display()))?;
+        // A fresh run must not accidentally resume from stale state.
+        let _ = std::fs::remove_file(dir.manifest_path());
+        for stage in Stage::ALL {
+            let _ = std::fs::remove_file(dir.checkpoint_path(stage));
+        }
+        Ok(dir)
+    }
+
+    /// Opens an existing run directory for `--resume`. Fails when the
+    /// directory or its manifest is missing.
+    pub fn open(root: impl AsRef<Path>) -> Result<RunDir, String> {
+        let dir = RunDir {
+            root: root.as_ref().to_path_buf(),
+        };
+        if !dir.manifest_path().is_file() {
+            return Err(format!(
+                "{} is not a run directory (no MANIFEST.json) — was it created with --run-dir?",
+                dir.root.display()
+            ));
+        }
+        std::fs::create_dir_all(dir.checkpoints_dir())
+            .map_err(|e| format!("cannot open run directory {}: {e}", dir.root.display()))?;
+        Ok(dir)
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("MANIFEST.json")
+    }
+
+    fn checkpoints_dir(&self) -> PathBuf {
+        self.root.join("checkpoints")
+    }
+
+    /// Path of a stage's checkpoint file.
+    pub fn checkpoint_path(&self, stage: Stage) -> PathBuf {
+        self.checkpoints_dir()
+            .join(format!("{}.ckpt", stage.name()))
+    }
+
+    /// Default location of the lenient-mode quarantine sidecar.
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.root.join("quarantine.tsv")
+    }
+
+    /// Reads and parses the manifest.
+    pub fn load_manifest(&self) -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(self.manifest_path())
+            .map_err(|e| format!("cannot read {}: {e}", self.manifest_path().display()))?;
+        let v = Json::parse(&text).map_err(|e| format!("manifest: {e}"))?;
+        Manifest::from_json(&v)
+    }
+
+    /// Writes the manifest atomically.
+    pub fn store_manifest(&self, m: &Manifest) -> Result<(), String> {
+        sqlog_log::atomic_write(self.manifest_path(), m.to_json().render().as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", self.manifest_path().display()))
+    }
+
+    /// Marks the run complete (final artifacts written). Called by the
+    /// binary after the clean/removal logs and reports landed.
+    pub fn mark_completed(&self) -> Result<(), String> {
+        let mut m = self.load_manifest()?;
+        m.completed = true;
+        self.store_manifest(&m)
+    }
+}
+
+/// How a checkpointed run is driven.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// The input log file (hashed into the manifest).
+    pub input: PathBuf,
+    /// Ingestion policy (recorded in the manifest; a resume must match).
+    pub policy: IngestPolicy,
+    /// Lenient-mode quarantine sidecar destination, written atomically.
+    pub quarantine: Option<PathBuf>,
+    /// `true` = `--resume`: validate the manifest and load checkpoints.
+    /// `false` = fresh run: write a new manifest, checkpoint every stage.
+    pub resume: bool,
+    /// Stop (successfully) after this stage's checkpoint is on disk —
+    /// the hook behind the conformance resumed leg and the in-process
+    /// resume tests. `None` runs to completion.
+    pub stop_after: Option<Stage>,
+}
+
+/// Everything a completed checkpointed run produces.
+pub struct CheckpointOutcome {
+    /// The pipeline result; `stats.run_health` already carries the
+    /// ingestion counts and the interruption tally.
+    pub result: PipelineResult,
+    /// Ingestion accounting (from the live read or the ingest checkpoint).
+    pub ingest_stats: IngestStats,
+    /// Stages loaded from checkpoints instead of re-executed.
+    pub loaded_stages: Vec<&'static str>,
+    /// Non-fatal diagnostics (e.g. a corrupted checkpoint that forced a
+    /// stage re-run). Also routed through the recorder as warnings.
+    pub warnings: Vec<String>,
+}
+
+/// Fingerprint of the **semantic** configuration plus the catalog: every
+/// knob that can change pipeline output, and none that cannot.
+/// `parallelism`, `parse_threads`, the parse cache and the recorder are
+/// excluded by design — the determinism contract says they never change a
+/// byte of output, so they must not block a resume.
+pub fn config_fingerprint(config: &crate::config::PipelineConfig, catalog: &Catalog) -> u64 {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "v1;dup={:?};gap={};ngram={};minfreq={};cthgap={};cthla={};key={};addcol={};\
+         depth={};bytes={};tokens={};",
+        config.duplicate_threshold_ms,
+        config.session_gap_ms,
+        config.max_ngram,
+        config.min_pattern_frequency,
+        config.cth_max_gap_ms,
+        config.cth_lookahead,
+        config.require_key_attribute,
+        config.rewrite_adds_filter_column,
+        config.max_parse_depth,
+        config.max_statement_bytes,
+        config.max_parse_tokens,
+    );
+    let mut tables: Vec<_> = catalog.tables().collect();
+    tables.sort_by(|a, b| a.name.cmp(&b.name));
+    for t in tables {
+        let _ = write!(s, "table={};", t.name);
+        for c in &t.columns {
+            let _ = write!(s, "col={}:{:?};", c.name, c.ty);
+        }
+        for k in &t.primary_key {
+            let _ = write!(s, "pk={k};");
+        }
+        for fk in &t.foreign_keys {
+            let _ = write!(s, "fk={}->{}.{};", fk.column, fk.ref_table, fk.ref_column);
+        }
+    }
+    Fingerprint::of_str(&s).0
+}
+
+/// Streams a file through FNV-1a 64, returning `(length, hash)`.
+pub fn hash_file(path: &Path) -> Result<(u64, u64), String> {
+    let mut f =
+        std::fs::File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut hasher = Fnv1a::new();
+    let mut len = 0u64;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = f
+            .read(&mut buf)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if n == 0 {
+            break;
+        }
+        len += n as u64;
+        hasher.update(&buf[..n]);
+    }
+    Ok((len, hasher.finish().0))
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers (the vendored serde is a no-op; serialization is explicit,
+// in the style of `run_report`).
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer {key:?}"))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing or non-integer {key:?}"))
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string {key:?}"))
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean {key:?}"))
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array {key:?}"))
+}
+
+fn u(v: usize) -> Json {
+    Json::U64(v as u64)
+}
+
+fn u32s(v: &[Json], what: &str) -> Result<Vec<u32>, String> {
+    v.iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("{what}: non-u32 element"))
+        })
+        .collect()
+}
+
+fn usizes(v: &[Json], what: &str) -> Result<Vec<usize>, String> {
+    v.iter()
+        .map(|x| {
+            x.as_usize()
+                .ok_or_else(|| format!("{what}: non-integer element"))
+        })
+        .collect()
+}
+
+fn log_to_json(log: &QueryLog) -> Json {
+    let mut bytes = Vec::new();
+    write_log(log, &mut bytes).expect("serialize log to memory");
+    Json::Str(String::from_utf8(bytes).expect("TSV log text is UTF-8"))
+}
+
+fn log_from_json(v: &Json, key: &str) -> Result<QueryLog, String> {
+    let text = get_str(v, key)?;
+    read_log(text.as_bytes()).map_err(|e| format!("{key}: embedded log: {e}"))
+}
+
+// --- stage payloads --------------------------------------------------------
+
+fn ingest_to_json(log: &QueryLog, stats: &IngestStats) -> Json {
+    Json::obj(vec![
+        ("log", log_to_json(log)),
+        (
+            "stats",
+            Json::obj(vec![
+                ("lines", u(stats.lines)),
+                ("entries", u(stats.entries)),
+                ("quarantined", u(stats.quarantined)),
+                ("malformed", u(stats.malformed)),
+                ("invalid_utf8", u(stats.invalid_utf8)),
+            ]),
+        ),
+    ])
+}
+
+fn ingest_from_json(v: &Json) -> Result<(QueryLog, IngestStats), String> {
+    let log = log_from_json(v, "log")?;
+    let s = v.get("stats").ok_or("missing \"stats\"")?;
+    let stats = IngestStats {
+        lines: get_usize(s, "lines")?,
+        entries: get_usize(s, "entries")?,
+        quarantined: get_usize(s, "quarantined")?,
+        malformed: get_usize(s, "malformed")?,
+        invalid_utf8: get_usize(s, "invalid_utf8")?,
+    };
+    if stats.entries != log.len() {
+        return Err(format!(
+            "entry count mismatch: stats say {}, log holds {}",
+            stats.entries,
+            log.len()
+        ));
+    }
+    Ok((log, stats))
+}
+
+fn dedup_to_json(kept: &[u32], stats: &DedupStats) -> Json {
+    Json::obj(vec![
+        (
+            "kept",
+            Json::Arr(kept.iter().map(|&i| Json::U64(i as u64)).collect()),
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("input", u(stats.input)),
+                ("removed", u(stats.removed)),
+                ("kept", u(stats.kept)),
+                ("poison", u(stats.poison)),
+                ("degraded_shards", u(stats.degraded_shards)),
+            ]),
+        ),
+    ])
+}
+
+fn dedup_from_json(v: &Json, log_len: usize) -> Result<(Vec<u32>, DedupStats), String> {
+    let kept = u32s(get_arr(v, "kept")?, "kept")?;
+    if let Some(&bad) = kept.iter().find(|&&i| i as usize >= log_len) {
+        return Err(format!(
+            "kept index {bad} out of bounds for a {log_len}-entry log"
+        ));
+    }
+    let s = v.get("stats").ok_or("missing \"stats\"")?;
+    let stats = DedupStats {
+        input: get_usize(s, "input")?,
+        removed: get_usize(s, "removed")?,
+        kept: get_usize(s, "kept")?,
+        poison: get_usize(s, "poison")?,
+        degraded_shards: get_usize(s, "degraded_shards")?,
+    };
+    if stats.kept != kept.len() {
+        return Err("kept count disagrees with index vector".to_string());
+    }
+    Ok((kept, stats))
+}
+
+fn theta_name(t: Theta) -> &'static str {
+    match t {
+        Theta::Eq => "eq",
+        Theta::NotEq => "ne",
+        Theta::Lt => "lt",
+        Theta::LtEq => "le",
+        Theta::Gt => "gt",
+        Theta::GtEq => "ge",
+    }
+}
+
+fn theta_from_name(s: &str) -> Result<Theta, String> {
+    Ok(match s {
+        "eq" => Theta::Eq,
+        "ne" => Theta::NotEq,
+        "lt" => Theta::Lt,
+        "le" => Theta::LtEq,
+        "gt" => Theta::Gt,
+        "ge" => Theta::GtEq,
+        other => return Err(format!("unknown theta {other:?}")),
+    })
+}
+
+fn value_to_json(v: &ValueKind) -> Json {
+    let (tag, val) = match v {
+        ValueKind::Number(s) => ("num", Some(Json::Str(s.clone()))),
+        ValueKind::String(s) => ("str", Some(Json::Str(s.clone()))),
+        ValueKind::Null => ("null", None),
+        ValueKind::Bool(b) => ("bool", Some(Json::Bool(*b))),
+        ValueKind::Variable(s) => ("var", Some(Json::Str(s.clone()))),
+        ValueKind::Column(s) => ("col", Some(Json::Str(s.clone()))),
+        ValueKind::Complex => ("complex", None),
+    };
+    let mut pairs = vec![("t", Json::Str(tag.to_string()))];
+    if let Some(val) = val {
+        pairs.push(("v", val));
+    }
+    Json::obj(pairs)
+}
+
+fn value_from_json(v: &Json) -> Result<ValueKind, String> {
+    let sv = |v: &Json| -> Result<String, String> { Ok(get_str(v, "v")?.to_string()) };
+    Ok(match get_str(v, "t")? {
+        "num" => ValueKind::Number(sv(v)?),
+        "str" => ValueKind::String(sv(v)?),
+        "null" => ValueKind::Null,
+        "bool" => ValueKind::Bool(get_bool(v, "v")?),
+        "var" => ValueKind::Variable(sv(v)?),
+        "col" => ValueKind::Column(sv(v)?),
+        "complex" => ValueKind::Complex,
+        other => return Err(format!("unknown value kind {other:?}")),
+    })
+}
+
+fn predicate_to_json(p: &PredicateKind) -> Json {
+    match p {
+        PredicateKind::Comparison {
+            column,
+            theta,
+            value,
+        } => Json::obj(vec![
+            ("t", Json::Str("cmp".into())),
+            ("column", Json::Str(column.clone())),
+            ("theta", Json::Str(theta_name(*theta).into())),
+            ("value", value_to_json(value)),
+        ]),
+        PredicateKind::Between {
+            column,
+            low,
+            high,
+            negated,
+        } => Json::obj(vec![
+            ("t", Json::Str("between".into())),
+            ("column", Json::Str(column.clone())),
+            ("low", value_to_json(low)),
+            ("high", value_to_json(high)),
+            ("negated", Json::Bool(*negated)),
+        ]),
+        PredicateKind::InList {
+            column,
+            values,
+            negated,
+        } => Json::obj(vec![
+            ("t", Json::Str("in".into())),
+            ("column", Json::Str(column.clone())),
+            (
+                "values",
+                Json::Arr(values.iter().map(value_to_json).collect()),
+            ),
+            ("negated", Json::Bool(*negated)),
+        ]),
+        PredicateKind::IsNull { column, negated } => Json::obj(vec![
+            ("t", Json::Str("isnull".into())),
+            ("column", Json::Str(column.clone())),
+            ("negated", Json::Bool(*negated)),
+        ]),
+        PredicateKind::Like {
+            column,
+            pattern,
+            negated,
+        } => Json::obj(vec![
+            ("t", Json::Str("like".into())),
+            ("column", Json::Str(column.clone())),
+            ("pattern", value_to_json(pattern)),
+            ("negated", Json::Bool(*negated)),
+        ]),
+        PredicateKind::Other => Json::obj(vec![("t", Json::Str("other".into()))]),
+    }
+}
+
+fn predicate_from_json(v: &Json) -> Result<PredicateKind, String> {
+    let col = |v: &Json| -> Result<String, String> { Ok(get_str(v, "column")?.to_string()) };
+    Ok(match get_str(v, "t")? {
+        "cmp" => PredicateKind::Comparison {
+            column: col(v)?,
+            theta: theta_from_name(get_str(v, "theta")?)?,
+            value: value_from_json(v.get("value").ok_or("missing \"value\"")?)?,
+        },
+        "between" => PredicateKind::Between {
+            column: col(v)?,
+            low: value_from_json(v.get("low").ok_or("missing \"low\"")?)?,
+            high: value_from_json(v.get("high").ok_or("missing \"high\"")?)?,
+            negated: get_bool(v, "negated")?,
+        },
+        "in" => PredicateKind::InList {
+            column: col(v)?,
+            values: get_arr(v, "values")?
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<_, _>>()?,
+            negated: get_bool(v, "negated")?,
+        },
+        "isnull" => PredicateKind::IsNull {
+            column: col(v)?,
+            negated: get_bool(v, "negated")?,
+        },
+        "like" => PredicateKind::Like {
+            column: col(v)?,
+            pattern: value_from_json(v.get("pattern").ok_or("missing \"pattern\"")?)?,
+            negated: get_bool(v, "negated")?,
+        },
+        "other" => PredicateKind::Other,
+        other => return Err(format!("unknown predicate kind {other:?}")),
+    })
+}
+
+fn template_to_json(t: &QueryTemplate) -> Json {
+    Json::obj(vec![
+        ("ssc", Json::Str(t.ssc.clone())),
+        ("sfc", Json::Str(t.sfc.clone())),
+        ("swc", Json::Str(t.swc.clone())),
+        ("sc", Json::Str(t.sc.clone())),
+        ("fc", Json::Str(t.fc.clone())),
+        ("wc", Json::Str(t.wc.clone())),
+        ("tail", Json::Str(t.tail.clone())),
+        ("full", Json::Str(t.full.clone())),
+        ("fingerprint", Json::U64(t.fingerprint.0)),
+        ("triple_fingerprint", Json::U64(t.triple_fingerprint.0)),
+    ])
+}
+
+fn template_from_json(v: &Json) -> Result<QueryTemplate, String> {
+    let s = |key: &str| -> Result<String, String> { Ok(get_str(v, key)?.to_string()) };
+    Ok(QueryTemplate {
+        ssc: s("ssc")?,
+        sfc: s("sfc")?,
+        swc: s("swc")?,
+        sc: s("sc")?,
+        fc: s("fc")?,
+        wc: s("wc")?,
+        tail: s("tail")?,
+        full: s("full")?,
+        fingerprint: Fingerprint(get_u64(v, "fingerprint")?),
+        triple_fingerprint: Fingerprint(get_u64(v, "triple_fingerprint")?),
+    })
+}
+
+fn kind_name(k: StatementKind) -> &'static str {
+    match k {
+        StatementKind::Insert => "insert",
+        StatementKind::Update => "update",
+        StatementKind::Delete => "delete",
+        StatementKind::Ddl => "ddl",
+        StatementKind::Exec => "exec",
+        StatementKind::Other => "other",
+    }
+}
+
+fn kind_from_name(s: &str) -> Result<StatementKind, String> {
+    Ok(match s {
+        "insert" => StatementKind::Insert,
+        "update" => StatementKind::Update,
+        "delete" => StatementKind::Delete,
+        "ddl" => StatementKind::Ddl,
+        "exec" => StatementKind::Exec,
+        "other" => StatementKind::Other,
+        other => return Err(format!("unknown statement kind {other:?}")),
+    })
+}
+
+fn parse_to_json(store: &TemplateStore, parsed: &ParsedLog) -> Json {
+    let templates: Vec<Json> = (0..store.len())
+        .map(|i| store.with(TemplateId(i as u32), template_to_json))
+        .collect();
+    let records: Vec<Json> = parsed
+        .records
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("entry_idx", Json::U64(r.entry_idx as u64)),
+                ("template", Json::U64(r.template.0 as u64)),
+                (
+                    "profile",
+                    Json::Arr(r.profile.conjuncts.iter().map(predicate_to_json).collect()),
+                ),
+                (
+                    "output",
+                    Json::obj(vec![
+                        ("wildcard", Json::Bool(r.output.wildcard)),
+                        (
+                            "names",
+                            Json::Arr(
+                                r.output
+                                    .names
+                                    .iter()
+                                    .map(|n| Json::Str(n.clone()))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ),
+                (
+                    "primary_table",
+                    match &r.primary_table {
+                        Some(t) => Json::Str(t.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let mut non_select: Vec<(StatementKind, usize)> = parsed
+        .stats
+        .non_select
+        .iter()
+        .map(|(&k, &n)| (k, n))
+        .collect();
+    non_select.sort_by_key(|(k, _)| kind_name(*k));
+    Json::obj(vec![
+        ("templates", Json::Arr(templates)),
+        ("records", Json::Arr(records)),
+        (
+            "stats",
+            Json::obj(vec![
+                ("total", u(parsed.stats.total)),
+                ("selects", u(parsed.stats.selects)),
+                ("errors", u(parsed.stats.errors)),
+                ("limit_exceeded", u(parsed.stats.limit_exceeded)),
+                ("poison", u(parsed.stats.poison)),
+                ("degraded_shards", u(parsed.stats.degraded_shards)),
+                (
+                    "non_select",
+                    Json::Obj(
+                        non_select
+                            .into_iter()
+                            .map(|(k, n)| (kind_name(k).to_string(), u(n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("enabled", Json::Bool(parsed.cache.enabled)),
+                ("hits", Json::U64(parsed.cache.hits)),
+                ("misses", Json::U64(parsed.cache.misses)),
+                ("fallbacks", Json::U64(parsed.cache.fallbacks)),
+                ("crosschecks", Json::U64(parsed.cache.crosschecks)),
+            ]),
+        ),
+    ])
+}
+
+fn parse_from_json(
+    v: &Json,
+    pre_clean_len: usize,
+    rec: &Recorder,
+) -> Result<(TemplateStore, ParsedLog), String> {
+    let store = TemplateStore::with_recorder(rec.clone());
+    for (i, tv) in get_arr(v, "templates")?.iter().enumerate() {
+        let id = store.intern(template_from_json(tv)?);
+        if id != TemplateId(i as u32) {
+            return Err(format!(
+                "template {i} interned as id {} — duplicate fingerprint in checkpoint",
+                id.0
+            ));
+        }
+    }
+    let n_templates = store.len();
+    let mut records = Vec::new();
+    for rv in get_arr(v, "records")? {
+        let entry_idx = get_usize(rv, "entry_idx")?;
+        if entry_idx >= pre_clean_len {
+            return Err(format!(
+                "record entry_idx {entry_idx} out of bounds for a {pre_clean_len}-entry log"
+            ));
+        }
+        let template = get_usize(rv, "template")?;
+        if template >= n_templates {
+            return Err(format!("record template id {template} out of bounds"));
+        }
+        let output = rv.get("output").ok_or("missing \"output\"")?;
+        records.push(ParsedRecord {
+            entry_idx: entry_idx as u32,
+            template: TemplateId(template as u32),
+            profile: PredicateProfile {
+                conjuncts: get_arr(rv, "profile")?
+                    .iter()
+                    .map(predicate_from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+            output: OutputColumns {
+                wildcard: get_bool(output, "wildcard")?,
+                names: get_arr(output, "names")?
+                    .iter()
+                    .map(|n| {
+                        n.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "non-string output name".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
+            primary_table: match rv.get("primary_table") {
+                Some(Json::Null) | None => None,
+                Some(t) => Some(t.as_str().ok_or("non-string primary_table")?.to_string()),
+            },
+        });
+    }
+    let s = v.get("stats").ok_or("missing \"stats\"")?;
+    let mut non_select = std::collections::HashMap::new();
+    for (k, n) in s
+        .get("non_select")
+        .and_then(Json::as_obj)
+        .ok_or("missing \"non_select\"")?
+    {
+        non_select.insert(
+            kind_from_name(k)?,
+            n.as_usize().ok_or("non-integer non_select count")?,
+        );
+    }
+    let c = v.get("cache").ok_or("missing \"cache\"")?;
+    Ok((
+        store,
+        ParsedLog {
+            records,
+            stats: ParseStats {
+                total: get_usize(s, "total")?,
+                selects: get_usize(s, "selects")?,
+                errors: get_usize(s, "errors")?,
+                limit_exceeded: get_usize(s, "limit_exceeded")?,
+                poison: get_usize(s, "poison")?,
+                degraded_shards: get_usize(s, "degraded_shards")?,
+                non_select,
+            },
+            cache: ParseCacheStats {
+                enabled: get_bool(c, "enabled")?,
+                hits: get_u64(c, "hits")?,
+                misses: get_u64(c, "misses")?,
+                fallbacks: get_u64(c, "fallbacks")?,
+                crosschecks: get_u64(c, "crosschecks")?,
+            },
+        },
+    ))
+}
+
+fn sessions_to_json(sessions: &Sessions) -> Json {
+    Json::obj(vec![
+        (
+            "user_names",
+            Json::Arr(
+                sessions
+                    .user_names
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "sessions",
+            Json::Arr(
+                sessions
+                    .sessions
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("user", Json::U64(s.user as u64)),
+                            (
+                                "records",
+                                Json::Arr(s.records.iter().map(|&r| u(r)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("poison", u(sessions.poison)),
+        ("degraded_shards", u(sessions.degraded_shards)),
+    ])
+}
+
+fn sessions_from_json(v: &Json, n_records: usize) -> Result<Sessions, String> {
+    let user_names: Vec<String> = get_arr(v, "user_names")?
+        .iter()
+        .map(|n| {
+            n.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "non-string user name".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let mut sessions = Vec::new();
+    for sv in get_arr(v, "sessions")? {
+        let user = get_usize(sv, "user")?;
+        if user >= user_names.len() {
+            return Err(format!("session user id {user} out of bounds"));
+        }
+        let records = usizes(get_arr(sv, "records")?, "session records")?;
+        if let Some(&bad) = records.iter().find(|&&r| r >= n_records) {
+            return Err(format!("session record index {bad} out of bounds"));
+        }
+        sessions.push(Session {
+            user: user as u32,
+            records,
+        });
+    }
+    Ok(Sessions {
+        sessions,
+        user_names,
+        poison: get_usize(v, "poison")?,
+        degraded_shards: get_usize(v, "degraded_shards")?,
+    })
+}
+
+fn mine_to_json(mined: &MinedPatterns) -> Json {
+    let mut patterns: Vec<(&Vec<TemplateId>, &PatternData)> = mined.patterns.iter().collect();
+    patterns.sort_by(|a, b| a.0.cmp(b.0));
+    Json::obj(vec![
+        (
+            "patterns",
+            Json::Arr(
+                patterns
+                    .into_iter()
+                    .map(|(key, data)| {
+                        let mut users: Vec<u32> = data.users.iter().copied().collect();
+                        users.sort_unstable();
+                        Json::obj(vec![
+                            (
+                                "key",
+                                Json::Arr(key.iter().map(|t| Json::U64(t.0 as u64)).collect()),
+                            ),
+                            ("frequency", Json::U64(data.frequency)),
+                            (
+                                "users",
+                                Json::Arr(users.into_iter().map(|u| Json::U64(u as u64)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_queries", Json::U64(mined.total_queries)),
+        ("poison_sessions", u(mined.poison_sessions)),
+        ("degraded_shards", u(mined.degraded_shards)),
+    ])
+}
+
+fn mine_from_json(v: &Json) -> Result<MinedPatterns, String> {
+    let mut mined = MinedPatterns {
+        total_queries: get_u64(v, "total_queries")?,
+        poison_sessions: get_usize(v, "poison_sessions")?,
+        degraded_shards: get_usize(v, "degraded_shards")?,
+        ..MinedPatterns::default()
+    };
+    for pv in get_arr(v, "patterns")? {
+        let key: Vec<TemplateId> = u32s(get_arr(pv, "key")?, "pattern key")?
+            .into_iter()
+            .map(TemplateId)
+            .collect();
+        let users: HashSet<u32> = u32s(get_arr(pv, "users")?, "pattern users")?
+            .into_iter()
+            .collect();
+        mined.patterns.insert(
+            key,
+            PatternData {
+                frequency: get_u64(pv, "frequency")?,
+                users,
+            },
+        );
+    }
+    Ok(mined)
+}
+
+fn class_to_json(c: &AntipatternClass) -> Json {
+    // Builtin labels and custom names share one namespace; `class_from_json`
+    // resolves builtins first, so a custom class must not collide with a
+    // builtin label — which `ExtensionRegistry` already guarantees in
+    // practice (a custom "DW-Stifle" would be indistinguishable anyway).
+    Json::Str(c.label().to_string())
+}
+
+fn class_from_json(v: &Json) -> Result<AntipatternClass, String> {
+    let label = v.as_str().ok_or("non-string antipattern class")?;
+    Ok(match label {
+        "DW-Stifle" => AntipatternClass::DwStifle,
+        "DS-Stifle" => AntipatternClass::DsStifle,
+        "DF-Stifle" => AntipatternClass::DfStifle,
+        "CTH" => AntipatternClass::CthCandidate,
+        "SNC" => AntipatternClass::Snc,
+        other => AntipatternClass::Custom(other.to_string()),
+    })
+}
+
+fn detect_to_json(detected: &DetectOutput) -> Json {
+    Json::obj(vec![
+        (
+            "instances",
+            Json::Arr(
+                detected
+                    .instances
+                    .iter()
+                    .map(|inst| {
+                        Json::obj(vec![
+                            ("class", class_to_json(&inst.class)),
+                            (
+                                "records",
+                                Json::Arr(inst.records.iter().map(|&r| u(r)).collect()),
+                            ),
+                            (
+                                "identity",
+                                Json::Arr(
+                                    inst.identity
+                                        .iter()
+                                        .map(|t| Json::U64(t.0 as u64))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "marker_keys",
+                                Json::Arr(
+                                    inst.marker_keys
+                                        .iter()
+                                        .map(|key| {
+                                            Json::Arr(
+                                                key.iter().map(|t| Json::U64(t.0 as u64)).collect(),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("solvable", Json::Bool(inst.solvable)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("poison_sessions", u(detected.poison_sessions)),
+        ("degraded_shards", u(detected.degraded_shards)),
+    ])
+}
+
+fn detect_from_json(v: &Json, n_records: usize) -> Result<DetectOutput, String> {
+    let mut instances = Vec::new();
+    for iv in get_arr(v, "instances")? {
+        let records = usizes(get_arr(iv, "records")?, "instance records")?;
+        if let Some(&bad) = records.iter().find(|&&r| r >= n_records) {
+            return Err(format!("instance record index {bad} out of bounds"));
+        }
+        instances.push(AntipatternInstance {
+            class: class_from_json(iv.get("class").ok_or("missing \"class\"")?)?,
+            records,
+            identity: u32s(get_arr(iv, "identity")?, "identity")?
+                .into_iter()
+                .map(TemplateId)
+                .collect(),
+            marker_keys: get_arr(iv, "marker_keys")?
+                .iter()
+                .map(|kv| {
+                    kv.as_arr()
+                        .ok_or_else(|| "non-array marker key".to_string())
+                        .and_then(|a| u32s(a, "marker key"))
+                        .map(|ids| ids.into_iter().map(TemplateId).collect())
+                })
+                .collect::<Result<_, _>>()?,
+            solvable: get_bool(iv, "solvable")?,
+        });
+    }
+    Ok(DetectOutput {
+        instances,
+        poison_sessions: get_usize(v, "poison_sessions")?,
+        degraded_shards: get_usize(v, "degraded_shards")?,
+    })
+}
+
+fn solve_to_json(outcome: &SolveOutcome) -> Json {
+    Json::obj(vec![
+        ("clean", log_to_json(&outcome.clean_log)),
+        ("removal", log_to_json(&outcome.removal_log)),
+        ("solved_instances", u(outcome.solved_instances)),
+        ("solved_queries", u(outcome.solved_queries)),
+        ("rewritten_statements", u(outcome.rewritten_statements)),
+        ("skipped_overlaps", u(outcome.skipped_overlaps)),
+        (
+            "rewrites",
+            Json::Arr(
+                outcome
+                    .rewrites
+                    .iter()
+                    .map(|rw| {
+                        let strs = |v: &[String]| {
+                            Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect())
+                        };
+                        Json::obj(vec![
+                            ("class", class_to_json(&rw.class)),
+                            (
+                                "entry_ids",
+                                Json::Arr(rw.entry_ids.iter().map(|&i| Json::U64(i)).collect()),
+                            ),
+                            ("original_statements", strs(&rw.original_statements)),
+                            ("rewritten_statements", strs(&rw.rewritten_statements)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn solve_from_json(v: &Json) -> Result<SolveOutcome, String> {
+    let strings = |v: &Json, key: &str| -> Result<Vec<String>, String> {
+        get_arr(v, key)?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("non-string element in {key:?}"))
+            })
+            .collect()
+    };
+    let mut rewrites = Vec::new();
+    for rv in get_arr(v, "rewrites")? {
+        rewrites.push(SolvedRewrite {
+            class: class_from_json(rv.get("class").ok_or("missing \"class\"")?)?,
+            entry_ids: get_arr(rv, "entry_ids")?
+                .iter()
+                .map(|x| x.as_u64().ok_or_else(|| "non-integer entry id".to_string()))
+                .collect::<Result<_, _>>()?,
+            original_statements: strings(rv, "original_statements")?,
+            rewritten_statements: strings(rv, "rewritten_statements")?,
+        });
+    }
+    Ok(SolveOutcome {
+        clean_log: log_from_json(v, "clean")?,
+        removal_log: log_from_json(v, "removal")?,
+        solved_instances: get_usize(v, "solved_instances")?,
+        solved_queries: get_usize(v, "solved_queries")?,
+        rewritten_statements: get_usize(v, "rewritten_statements")?,
+        skipped_overlaps: get_usize(v, "skipped_overlaps")?,
+        rewrites,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint file I/O
+
+/// Writes a stage checkpoint atomically: header line (stage, schema,
+/// payload length, payload FNV-1a) + payload, via temp file + fsync +
+/// rename. The `checkpoint`-stage fault hook fires *between* writing the
+/// temp file and the rename — the window where a real crash leaves a torn
+/// temp file but an intact (absent or previous) checkpoint.
+fn write_checkpoint(
+    dir: &RunDir,
+    rec: &Recorder,
+    stage: Stage,
+    payload: &Json,
+) -> Result<(), String> {
+    let body = payload.render();
+    let header = Json::obj(vec![
+        ("stage", Json::Str(stage.name().to_string())),
+        ("schema", Json::U64(CHECKPOINT_SCHEMA)),
+        ("payload_bytes", Json::U64(body.len() as u64)),
+        ("payload_fnv", Json::U64(Fingerprint::of_str(&body).0)),
+    ])
+    .render();
+    let total = (header.len() + 1 + body.len()) as u64;
+    let t = Instant::now();
+    let mut span = rec.span("checkpoint.write");
+    span.field("stage", stage.name());
+    span.field("bytes", total);
+    let path = dir.checkpoint_path(stage);
+    let err = |e: std::io::Error| format!("cannot write {}: {e}", path.display());
+    let mut f = AtomicFile::create(&path).map_err(err)?;
+    f.write_all(header.as_bytes()).map_err(err)?;
+    f.write_all(b"\n").map_err(err)?;
+    f.write_all(body.as_bytes()).map_err(err)?;
+    // Chaos hook: die after the bytes exist but before they become the
+    // checkpoint. Marker = stage name.
+    fault::trip(&fault::armed("checkpoint"), stage.name());
+    f.commit().map_err(err)?;
+    rec.counter("checkpoint.writes", 1);
+    rec.counter("checkpoint.bytes_written", total);
+    rec.histogram("checkpoint.write_us", t.elapsed().as_micros() as u64);
+    Ok(())
+}
+
+/// Reads and validates a stage checkpoint. `Ok(None)` = not present (the
+/// stage was never completed); `Err` = present but unusable (torn write,
+/// corruption, schema drift) — the caller reports it and re-runs the stage.
+fn read_checkpoint(dir: &RunDir, rec: &Recorder, stage: Stage) -> Result<Option<Json>, String> {
+    let path = dir.checkpoint_path(stage);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let t = Instant::now();
+    let mut span = rec.span("checkpoint.load");
+    span.field("stage", stage.name());
+    span.field("bytes", bytes.len() as u64);
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("truncated checkpoint (no header line)")?;
+    let header_text =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| "checkpoint header is not UTF-8")?;
+    let header = Json::parse(header_text).map_err(|e| format!("checkpoint header: {e}"))?;
+    let schema = get_u64(&header, "schema")?;
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(format!(
+            "unsupported checkpoint schema {schema} (expected {CHECKPOINT_SCHEMA})"
+        ));
+    }
+    let named = get_str(&header, "stage")?;
+    if named != stage.name() {
+        return Err(format!(
+            "checkpoint file names stage {named:?}, expected {:?}",
+            stage.name()
+        ));
+    }
+    let body = &bytes[nl + 1..];
+    let declared = get_u64(&header, "payload_bytes")?;
+    if declared != body.len() as u64 {
+        return Err(format!(
+            "payload is {} bytes, header declares {declared} (torn write?)",
+            body.len()
+        ));
+    }
+    let body_text = std::str::from_utf8(body).map_err(|_| "checkpoint payload is not UTF-8")?;
+    let fnv = Fingerprint::of_str(body_text).0;
+    let declared_fnv = get_u64(&header, "payload_fnv")?;
+    if fnv != declared_fnv {
+        return Err(format!(
+            "payload hash {fnv:#018x} does not match header {declared_fnv:#018x} (corrupted?)"
+        ));
+    }
+    let payload = Json::parse(body_text).map_err(|e| format!("checkpoint payload: {e}"))?;
+    rec.counter("checkpoint.loads", 1);
+    rec.histogram("checkpoint.load_us", t.elapsed().as_micros() as u64);
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// The checkpointed driver
+
+/// Bookkeeping shared by every stage of the driver: which stages were
+/// loaded, what went wrong non-fatally, and whether the checkpoint chain
+/// is still intact (once one stage re-runs, later checkpoints are stale
+/// and must not be loaded).
+struct Progress<'a> {
+    rec: &'a Recorder,
+    chain_intact: bool,
+    loaded_stages: Vec<&'static str>,
+    warnings: Vec<String>,
+}
+
+impl Progress<'_> {
+    /// Attempts to fetch `stage`'s checkpoint payload. Any failure breaks
+    /// the chain: this stage and everything after it re-run.
+    fn fetch(&mut self, dir: &RunDir, stage: Stage) -> Option<Json> {
+        if !self.chain_intact {
+            return None;
+        }
+        match read_checkpoint(dir, self.rec, stage) {
+            Ok(Some(payload)) => Some(payload),
+            Ok(None) => {
+                self.chain_intact = false;
+                None
+            }
+            Err(e) => {
+                self.warn(format!(
+                    "checkpoint {}: {e}; re-running the stage",
+                    stage.name()
+                ));
+                self.chain_intact = false;
+                None
+            }
+        }
+    }
+
+    /// Records a decoded (= skipped) stage.
+    fn skipped(&mut self, stage: Stage) {
+        self.rec.counter("resume.skip_stage", 1);
+        self.loaded_stages.push(stage.name());
+    }
+
+    /// Reports a decode failure and breaks the chain.
+    fn decode_failed(&mut self, stage: Stage, e: String) {
+        self.warn(format!(
+            "checkpoint {}: {e}; re-running the stage",
+            stage.name()
+        ));
+        self.chain_intact = false;
+    }
+
+    fn warn(&mut self, msg: String) {
+        eprintln!("warning: {msg}");
+        self.rec.warning(msg.clone());
+        self.warnings.push(msg);
+    }
+}
+
+/// Loads a stage from its checkpoint or computes + checkpoints it.
+///
+/// Not a method — the decode/compute closures need to borrow stage outputs
+/// the driver owns, which a `&mut self` method would lock away.
+fn stage_step<T>(
+    progress: &mut Progress<'_>,
+    dir: &RunDir,
+    stage: Stage,
+    decode: impl FnOnce(&Json) -> Result<T, String>,
+    compute: impl FnOnce() -> T,
+    encode: impl FnOnce(&T) -> Json,
+    stage_ms: &mut u64,
+) -> Result<T, String> {
+    if let Some(payload) = progress.fetch(dir, stage) {
+        match decode(&payload) {
+            Ok(v) => {
+                progress.skipped(stage);
+                return Ok(v);
+            }
+            Err(e) => progress.decode_failed(stage, e),
+        }
+    }
+    let t = Instant::now();
+    let v = compute();
+    *stage_ms = t.elapsed().as_millis() as u64;
+    write_checkpoint(dir, progress.rec, stage, &encode(&v))?;
+    Ok(v)
+}
+
+/// Drives the pipeline's stage operators over a run directory: each stage
+/// is either loaded from its (validated) checkpoint or executed and
+/// checkpointed. Returns `Ok(None)` when [`CheckpointOptions::stop_after`]
+/// ended the run early; otherwise the completed [`CheckpointOutcome`].
+///
+/// Fatal errors (unreadable input, manifest mismatch, unwritable run
+/// directory) are `Err`; a corrupted or torn checkpoint is *not* fatal —
+/// it is reported and the stage re-runs.
+pub fn run_checkpointed(
+    pipeline: &Pipeline<'_>,
+    dir: &RunDir,
+    opts: &CheckpointOptions,
+) -> Result<Option<CheckpointOutcome>, String> {
+    let t_total = Instant::now();
+    let rec = pipeline.config.recorder.clone();
+    let cfg_fp = config_fingerprint(&pipeline.config, pipeline.catalog);
+    let (input_bytes, input_fnv) = hash_file(&opts.input)?;
+
+    let manifest = if opts.resume {
+        let mut m = dir.load_manifest()?;
+        if m.schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "cannot resume {}: manifest schema {} (this build expects {MANIFEST_SCHEMA})",
+                dir.root().display(),
+                m.schema
+            ));
+        }
+        if m.config_fingerprint != cfg_fp {
+            return Err(format!(
+                "cannot resume {}: the run was started with a different configuration \
+                 (manifest fingerprint {:#018x}, current {cfg_fp:#018x}); re-run with the \
+                 original semantic options and schema, or start fresh with --run-dir",
+                dir.root().display(),
+                m.config_fingerprint
+            ));
+        }
+        if m.input_bytes != input_bytes || m.input_fnv != input_fnv {
+            return Err(format!(
+                "cannot resume {}: input {} has changed since the run started \
+                 (manifest: {} bytes, fnv {:#018x}; now: {input_bytes} bytes, \
+                 fnv {input_fnv:#018x}); resume needs the identical input file",
+                dir.root().display(),
+                opts.input.display(),
+                m.input_bytes,
+                m.input_fnv
+            ));
+        }
+        if m.ingest_policy != opts.policy {
+            return Err(format!(
+                "cannot resume {}: the run used {} ingestion, this invocation asks for {}",
+                dir.root().display(),
+                policy_name(m.ingest_policy),
+                policy_name(opts.policy)
+            ));
+        }
+        m.attempts += 1;
+        if !m.completed {
+            m.interruptions += 1;
+        }
+        dir.store_manifest(&m)?;
+        m
+    } else {
+        let m = Manifest {
+            schema: MANIFEST_SCHEMA,
+            config_fingerprint: cfg_fp,
+            input_bytes,
+            input_fnv,
+            ingest_policy: opts.policy,
+            attempts: 1,
+            interruptions: 0,
+            completed: false,
+        };
+        dir.store_manifest(&m)?;
+        m
+    };
+
+    let mut progress = Progress {
+        rec: &rec,
+        // Only a resume consults checkpoints; a fresh run starts with the
+        // chain already broken (RunDir::create cleared them anyway).
+        chain_intact: opts.resume,
+        loaded_stages: Vec::new(),
+        warnings: Vec::new(),
+    };
+    let mut timings = StageTimings::default();
+    let stop = |stage: Stage| opts.stop_after == Some(stage);
+
+    // --- ingest --- (not a `stage_step`: reading the input is fallible,
+    // and a failed read must never leave a checkpoint behind)
+    let (log, ingest_stats) = {
+        let mut loaded = None;
+        if let Some(payload) = progress.fetch(dir, Stage::Ingest) {
+            match ingest_from_json(&payload) {
+                Ok(v) => {
+                    progress.skipped(Stage::Ingest);
+                    loaded = Some(v);
+                }
+                Err(e) => progress.decode_failed(Stage::Ingest, e),
+            }
+        }
+        match loaded {
+            Some(v) => v,
+            None => {
+                let t = Instant::now();
+                let v = {
+                    let _span = rec.span("ingest");
+                    ingest_input(opts)?
+                };
+                timings.ingest_ms = t.elapsed().as_millis() as u64;
+                write_checkpoint(dir, &rec, Stage::Ingest, &ingest_to_json(&v.0, &v.1))?;
+                v
+            }
+        }
+    };
+    if stop(Stage::Ingest) {
+        return Ok(None);
+    }
+
+    // --- dedup (sort is folded in: the checkpoint stores base indices) ---
+    let mut dedup_ms = 0u64;
+    let (kept, dedup_stats) = stage_step(
+        &mut progress,
+        dir,
+        Stage::Dedup,
+        |v| dedup_from_json(v, log.len()),
+        || {
+            let t = Instant::now();
+            let input = pipeline.op_sort(&log);
+            timings.sort_ms = t.elapsed().as_millis() as u64;
+            let (view, stats) = pipeline.op_dedup(&input);
+            let kept: Vec<u32> = (0..view.len()).map(|i| view.base_index(i) as u32).collect();
+            (kept, stats)
+        },
+        |(kept, stats)| dedup_to_json(kept, stats),
+        &mut dedup_ms,
+    )?;
+    timings.dedup_ms = dedup_ms;
+    let pre_clean = LogView::from_indices(&log, kept);
+    if stop(Stage::Dedup) {
+        return Ok(None);
+    }
+
+    // --- parse ---
+    let mut parse_ms = 0u64;
+    let (store, parsed) = stage_step(
+        &mut progress,
+        dir,
+        Stage::Parse,
+        |v| parse_from_json(v, pre_clean.len(), &rec),
+        || {
+            let store = TemplateStore::with_recorder(rec.clone());
+            let parsed = pipeline.op_parse(&pre_clean, &store);
+            (store, parsed)
+        },
+        |(store, parsed)| parse_to_json(store, parsed),
+        &mut parse_ms,
+    )?;
+    timings.parse_ms = parse_ms;
+    if stop(Stage::Parse) {
+        return Ok(None);
+    }
+
+    // --- sessions ---
+    let mut sessions_ms = 0u64;
+    let sessions = stage_step(
+        &mut progress,
+        dir,
+        Stage::Sessions,
+        |v| sessions_from_json(v, parsed.records.len()),
+        || pipeline.op_sessions(&pre_clean, &parsed.records),
+        sessions_to_json,
+        &mut sessions_ms,
+    )?;
+    timings.sessions_ms = sessions_ms;
+    if stop(Stage::Sessions) {
+        return Ok(None);
+    }
+
+    // --- mine ---
+    let mut mine_ms = 0u64;
+    let mined = stage_step(
+        &mut progress,
+        dir,
+        Stage::Mine,
+        mine_from_json,
+        || pipeline.op_mine(&sessions, &parsed.records),
+        mine_to_json,
+        &mut mine_ms,
+    )?;
+    timings.mine_ms = mine_ms;
+    if stop(Stage::Mine) {
+        return Ok(None);
+    }
+
+    // --- detect ---
+    let mut detect_ms = 0u64;
+    let detected = stage_step(
+        &mut progress,
+        dir,
+        Stage::Detect,
+        |v| detect_from_json(v, parsed.records.len()),
+        || pipeline.op_detect(&pre_clean, &parsed.records, &sessions, &store),
+        detect_to_json,
+        &mut detect_ms,
+    )?;
+    timings.detect_ms = detect_ms;
+    if stop(Stage::Detect) {
+        return Ok(None);
+    }
+
+    // --- solve ---
+    let mut solve_ms = 0u64;
+    let outcome = stage_step(
+        &mut progress,
+        dir,
+        Stage::Solve,
+        solve_from_json,
+        || pipeline.op_solve(&pre_clean, &parsed.records, &sessions, &store, &detected),
+        solve_to_json,
+        &mut solve_ms,
+    )?;
+    timings.solve_ms = solve_ms;
+    if stop(Stage::Solve) {
+        return Ok(None);
+    }
+
+    timings.total_ms = t_total.elapsed().as_millis() as u64;
+    let mut result = pipeline.assemble(
+        log.len(),
+        &pre_clean,
+        &dedup_stats,
+        parsed,
+        &sessions,
+        mined,
+        detected,
+        outcome,
+        store,
+        timings,
+    );
+    result.stats.run_health.quarantined_lines = ingest_stats.quarantined;
+    result.stats.run_health.invalid_utf8_lines = ingest_stats.invalid_utf8;
+    result.stats.run_health.interruptions = manifest.interruptions as usize;
+    Ok(Some(CheckpointOutcome {
+        result,
+        ingest_stats,
+        loaded_stages: progress.loaded_stages,
+        warnings: progress.warnings,
+    }))
+}
+
+/// Reads the input under the run's ingest policy, streaming quarantined
+/// lines into an atomically-written sidecar. The `ingest`-stage fault hook
+/// trips on matching statements after the read, inside the stage window.
+fn ingest_input(opts: &CheckpointOptions) -> Result<(QueryLog, IngestStats), String> {
+    let file = std::fs::File::open(&opts.input)
+        .map_err(|e| format!("cannot read {}: {e}", opts.input.display()))?;
+    let mut sidecar = match &opts.quarantine {
+        Some(path) => Some(
+            AtomicFile::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let (log, stats) = read_log_with(
+        std::io::BufReader::new(file),
+        opts.policy,
+        sidecar.as_mut().map(|w| w as &mut dyn Write),
+    )
+    .map_err(|e| format!("cannot read {}: {e}", opts.input.display()))?;
+    if let Some(s) = sidecar {
+        let path = s.path().to_path_buf();
+        s.commit()
+            .map_err(|e| format!("cannot write quarantine sidecar {}: {e}", path.display()))?;
+    }
+    let fault = fault::armed("ingest");
+    if fault.is_some() {
+        for e in &log.entries {
+            fault::trip(&fault, &e.statement);
+        }
+    }
+    Ok((log, stats))
+}

@@ -1,12 +1,30 @@
-//! Fault injection for the resilience harness.
+//! Fault injection for the resilience and chaos harnesses.
 //!
 //! The panic-isolation machinery ([`crate::shard::run_shards_isolated`])
 //! only matters when something actually panics, and real poison records are
 //! rare by construction. This module gives the integration tests a
 //! deterministic way to plant one: when the environment variable
 //! `SQLOG_FAULT_MARKER` is set, any record whose statement text contains
-//! that marker panics inside the stage named by `SQLOG_FAULT_STAGE`
-//! (`dedup`, `parse`, `sessions`, `mine` or `detect`; default `parse`).
+//! that marker trips inside the stage named by `SQLOG_FAULT_STAGE`
+//! (`ingest`, `dedup`, `parse`, `sessions`, `mine`, `detect`, `solve` or
+//! `checkpoint`; default `parse`).
+//!
+//! What a trip *does* is selected by `SQLOG_FAULT_ACTION`:
+//!
+//! * `panic` (default) — panic with a recognizable message; the shard
+//!   isolation machinery recovers and the record is quarantined as poison.
+//! * `abort` — `std::process::abort()`: the process dies instantly, with no
+//!   unwinding and no destructors, exactly like an external SIGKILL. The
+//!   chaos harness (`tests/chaos_resume.rs`) uses this to kill the CLI at a
+//!   precise point inside a stage.
+//! * `stall` — touch the file named by `SQLOG_FAULT_STALL_FILE` (when set)
+//!   and sleep forever. The parent test watches for the file and delivers a
+//!   real `SIGKILL`, covering the genuine kill-from-outside path.
+//!
+//! For the `checkpoint` stage the marker is matched against the *stage
+//! name* of the checkpoint being written (e.g. `SQLOG_FAULT_MARKER=mine`
+//! with `SQLOG_FAULT_STAGE=checkpoint` dies between serializing the mine
+//! checkpoint and its atomic rename — simulating death mid-checkpoint).
 //!
 //! The hook is compiled in unconditionally — integration tests link the
 //! non-test build — but costs one `env::var` lookup per *shard* and nothing
@@ -65,11 +83,31 @@ pub(crate) fn armed_description() -> Option<String> {
     ))
 }
 
-/// Panics when `text` contains the armed marker. No-op while disarmed.
+/// Trips when `text` contains the armed marker: panics, aborts, or stalls
+/// according to `SQLOG_FAULT_ACTION`. No-op while disarmed.
 pub(crate) fn trip(marker: &Option<String>, text: &str) {
-    if let Some(m) = marker {
-        if text.contains(m.as_str()) {
-            panic!("injected fault: record matches marker {m:?}");
+    let Some(m) = marker else { return };
+    if !text.contains(m.as_str()) {
+        return;
+    }
+    match std::env::var("SQLOG_FAULT_ACTION").as_deref() {
+        Ok("abort") => {
+            // Flush nothing, unwind nothing: the closest in-process stand-in
+            // for an external SIGKILL.
+            eprintln!("injected fault: aborting on marker {m:?}");
+            std::process::abort();
         }
+        Ok("stall") => {
+            eprintln!("injected fault: stalling on marker {m:?}");
+            if let Ok(path) = std::env::var("SQLOG_FAULT_STALL_FILE") {
+                // The touch tells the watching parent we reached the injection
+                // point; it answers with a real SIGKILL.
+                let _ = std::fs::write(&path, b"stalled\n");
+            }
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        _ => panic!("injected fault: record matches marker {m:?}"),
     }
 }

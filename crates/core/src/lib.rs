@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod dedup;
 pub mod detect;
@@ -56,6 +57,10 @@ pub mod stats;
 pub mod store;
 pub mod sws;
 
+pub use checkpoint::{
+    config_fingerprint, run_checkpointed, CheckpointOptions, CheckpointOutcome, Manifest, RunDir,
+    Stage, CHECKPOINT_SCHEMA, MANIFEST_SCHEMA,
+};
 pub use config::PipelineConfig;
 pub use dedup::{dedup, dedup_view, dedup_view_traced, DedupStats};
 pub use detect::{AntipatternClass, AntipatternInstance, DetectCtx, Detector};
@@ -68,7 +73,7 @@ pub use parse_step::{
     parse_log, parse_view, parse_view_traced, parse_view_with, ParseCacheStats, ParseOptions,
     ParseStats, ParsedLog, ParsedRecord,
 };
-pub use pipeline::{Pipeline, PipelineResult};
+pub use pipeline::{DetectOutput, Pipeline, PipelineResult};
 pub use recommend::{evaluate_against_marks, RecommendationEval, Recommender};
 pub use report::{render_pattern_table, render_statistics, top_patterns, PatternRow};
 pub use run_report::{statistics_from_json, statistics_to_json, RunReport, RUN_REPORT_SCHEMA};

@@ -5,20 +5,29 @@
 //!              ─► pattern mining ─► antipattern detection ─► solve
 //!              ─► clean log + removal log + statistics
 //! ```
+//!
+//! The batch run is a sequence of explicit **stage operators** (`op_sort`,
+//! `op_dedup`, `op_parse`, `op_sessions`, `op_mine`, `op_detect`,
+//! `op_solve`, `assemble`): [`Pipeline::run`] drives them back to back,
+//! while the checkpointed runner ([`crate::checkpoint`]) drives the same
+//! operators with a serialization point after each one, so an interrupted
+//! run can resume from the last completed stage. Both drivers produce
+//! byte-identical output — the operators are the single source of truth
+//! for what each stage does.
 
 use crate::config::PipelineConfig;
-use crate::dedup::dedup_view_traced;
+use crate::dedup::{dedup_view_traced, DedupStats};
 use crate::detect::{
     detect_builtin, sort_instances, AntipatternClass, AntipatternInstance, DetectCtx,
 };
 use crate::ext::ExtensionRegistry;
 use crate::fault;
-use crate::mine::{build_sessions_view_traced, mine_patterns_traced, MinedPatterns};
-use crate::parse_step::parse_view_traced;
+use crate::mine::{build_sessions_view_traced, mine_patterns_traced, MinedPatterns, Sessions};
+use crate::parse_step::{parse_view_traced, ParsedLog, ParsedRecord};
 use crate::shard::{
     balance_chunks, guarded, resolve_threads, run_shards_traced, whole_range, ShardTrace,
 };
-use crate::solve::apply_solutions;
+use crate::solve::{apply_solutions, SolveOutcome};
 use crate::stats::{ClassCounts, RunHealth, StageTimings, Statistics};
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_catalog::Catalog;
@@ -110,11 +119,10 @@ impl<'a> Pipeline<'a> {
     /// result is identical for every thread count.
     pub fn run(&self, original: &QueryLog) -> PipelineResult {
         let t_total = Instant::now();
-        let threads = resolve_threads(self.config.parallelism);
         let ms = |t: Instant| t.elapsed().as_millis() as u64;
         let rec = &self.config.recorder;
         let mut pipeline_span = rec.span("pipeline");
-        pipeline_span.field("threads", threads as u64);
+        pipeline_span.field("threads", resolve_threads(self.config.parallelism) as u64);
         pipeline_span.field("input", original.len() as u64);
         if rec.is_enabled() {
             // Route the fault-injection arming into the event stream too —
@@ -125,80 +133,135 @@ impl<'a> Pipeline<'a> {
             }
         }
 
-        // Step 0: order by time. A sorted *view* (index permutation) over
-        // the original entries — the log itself is never cloned.
         let t = Instant::now();
-        let input = {
-            let _span = rec.span("sort");
-            LogView::sorted_by_time(original)
-        };
+        let input = self.op_sort(original);
         let sort_ms = ms(t);
-
-        // Step 1: delete duplicates (§5.2), sharded by user.
         let t = Instant::now();
-        let (pre_clean, dedup_stats) = {
-            let span = rec.span("dedup");
-            dedup_view_traced(
-                &input,
-                self.config.duplicate_threshold_ms,
-                threads,
-                rec,
-                span.id(),
-            )
-        };
+        let (pre_clean, dedup_stats) = self.op_dedup(&input);
         let dedup_ms = ms(t);
-
-        // Step 2: parse statements (§5.3); template ids are canonicalized
-        // to first-appearance order after the parallel phase. The configured
-        // resource guards bound what the parser will attempt per statement.
         let t = Instant::now();
         let store = TemplateStore::with_recorder(rec.clone());
-        let parsed = {
-            let span = rec.span("parse");
-            parse_view_traced(
-                &pre_clean,
-                &store,
-                &self.config.parse_options(),
-                threads,
-                rec,
-                span.id(),
-            )
-        };
+        let parsed = self.op_parse(&pre_clean, &store);
         let parse_ms = ms(t);
-
-        // Step 3: sessions + pattern mining (§4.1, Defs. 7–10).
         let t = Instant::now();
-        let sessions = {
-            let span = rec.span("sessions");
-            build_sessions_view_traced(
-                &pre_clean,
-                &parsed.records,
-                self.config.session_gap_ms,
-                threads,
-                rec,
-                span.id(),
-            )
-        };
+        let sessions = self.op_sessions(&pre_clean, &parsed.records);
         let sessions_ms = ms(t);
         let t = Instant::now();
-        let mined = {
-            let span = rec.span("mine");
-            mine_patterns_traced(
-                &sessions,
-                &parsed.records,
-                &self.config,
-                threads,
-                rec,
-                span.id(),
-            )
-        };
+        let mined = self.op_mine(&sessions, &parsed.records);
         let mine_ms = ms(t);
-
-        // Step 4: antipattern detection (Defs. 11–16 + extensions),
-        // sharded by contiguous session ranges. Detectors are session-local
-        // (see `DetectCtx`), so shard outputs concatenate cleanly; the final
-        // total-order sort makes the result independent of shard boundaries.
         let t = Instant::now();
+        let detected = self.op_detect(&pre_clean, &parsed.records, &sessions, &store);
+        let detect_ms = ms(t);
+        let t = Instant::now();
+        let outcome = self.op_solve(&pre_clean, &parsed.records, &sessions, &store, &detected);
+        let solve_ms = ms(t);
+
+        let timings = StageTimings {
+            // Ingest and report happen outside the pipeline; the binary
+            // that drives the run fills these (and extends total_ms).
+            ingest_ms: 0,
+            sort_ms,
+            dedup_ms,
+            parse_ms,
+            sessions_ms,
+            mine_ms,
+            detect_ms,
+            solve_ms,
+            report_ms: 0,
+            total_ms: ms(t_total),
+        };
+        self.assemble(
+            original.len(),
+            &pre_clean,
+            &dedup_stats,
+            parsed,
+            &sessions,
+            mined,
+            detected,
+            outcome,
+            store,
+            timings,
+        )
+    }
+
+    /// Stage operator 0: order by time. A sorted *view* (index permutation)
+    /// over the original entries — the log itself is never cloned.
+    pub fn op_sort<'l>(&self, original: &'l QueryLog) -> LogView<'l> {
+        let _span = self.config.recorder.span("sort");
+        LogView::sorted_by_time(original)
+    }
+
+    /// Stage operator 1: delete duplicates (§5.2), sharded by user.
+    pub fn op_dedup<'l>(&self, input: &LogView<'l>) -> (LogView<'l>, DedupStats) {
+        let rec = &self.config.recorder;
+        let span = rec.span("dedup");
+        dedup_view_traced(
+            input,
+            self.config.duplicate_threshold_ms,
+            resolve_threads(self.config.parallelism),
+            rec,
+            span.id(),
+        )
+    }
+
+    /// Stage operator 2: parse statements (§5.3); template ids are
+    /// canonicalized to first-appearance order after the parallel phase.
+    /// The configured resource guards bound what the parser will attempt
+    /// per statement. `store` must be empty (a fresh store per run).
+    pub fn op_parse(&self, pre_clean: &LogView<'_>, store: &TemplateStore) -> ParsedLog {
+        let rec = &self.config.recorder;
+        let span = rec.span("parse");
+        parse_view_traced(
+            pre_clean,
+            store,
+            &self.config.parse_options(),
+            resolve_threads(self.config.parallelism),
+            rec,
+            span.id(),
+        )
+    }
+
+    /// Stage operator 3a: per-user sessions (§4.1, Def. 7).
+    pub fn op_sessions(&self, pre_clean: &LogView<'_>, records: &[ParsedRecord]) -> Sessions {
+        let rec = &self.config.recorder;
+        let span = rec.span("sessions");
+        build_sessions_view_traced(
+            pre_clean,
+            records,
+            self.config.session_gap_ms,
+            resolve_threads(self.config.parallelism),
+            rec,
+            span.id(),
+        )
+    }
+
+    /// Stage operator 3b: pattern mining (Defs. 8–10).
+    pub fn op_mine(&self, sessions: &Sessions, records: &[ParsedRecord]) -> MinedPatterns {
+        let rec = &self.config.recorder;
+        let span = rec.span("mine");
+        mine_patterns_traced(
+            sessions,
+            records,
+            &self.config,
+            resolve_threads(self.config.parallelism),
+            rec,
+            span.id(),
+        )
+    }
+
+    /// Stage operator 4: antipattern detection (Defs. 11–16 + extensions),
+    /// sharded by contiguous session ranges. Detectors are session-local
+    /// (see [`DetectCtx`]), so shard outputs concatenate cleanly; the final
+    /// total-order sort makes the result independent of shard boundaries.
+    pub fn op_detect(
+        &self,
+        pre_clean: &LogView<'_>,
+        records: &[ParsedRecord],
+        sessions: &Sessions,
+        store: &TemplateStore,
+    ) -> DetectOutput {
+        let threads = resolve_threads(self.config.parallelism);
+        let rec = &self.config.recorder;
         let detect_span = rec.span("detect");
         let detect_span_id = detect_span.id();
         let detect_shard = |sess: &[crate::mine::Session]| {
@@ -206,16 +269,16 @@ impl<'a> Pipeline<'a> {
             if fault.is_some() {
                 for session in sess {
                     for &ri in &session.records {
-                        let e = pre_clean.entry(parsed.records[ri].entry_idx as usize);
+                        let e = pre_clean.entry(records[ri].entry_idx as usize);
                         fault::trip(&fault, &e.statement);
                     }
                 }
             }
             let ctx = DetectCtx {
-                log: &pre_clean,
-                records: &parsed.records,
+                log: pre_clean,
+                records,
                 sessions: sess,
-                store: &store,
+                store,
                 catalog: self.catalog,
                 config: &self.config,
             };
@@ -266,15 +329,60 @@ impl<'a> Pipeline<'a> {
             },
         );
         let mut instances: Vec<AntipatternInstance> = Vec::new();
-        let mut detect_poison_sessions = 0usize;
+        let mut poison_sessions = 0usize;
         for (shard, shard_poison) in detect_shards {
             instances.extend(shard);
-            detect_poison_sessions += shard_poison;
+            poison_sessions += shard_poison;
         }
         sort_instances(&mut instances);
-        drop(detect_span);
-        let detect_ms = ms(t);
+        DetectOutput {
+            instances,
+            poison_sessions,
+            degraded_shards: detect_degraded,
+        }
+    }
 
+    /// Stage operator 5: solve (§5.5). Sequential: first-wins overlap
+    /// resolution is inherently ordered across the whole instance list.
+    pub fn op_solve(
+        &self,
+        pre_clean: &LogView<'_>,
+        records: &[ParsedRecord],
+        sessions: &Sessions,
+        store: &TemplateStore,
+        detected: &DetectOutput,
+    ) -> SolveOutcome {
+        let ctx = DetectCtx {
+            log: pre_clean,
+            records,
+            sessions: &sessions.sessions,
+            store,
+            catalog: self.catalog,
+            config: &self.config,
+        };
+        let solvers = self.extensions.solver_set();
+        let _span = self.config.recorder.span("solve");
+        apply_solutions(&ctx, &detected.instances, &solvers)
+    }
+
+    /// Final assembly: statistics, pattern marks and entry-id joins from
+    /// the completed stage outputs. Pure bookkeeping — no stage work — so
+    /// both drivers (batch and checkpointed) share it.
+    #[allow(clippy::too_many_arguments)] // one parameter per stage output
+    pub fn assemble(
+        &self,
+        original_size: usize,
+        pre_clean: &LogView<'_>,
+        dedup_stats: &DedupStats,
+        parsed: ParsedLog,
+        sessions: &Sessions,
+        mined: MinedPatterns,
+        detected: DetectOutput,
+        outcome: SolveOutcome,
+        store: TemplateStore,
+        timings: StageTimings,
+    ) -> PipelineResult {
+        let instances = detected.instances;
         // Pattern marks.
         let mut marks: HashMap<Vec<TemplateId>, AntipatternClass> = HashMap::new();
         for inst in &instances {
@@ -285,25 +393,6 @@ impl<'a> Pipeline<'a> {
             }
         }
 
-        // Step 5: solve (§5.5). Sequential: first-wins overlap resolution
-        // is inherently ordered across the whole instance list.
-        let t = Instant::now();
-        let ctx = DetectCtx {
-            log: &pre_clean,
-            records: &parsed.records,
-            sessions: &sessions.sessions,
-            store: &store,
-            catalog: self.catalog,
-            config: &self.config,
-        };
-        let solvers = self.extensions.solver_set();
-        let outcome = {
-            let _span = rec.span("solve");
-            apply_solutions(&ctx, &instances, &solvers)
-        };
-        let solve_ms = ms(t);
-
-        // Statistics.
         let mut per_class: BTreeMap<String, ClassCounts> = BTreeMap::new();
         let mut distinct_per_class: HashMap<String, HashSet<Vec<TemplateId>>> = HashMap::new();
         for inst in &instances {
@@ -321,7 +410,7 @@ impl<'a> Pipeline<'a> {
         }
 
         let stats = Statistics {
-            original_size: original.len(),
+            original_size,
             duplicates_removed: dedup_stats.removed,
             after_dedup: pre_clean.len(),
             select_count: parsed.stats.selects,
@@ -345,34 +434,22 @@ impl<'a> Pipeline<'a> {
             solved_queries: outcome.solved_queries,
             rewritten_statements: outcome.rewritten_statements,
             skipped_overlaps: outcome.skipped_overlaps,
-            timings: StageTimings {
-                // Ingest and report happen outside the pipeline; the binary
-                // that drives the run fills these (and extends total_ms).
-                ingest_ms: 0,
-                sort_ms,
-                dedup_ms,
-                parse_ms,
-                sessions_ms,
-                mine_ms,
-                detect_ms,
-                solve_ms,
-                report_ms: 0,
-                total_ms: ms(t_total),
-            },
+            timings,
             parse_cache: parsed.cache,
             run_health: RunHealth {
-                // Ingestion counts are filled by the caller that read the
-                // log (e.g. sqlog-clean's lenient mode).
+                // Ingestion counts and the interruption tally are filled by
+                // the caller that read the log / drove the checkpointed run.
                 quarantined_lines: 0,
                 invalid_utf8_lines: 0,
                 limit_rejected: parsed.stats.limit_exceeded,
                 poison_records: dedup_stats.poison + parsed.stats.poison + sessions.poison,
-                poison_sessions: mined.poison_sessions + detect_poison_sessions,
+                poison_sessions: mined.poison_sessions + detected.poison_sessions,
                 degraded_shards: dedup_stats.degraded_shards
                     + parsed.stats.degraded_shards
                     + sessions.degraded_shards
                     + mined.degraded_shards
-                    + detect_degraded,
+                    + detected.degraded_shards,
+                interruptions: 0,
             },
         };
 
@@ -398,6 +475,18 @@ impl<'a> Pipeline<'a> {
             store,
         }
     }
+}
+
+/// Output of the detection stage operator: the sorted instance list plus
+/// the recovery accounting the statistics need.
+#[derive(Debug, Clone, Default)]
+pub struct DetectOutput {
+    /// Detected instances, sorted by order of appearance in the log.
+    pub instances: Vec<AntipatternInstance>,
+    /// Sessions skipped because detection panicked on them.
+    pub poison_sessions: usize,
+    /// Detection shards that panicked and were recovered per-session.
+    pub degraded_shards: usize,
 }
 
 #[cfg(test)]

@@ -189,6 +189,16 @@ pub fn render_statistics(s: &Statistics) -> String {
     let h = &s.run_health;
     if h.is_clean() {
         row("Run health", "clean (no faults)".to_string());
+    } else if !h.completed_degraded() {
+        // Interrupted and resumed, but nothing was lost along the way.
+        row(
+            "Run health",
+            format!(
+                "clean (resumed after {} interruption{})",
+                h.interruptions,
+                if h.interruptions == 1 { "" } else { "s" }
+            ),
+        );
     } else {
         row("Run health", "degraded".to_string());
         row(
@@ -205,6 +215,9 @@ pub fn render_statistics(s: &Statistics) -> String {
             "  degraded (recovered) shards",
             h.degraded_shards.to_string(),
         );
+        if h.interruptions > 0 {
+            row("  interruptions resumed from", h.interruptions.to_string());
+        }
     }
     out
 }

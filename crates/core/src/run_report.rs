@@ -101,6 +101,7 @@ fn health_to_json(h: &RunHealth) -> Json {
         ("poison_records", u(h.poison_records)),
         ("poison_sessions", u(h.poison_sessions)),
         ("degraded_shards", u(h.degraded_shards)),
+        ("interruptions", u(h.interruptions)),
     ])
 }
 
@@ -112,6 +113,8 @@ fn health_from_json(v: &Json) -> Result<RunHealth, String> {
         poison_records: get_usize(v, "poison_records")?,
         poison_sessions: get_usize(v, "poison_sessions")?,
         degraded_shards: get_usize(v, "degraded_shards")?,
+        // Absent in reports written before checkpointed runs existed.
+        interruptions: v.get("interruptions").and_then(Json::as_usize).unwrap_or(0),
     })
 }
 
@@ -302,6 +305,7 @@ mod tests {
                 poison_records: 0,
                 poison_sessions: 0,
                 degraded_shards: 0,
+                interruptions: 1,
             },
         }
     }

@@ -68,6 +68,18 @@ pub fn apply_solutions(
     let rec = &ctx.config.recorder;
     let mut span = rec.span("solve.apply");
     span.field("instances", instances.len() as u64);
+    // Chaos-harness injection point: unlike the sharded stages, solving is
+    // sequential and not panic-isolated, so this trip is meant for the
+    // process-killing actions (`abort`/`stall`), not `panic`.
+    let fault = crate::fault::armed("solve");
+    if fault.is_some() {
+        for inst in instances {
+            for &ri in &inst.records {
+                let e = ctx.log.entry(ctx.records[ri].entry_idx as usize);
+                crate::fault::trip(&fault, &e.statement);
+            }
+        }
+    }
     let n_records = ctx.records.len();
     let mut consumed = vec![false; n_records];
     let mut in_any_instance = vec![false; n_records];

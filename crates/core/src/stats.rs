@@ -94,12 +94,33 @@ pub struct RunHealth {
     /// Stage shards that panicked and were re-run with per-record (or
     /// per-session) isolation, summed across stages.
     pub degraded_shards: usize,
+    /// Prior attempts of this run that were interrupted before completing
+    /// (checkpointed runs only: the manifest counts every start, so a run
+    /// resumed after two crashes reports 2). Purely informational — an
+    /// interrupted-then-resumed run is *not* degraded, so this field does
+    /// not affect [`RunHealth::completed_degraded`].
+    pub interruptions: usize,
 }
 
 impl RunHealth {
-    /// True when nothing was skipped, rejected or recovered.
+    /// True when nothing was skipped, rejected or recovered and the run was
+    /// never interrupted.
     pub fn is_clean(&self) -> bool {
         *self == RunHealth::default()
+    }
+
+    /// True when the run completed but skipped, rejected or recovered some
+    /// work (quarantined lines, limit rejections, poison records/sessions,
+    /// degraded shards) — the condition behind `sqlog-clean`'s exit code 2.
+    /// Interruptions alone do not count: a resumed run that lost nothing is
+    /// a full-fidelity result.
+    pub fn completed_degraded(&self) -> bool {
+        self.quarantined_lines > 0
+            || self.invalid_utf8_lines > 0
+            || self.limit_rejected > 0
+            || self.poison_records > 0
+            || self.poison_sessions > 0
+            || self.degraded_shards > 0
     }
 }
 

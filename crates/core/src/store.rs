@@ -207,6 +207,63 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_lock_with_parse_cache_enabled_parses_identically() {
+        // The parse cache memoizes per worker but every cache miss still
+        // goes through the store; a lock poisoned by an earlier panic must
+        // not change what a cache-enabled parse produces.
+        use crate::parse_step::{parse_view_traced, ParseOptions};
+        use sqlog_log::{LogEntry, LogView, QueryLog, Timestamp};
+
+        let log = QueryLog::from_entries(
+            (0..48u64)
+                .map(|i| {
+                    LogEntry::minimal(
+                        i,
+                        format!("SELECT name FROM Employee WHERE empId = {}", i % 6),
+                        Timestamp::from_secs(i as i64),
+                    )
+                    .with_user("u1")
+                })
+                .collect(),
+        );
+        let view = LogView::identity(&log);
+        let options = ParseOptions {
+            cache: true,
+            ..ParseOptions::default()
+        };
+
+        // Reference: a healthy store.
+        let healthy = TemplateStore::new();
+        let expected = parse_view_traced(&view, &healthy, &options, 2, &Recorder::disabled(), None);
+
+        // Poison the lock (renumber's permutation assert fires while the
+        // write guard is held), then parse with the cache enabled.
+        let rec = Recorder::new();
+        let store = TemplateStore::with_recorder(rec.clone());
+        let poisoning = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.renumber(&[TemplateId(0)]);
+        }));
+        assert!(poisoning.is_err(), "renumber must reject a bad order");
+
+        let got = parse_view_traced(&view, &store, &options, 2, &rec, None);
+        assert!(got.cache.enabled, "cache must be on for this test");
+        assert!(
+            got.cache.hits > 0,
+            "workload repeats shapes; cache must engage"
+        );
+        assert_eq!(got.records.len(), expected.records.len());
+        for (a, b) in got.records.iter().zip(&expected.records) {
+            assert_eq!((a.entry_idx, a.template), (b.entry_idx, b.template));
+        }
+        assert_eq!(store.len(), healthy.len());
+        // The recovery is observable, not silent.
+        assert!(
+            rec.counters().get("store.lock_poison_recovered").copied() > Some(0),
+            "poison recovery must bump its counter"
+        );
+    }
+
+    #[test]
     fn concurrent_interning_is_consistent() {
         let store = TemplateStore::new();
         std::thread::scope(|s| {

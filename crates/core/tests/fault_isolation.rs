@@ -148,6 +148,7 @@ fn injected_faults_are_isolated_and_deterministic_across_thread_counts() {
             poison_records: 0,
             poison_sessions: 0,
             degraded_shards: 0,
+            interruptions: 0,
         }
     );
     assert!(clean_contains(&baseline, CMT_MARKER));
@@ -210,6 +211,7 @@ fn injected_faults_are_isolated_and_deterministic_across_thread_counts() {
                 poison_records: sc.poison_records,
                 poison_sessions: sc.poison_sessions,
                 degraded_shards: 1,
+                interruptions: 0,
             },
             "health counts, stage={}",
             sc.stage

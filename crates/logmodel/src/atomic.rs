@@ -1,0 +1,162 @@
+//! Atomic file writes: temp file + fsync + rename.
+//!
+//! A crashed run must never leave a truncated file at a destination path —
+//! readers either see the complete old contents, the complete new contents,
+//! or no file at all. The recipe is the classic one: write everything to
+//! `<path>.tmp` in the same directory, `fsync` the file, rename it over the
+//! destination, and (on Unix) `fsync` the directory so the rename itself
+//! survives a power cut. The checkpointed runner builds its torn-write
+//! detection on top of this, and every final artifact (clean log, removal
+//! log, quarantine sidecar, stats JSON, NDJSON trace) goes through it.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A file being written atomically: writes land in `<path>.tmp`, and only
+/// [`AtomicFile::commit`] makes them visible at `path`.
+///
+/// Creating the value opens the temp file immediately, so an unwritable
+/// destination fails fast — before any expensive work produces the bytes.
+/// Dropping without committing removes the temp file (best effort), so an
+/// abandoned write leaves nothing behind.
+pub struct AtomicFile {
+    path: PathBuf,
+    tmp_path: PathBuf,
+    writer: Option<BufWriter<File>>,
+}
+
+impl AtomicFile {
+    /// Opens `<path>.tmp` for writing. The destination is untouched until
+    /// [`AtomicFile::commit`].
+    pub fn create(path: impl AsRef<Path>) -> io::Result<AtomicFile> {
+        let path = path.as_ref().to_path_buf();
+        let mut tmp_os = path.as_os_str().to_owned();
+        tmp_os.push(".tmp");
+        let tmp_path = PathBuf::from(tmp_os);
+        let writer = BufWriter::new(File::create(&tmp_path)?);
+        Ok(AtomicFile {
+            path,
+            tmp_path,
+            writer: Some(writer),
+        })
+    }
+
+    /// The destination path this file will be committed to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes, fsyncs, and renames the temp file over the destination.
+    /// After this returns, the destination holds the complete contents.
+    pub fn commit(mut self) -> io::Result<()> {
+        let writer = self.writer.take().expect("commit consumes the writer");
+        let file = writer
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp_path, &self.path)?;
+        sync_parent_dir(&self.path);
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writer.as_mut().expect("write after commit").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.as_mut().expect("flush after commit").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            // Uncommitted: drop the buffered writer first, then remove the
+            // temp file so an abandoned write leaves no debris.
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// Fsyncs the parent directory of `path` so a just-committed rename is
+/// durable. Best effort: directory fsync is a Unix notion; elsewhere (and
+/// on filesystems that reject it) the rename alone is the best we can do.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Writes `bytes` to `path` atomically (temp file + fsync + rename).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let mut f = AtomicFile::create(path)?;
+    f.write_all(bytes)?;
+    f.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlog_atomic_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn commit_makes_contents_visible() {
+        let dir = scratch("commit");
+        let path = dir.join("out.txt");
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        assert!(!path.exists(), "destination must not exist before commit");
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        assert!(!dir.join("out.txt.tmp").exists(), "temp file must be gone");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_without_commit_leaves_nothing() {
+        let dir = scratch("drop");
+        let path = dir.join("out.txt");
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"partial").unwrap();
+        }
+        assert!(!path.exists());
+        assert!(!dir.join("out.txt.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_replaces_existing_file_completely() {
+        let dir = scratch("replace");
+        let path = dir.join("out.txt");
+        std::fs::write(&path, b"old contents, longer than the new ones").unwrap();
+        atomic_write(&path, b"new").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_destination_fails_at_create() {
+        let missing = Path::new("/definitely/not/a/dir/out.txt");
+        assert!(AtomicFile::create(missing).is_err());
+    }
+}

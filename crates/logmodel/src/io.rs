@@ -397,6 +397,15 @@ pub fn write_log_file(log: &QueryLog, path: impl AsRef<Path>) -> Result<(), IoFo
     write_log(log, std::fs::File::create(path)?)
 }
 
+/// Writes a log to a file path atomically (temp file + fsync + rename): a
+/// crash mid-write leaves the destination untouched instead of truncated.
+pub fn write_log_file_atomic(log: &QueryLog, path: impl AsRef<Path>) -> Result<(), IoFormatError> {
+    let mut f = crate::atomic::AtomicFile::create(path)?;
+    write_log(log, &mut f)?;
+    f.commit()?;
+    Ok(())
+}
+
 /// Reads a log from a file path.
 pub fn read_log_file(path: impl AsRef<Path>) -> Result<QueryLog, IoFormatError> {
     read_log(std::fs::File::open(path)?)

@@ -12,16 +12,18 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod entry;
 pub mod io;
 pub mod log;
 pub mod time;
 pub mod view;
 
+pub use atomic::{atomic_write, AtomicFile};
 pub use entry::{GroundTruth, IntentKind, LogEntry};
 pub use io::{
-    read_log, read_log_file, read_log_with, write_log, write_log_file, IngestPolicy, IngestStats,
-    IoFormatError, LogReader,
+    read_log, read_log_file, read_log_with, write_log, write_log_file, write_log_file_atomic,
+    IngestPolicy, IngestStats, IoFormatError, LogReader,
 };
 pub use log::QueryLog;
 pub use time::{Timestamp, TimestampParseError};

@@ -7,6 +7,7 @@
 //! ```text
 //! sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]
 //!             [--schema SCHEMA.txt]
+//!             [--run-dir DIR | --resume DIR]
 //!             [--threshold-ms N | --threshold-unrestricted]
 //!             [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]
 //!             [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]
@@ -23,6 +24,27 @@
 //! them verbatim to `--quarantine PATH` when given), reports their counts
 //! in the run-health section, and always runs to completion.
 //!
+//! `--run-dir DIR` makes the run **crash-safe**: every pipeline stage
+//! checkpoints its output into `DIR/checkpoints/` atomically as it
+//! completes, and `DIR/MANIFEST.json` records the configuration
+//! fingerprint and input hash. After a crash (power loss, OOM kill,
+//! SIGKILL), `--resume DIR` picks the run up at the last completed stage
+//! and produces output byte-identical to an uninterrupted run — at any
+//! `--parallelism`, parse cache on or off. A resume refuses to start if
+//! the input file or the semantic configuration changed; a corrupted or
+//! torn checkpoint is reported and its stage simply re-runs. In lenient
+//! mode the quarantine sidecar defaults to `DIR/quarantine.tsv`.
+//!
+//! All final artifacts (clean log, removal log, quarantine sidecar, trace
+//! events, stats JSON) are written atomically — temp file, fsync, rename —
+//! so a crash mid-write never leaves a torn file at the destination.
+//!
+//! Exit codes: **0** = clean success; **2** = the run completed but
+//! degraded (quarantined lines, limit-rejected statements, poison records
+//! or sessions, recovered shards — see the run-health section); **1** =
+//! fatal error (bad usage, unreadable input, refused resume). A resumed
+//! run that lost nothing exits 0: interruptions alone are not degradation.
+//!
 //! The template-aware parse cache is on by default: repeated query shapes
 //! skip re-parsing, with byte-identical output either way (the cache
 //! hit-rate is reported in the statistics). `--no-parse-cache` disables it,
@@ -37,12 +59,16 @@
 //! byte-identical.
 
 use sqlog::catalog::{parse_schema, skyserver_catalog, Catalog};
+use sqlog::core::checkpoint::{run_checkpointed, CheckpointOptions, RunDir};
 use sqlog::core::{
     render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig, RunReport,
 };
-use sqlog::logmodel::{read_log_with, write_log_file, IngestPolicy, IngestStats, QueryLog};
+use sqlog::logmodel::{
+    read_log_with, write_log_file_atomic, AtomicFile, IngestPolicy, IngestStats, QueryLog,
+};
 use sqlog::obs::{ObsReport, Recorder};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
@@ -51,6 +77,8 @@ struct Args {
     output: Option<String>,
     removal: Option<String>,
     schema: Option<String>,
+    run_dir: Option<String>,
+    resume: Option<String>,
     config: PipelineConfig,
     top: usize,
     lenient: bool,
@@ -60,16 +88,22 @@ struct Args {
 }
 
 const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
-    [--schema SCHEMA.txt] [--threshold-ms N | --threshold-unrestricted]\n\
+    [--schema SCHEMA.txt] [--run-dir DIR | --resume DIR]\n\
+    [--threshold-ms N | --threshold-unrestricted]\n\
     [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]\n\
     [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]\n\
-    [--trace-events EVENTS.ndjson] [--stats-json STATS.json]";
+    [--trace-events EVENTS.ndjson] [--stats-json STATS.json]\n\
+\n\
+exit codes: 0 = clean success, 2 = completed but degraded (see run\n\
+health), 1 = fatal error";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
     let mut output = None;
     let mut removal = None;
     let mut schema = None;
+    let mut run_dir = None;
+    let mut resume = None;
     let mut config = PipelineConfig::default();
     let mut top = 15usize;
     let mut lenient = false;
@@ -86,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
             "--out" => output = Some(value("--out")?),
             "--removal" => removal = Some(value("--removal")?),
             "--schema" => schema = Some(value("--schema")?),
+            "--run-dir" => run_dir = Some(value("--run-dir")?),
+            "--resume" => resume = Some(value("--resume")?),
             "--threshold-ms" => {
                 config.duplicate_threshold_ms = Some(
                     value("--threshold-ms")?
@@ -122,11 +158,16 @@ fn parse_args() -> Result<Args, String> {
     if quarantine.is_some() && !lenient {
         return Err("--quarantine requires --lenient".to_string());
     }
+    if run_dir.is_some() && resume.is_some() {
+        return Err("--run-dir starts fresh and --resume continues; pick one".to_string());
+    }
     Ok(Args {
         input: input.ok_or("--in is required")?,
         output,
         removal,
         schema,
+        run_dir,
+        resume,
         config,
         top,
         lenient,
@@ -136,19 +177,17 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// Creates an observability sink file up front: an unwritable path must
-/// fail before the run, not after minutes of pipeline work.
-fn create_sink(path: Option<&str>) -> Result<Option<std::io::BufWriter<std::fs::File>>, String> {
-    path.map(|p| {
-        std::fs::File::create(p)
-            .map(std::io::BufWriter::new)
-            .map_err(|e| format!("cannot create {p}: {e}"))
-    })
-    .transpose()
+/// Creates an observability sink up front as an atomic file: an unwritable
+/// path must fail before the run, not after minutes of pipeline work, and
+/// a crash mid-write must not leave a torn artifact at the destination.
+fn create_sink(path: Option<&str>) -> Result<Option<AtomicFile>, String> {
+    path.map(|p| AtomicFile::create(p).map_err(|e| format!("cannot create {p}: {e}")))
+        .transpose()
 }
 
 /// Reads the input log under the selected ingestion policy, writing skipped
-/// lines to the quarantine sidecar when one was requested.
+/// lines to the quarantine sidecar when one was requested. (The
+/// checkpointed path does its own ingestion inside the run directory.)
 fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
     let file =
         std::fs::File::open(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
@@ -158,9 +197,9 @@ fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
         IngestPolicy::Strict
     };
     let mut sidecar = match &args.quarantine {
-        Some(path) => Some(std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-        )),
+        Some(path) => {
+            Some(AtomicFile::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        }
         None => None,
     };
     let (log, stats) = read_log_with(
@@ -169,8 +208,8 @@ fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
         sidecar.as_mut().map(|w| w as &mut dyn std::io::Write),
     )
     .map_err(|e| format!("cannot read {}: {e}", args.input))?;
-    if let Some(w) = &mut sidecar {
-        w.flush()
+    if let Some(s) = sidecar {
+        s.commit()
             .map_err(|e| format!("cannot write quarantine sidecar: {e}"))?;
     }
     Ok((log, stats))
@@ -184,7 +223,7 @@ fn main() {
                 eprintln!("error: {msg}");
             }
             eprintln!("{USAGE}");
-            exit(if msg.is_empty() { 0 } else { 2 });
+            exit(if msg.is_empty() { 0 } else { 1 });
         }
     };
 
@@ -207,42 +246,8 @@ fn main() {
     };
     args.config.recorder = rec.clone();
 
-    let t_ingest = Instant::now();
-    let (log, ingest_stats) = {
-        let _span = rec.span("ingest");
-        match ingest(&args) {
-            Ok(r) => r,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                exit(1);
-            }
-        }
-    };
-    let ingest_ms = t_ingest.elapsed().as_millis() as u64;
-    eprintln!("read {} entries from {}", log.len(), args.input);
-    if ingest_stats.quarantined > 0 {
-        let msg = format!(
-            "quarantined {} unreadable lines ({} malformed, {} invalid UTF-8){}",
-            ingest_stats.quarantined,
-            ingest_stats.malformed,
-            ingest_stats.invalid_utf8,
-            args.quarantine
-                .as_deref()
-                .map(|p| format!(", copied to {p}"))
-                .unwrap_or_default()
-        );
-        eprintln!("{msg}");
-        // Machine consumers of the trace must not need to scrape stderr.
-        rec.warning(msg);
-        rec.counter("ingest.quarantined_lines", ingest_stats.quarantined as u64);
-        rec.counter(
-            "ingest.invalid_utf8_lines",
-            ingest_stats.invalid_utf8 as u64,
-        );
-    }
-    rec.counter("ingest.entries", log.len() as u64);
-
-    // A user-supplied schema replaces the built-in SkyServer-like one.
+    // A user-supplied schema replaces the built-in SkyServer-like one. The
+    // catalog is needed up front: the run-directory manifest fingerprints it.
     let catalog: Catalog = match &args.schema {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
@@ -262,11 +267,120 @@ fn main() {
         }
         None => skyserver_catalog(),
     };
-    let mut result = Pipeline::new(&catalog).with_config(args.config).run(&log);
-    result.stats.run_health.quarantined_lines = ingest_stats.quarantined;
-    result.stats.run_health.invalid_utf8_lines = ingest_stats.invalid_utf8;
-    result.stats.timings.ingest_ms = ingest_ms;
-    result.stats.timings.total_ms += ingest_ms;
+
+    let run_dir = match (&args.run_dir, &args.resume) {
+        (Some(path), None) => match RunDir::create(path) {
+            Ok(d) => Some((d, false)),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                exit(1);
+            }
+        },
+        (None, Some(path)) => match RunDir::open(path) {
+            Ok(d) => Some((d, true)),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                exit(1);
+            }
+        },
+        _ => None,
+    };
+
+    let mut result = match &run_dir {
+        // --- crash-safe path: checkpoint every stage into the run dir ---
+        Some((dir, resume)) => {
+            let policy = if args.lenient {
+                IngestPolicy::Lenient
+            } else {
+                IngestPolicy::Strict
+            };
+            let opts = CheckpointOptions {
+                input: PathBuf::from(&args.input),
+                policy,
+                quarantine: args
+                    .quarantine
+                    .as_ref()
+                    .map(PathBuf::from)
+                    .or_else(|| args.lenient.then(|| dir.quarantine_path())),
+                resume: *resume,
+                stop_after: None,
+            };
+            let pipeline = Pipeline::new(&catalog).with_config(args.config.clone());
+            let outcome = match run_checkpointed(&pipeline, dir, &opts) {
+                Ok(Some(o)) => o,
+                Ok(None) => unreachable!("no stop_after requested"),
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    exit(1);
+                }
+            };
+            eprintln!(
+                "read {} entries from {}",
+                outcome.ingest_stats.entries, args.input
+            );
+            if !outcome.loaded_stages.is_empty() {
+                eprintln!(
+                    "resumed from {}: loaded checkpoints for {}",
+                    dir.root().display(),
+                    outcome.loaded_stages.join(", ")
+                );
+            }
+            if outcome.ingest_stats.quarantined > 0 {
+                eprintln!(
+                    "quarantined {} unreadable lines ({} malformed, {} invalid UTF-8)",
+                    outcome.ingest_stats.quarantined,
+                    outcome.ingest_stats.malformed,
+                    outcome.ingest_stats.invalid_utf8
+                );
+            }
+            rec.counter("ingest.entries", outcome.ingest_stats.entries as u64);
+            outcome.result
+        }
+        // --- plain in-memory path (the seed behavior) ---
+        None => {
+            let t_ingest = Instant::now();
+            let (log, ingest_stats) = {
+                let _span = rec.span("ingest");
+                match ingest(&args) {
+                    Ok(r) => r,
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        exit(1);
+                    }
+                }
+            };
+            let ingest_ms = t_ingest.elapsed().as_millis() as u64;
+            eprintln!("read {} entries from {}", log.len(), args.input);
+            if ingest_stats.quarantined > 0 {
+                let msg = format!(
+                    "quarantined {} unreadable lines ({} malformed, {} invalid UTF-8){}",
+                    ingest_stats.quarantined,
+                    ingest_stats.malformed,
+                    ingest_stats.invalid_utf8,
+                    args.quarantine
+                        .as_deref()
+                        .map(|p| format!(", copied to {p}"))
+                        .unwrap_or_default()
+                );
+                eprintln!("{msg}");
+                // Machine consumers of the trace must not need to scrape stderr.
+                rec.warning(msg);
+                rec.counter("ingest.quarantined_lines", ingest_stats.quarantined as u64);
+                rec.counter(
+                    "ingest.invalid_utf8_lines",
+                    ingest_stats.invalid_utf8 as u64,
+                );
+            }
+            rec.counter("ingest.entries", log.len() as u64);
+
+            let mut result = Pipeline::new(&catalog).with_config(args.config).run(&log);
+            result.stats.run_health.quarantined_lines = ingest_stats.quarantined;
+            result.stats.run_health.invalid_utf8_lines = ingest_stats.invalid_utf8;
+            result.stats.timings.ingest_ms = ingest_ms;
+            result.stats.timings.total_ms += ingest_ms;
+            result
+        }
+    };
 
     // Render once under the report span to measure its cost, fold the
     // measurement into the timings, then render again so the printed (and
@@ -286,7 +400,7 @@ fn main() {
     println!("{}", render_pattern_table(&rows));
 
     if let Some(path) = &args.output {
-        if let Err(e) = write_log_file(&result.clean_log, path) {
+        if let Err(e) = write_log_file_atomic(&result.clean_log, path) {
             eprintln!("error: cannot write {path}: {e}");
             exit(1);
         }
@@ -296,7 +410,7 @@ fn main() {
         );
     }
     if let Some(path) = &args.removal {
-        if let Err(e) = write_log_file(&result.removal_log, path) {
+        if let Err(e) = write_log_file_atomic(&result.removal_log, path) {
             eprintln!("error: cannot write {path}: {e}");
             exit(1);
         }
@@ -306,8 +420,8 @@ fn main() {
         );
     }
 
-    if let Some(w) = &mut trace_sink {
-        if let Err(e) = rec.write_events(w).and_then(|()| w.flush()) {
+    if let Some(mut w) = trace_sink.take() {
+        if let Err(e) = rec.write_events(&mut w).and_then(|()| w.commit()) {
             eprintln!("error: cannot write trace events: {e}");
             exit(1);
         }
@@ -316,12 +430,12 @@ fn main() {
             args.trace_events.as_deref().unwrap_or_default()
         );
     }
-    if let Some(w) = &mut stats_sink {
+    if let Some(mut w) = stats_sink.take() {
         let report = RunReport {
             stats: result.stats.clone(),
             obs: ObsReport::from_recorder(&rec),
         };
-        if let Err(e) = writeln!(w, "{}", report.render()).and_then(|()| w.flush()) {
+        if let Err(e) = writeln!(w, "{}", report.render()).and_then(|()| w.commit()) {
             eprintln!("error: cannot write stats json: {e}");
             exit(1);
         }
@@ -329,5 +443,20 @@ fn main() {
             "wrote run report to {}",
             args.stats_json.as_deref().unwrap_or_default()
         );
+    }
+
+    // Every artifact is on disk: a checkpointed run is now complete, and a
+    // later --resume of this directory replays checkpoints without counting
+    // another interruption.
+    if let Some((dir, _)) = &run_dir {
+        if let Err(msg) = dir.mark_completed() {
+            eprintln!("error: {msg}");
+            exit(1);
+        }
+    }
+
+    if result.stats.run_health.completed_degraded() {
+        eprintln!("run completed degraded (see run health above); exiting 2");
+        exit(2);
     }
 }

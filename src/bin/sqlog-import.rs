@@ -20,10 +20,9 @@
 //! `--trace-events PATH` records the import (an `import` span plus entry
 //! and skip counters) as NDJSON, in the same event schema as `sqlog-clean`.
 
-use sqlog::logmodel::{write_log_file, LogEntry, QueryLog, Timestamp};
+use sqlog::logmodel::{write_log_file_atomic, AtomicFile, LogEntry, QueryLog, Timestamp};
 use sqlog::obs::Recorder;
 use std::io::BufRead;
-use std::io::Write as _;
 use std::process::exit;
 
 const USAGE: &str = "usage: sqlog-import --in RAW.log --out LOG.tsv [--sep CHAR] [--no-user]\n\
@@ -40,7 +39,7 @@ fn main() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
                 eprintln!("error: {name} needs a value\n{USAGE}");
-                exit(2);
+                exit(1);
             })
         };
         match arg.as_str() {
@@ -58,23 +57,21 @@ fn main() {
             }
             other => {
                 eprintln!("error: unknown option {other}\n{USAGE}");
-                exit(2);
+                exit(1);
             }
         }
     }
     let (Some(input), Some(output)) = (input, output) else {
         eprintln!("error: --in and --out are required\n{USAGE}");
-        exit(2);
+        exit(1);
     };
 
     // Open the trace sink before the import so a bad path fails fast.
     let mut trace_sink = trace_events.as_deref().map(|p| {
-        std::fs::File::create(p)
-            .map(std::io::BufWriter::new)
-            .unwrap_or_else(|e| {
-                eprintln!("error: cannot create {p}: {e}");
-                exit(1);
-            })
+        AtomicFile::create(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {p}: {e}");
+            exit(1);
+        })
     });
     let rec = if trace_sink.is_some() {
         Recorder::new()
@@ -132,7 +129,7 @@ fn main() {
     for (i, e) in log.entries.iter_mut().enumerate() {
         e.id = i as u64;
     }
-    if let Err(e) = write_log_file(&log, &output) {
+    if let Err(e) = write_log_file_atomic(&log, &output) {
         eprintln!("error: cannot write {output}: {e}");
         exit(1);
     }
@@ -147,8 +144,8 @@ fn main() {
         rec.warning(format!("{skipped} unparsable input lines were skipped"));
     }
     drop(import_span);
-    if let Some(w) = &mut trace_sink {
-        if let Err(e) = rec.write_events(w).and_then(|()| w.flush()) {
+    if let Some(mut w) = trace_sink.take() {
+        if let Err(e) = rec.write_events(&mut w).and_then(|()| w.commit()) {
             eprintln!("error: cannot write trace events: {e}");
             exit(1);
         }

@@ -1,9 +1,11 @@
 //! `sqlog-clean` ingestion policies, end to end through the real binary.
 //!
 //! A corrupted input file (structural damage, invalid UTF-8, a depth-bomb
-//! statement) must abort a strict run with a non-zero exit, while
-//! `--lenient` runs to completion: exit 0, bad lines copied verbatim to the
-//! `--quarantine` sidecar, and the run-health section reporting every count.
+//! statement) must abort a strict run with exit 1, while `--lenient` runs
+//! to completion: bad lines copied verbatim to the `--quarantine` sidecar,
+//! the run-health section reporting every count, and exit 2 — the
+//! "completed but degraded" code. A fault-free run exits 0. These three
+//! exit codes are a documented contract, pinned here.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -62,9 +64,10 @@ fn strict_mode_aborts_on_corrupted_input() {
         .args(["--in", input.to_str().unwrap()])
         .output()
         .expect("run sqlog-clean");
-    assert!(
-        !out.status.success(),
-        "strict run must fail on a corrupted log"
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "strict run must exit 1 (fatal) on a corrupted log"
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("malformed log line 2"), "stderr: {stderr}");
@@ -92,7 +95,11 @@ fn lenient_mode_runs_to_completion_with_quarantine_and_health_report() {
         .expect("run sqlog-clean");
     let stderr = String::from_utf8_lossy(&out.stderr);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "lenient run must exit 0\n{stderr}");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a lenient run that quarantined lines completed degraded: exit 2\n{stderr}"
+    );
 
     // The sidecar holds exactly the two unreadable lines, verbatim.
     let mut expected = Vec::new();
@@ -128,10 +135,33 @@ fn quarantine_without_lenient_is_rejected() {
         .args(["--in", "whatever.tsv", "--quarantine", "bad.tsv"])
         .output()
         .expect("run sqlog-clean");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(1), "usage errors are fatal: exit 1");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("--quarantine requires --lenient"),
         "{stderr}"
     );
+}
+
+#[test]
+fn healthy_run_exits_zero_and_help_exits_zero() {
+    let scratch = Scratch::new("healthy");
+    let input = scratch.path("ok.tsv");
+    std::fs::write(
+        &input,
+        b"0\t0\tu1\t\t\t\tSELECT name FROM Employee WHERE empId = 8\n\
+          1\t1000\tu1\t\t\t\tSELECT name FROM Employee WHERE empId = 1\n",
+    )
+    .expect("write fixture");
+
+    let out = Command::new(BIN)
+        .args(["--in", input.to_str().unwrap()])
+        .output()
+        .expect("run sqlog-clean");
+    assert_eq!(out.status.code(), Some(0), "clean run exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean (no faults)"), "stdout: {stdout}");
+
+    let help = Command::new(BIN).args(["--help"]).output().expect("help");
+    assert_eq!(help.status.code(), Some(0), "--help exits 0");
 }
