@@ -8,26 +8,30 @@
 //!
 //! ```text
 //! sqlog-conform [--seed N] [--cases N] [--oracle] [--db-rows N]
-//!               [--json REPORT.json] [--quiet]
+//!               [--json REPORT.json] [--ledger DIR] [--quiet]
 //! ```
 //!
 //! Exit status 0 iff every enabled check passed. `--json` writes the
 //! machine-readable report (schema 1, including the harness's `sqlog-obs`
-//! counters); `-` writes it to stdout.
+//! counters); `-` writes it to stdout. `--ledger DIR` appends the same
+//! report (kind `"conform"`) to a run-ledger directory, giving nightly
+//! conformance runs a durable history that `sqlog-report` can inspect.
 
 use sqlog_conformance::{run_conformance, ConformanceConfig};
-use sqlog_obs::{Json, Recorder};
+use sqlog_obs::{Json, Ledger, LedgerEntry, MachineInfo, Recorder, LEDGER_SCHEMA};
 use std::io::Write as _;
 use std::process::exit;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 struct Args {
     cfg: ConformanceConfig,
     json: Option<String>,
+    ledger: Option<String>,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: sqlog-conform [--seed N] [--cases N] [--oracle] [--db-rows N]\n\
-    [--json REPORT.json] [--quiet]";
+    [--json REPORT.json] [--ledger DIR] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut cfg = ConformanceConfig {
@@ -36,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         ..ConformanceConfig::default()
     };
     let mut json = None;
+    let mut ledger = None;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,12 +65,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --db-rows: {e}"))?;
             }
             "--json" => json = Some(value("--json")?),
+            "--ledger" => ledger = Some(value("--ledger")?),
             "--quiet" => quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
     }
-    Ok(Args { cfg, json, quiet })
+    Ok(Args {
+        cfg,
+        json,
+        ledger,
+        quiet,
+    })
 }
 
 fn main() {
@@ -93,11 +104,20 @@ fn main() {
         },
     };
 
+    // Same fail-fast treatment for the ledger directory.
+    let ledger = args.ledger.as_deref().map(|dir| match Ledger::open(dir) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot open ledger {dir}: {e}");
+            exit(2);
+        }
+    });
+
     let report = run_conformance(&args.cfg);
 
-    if args.json.is_some() {
-        // Attach the recorder's counters so CI artifacts carry the harness
-        // internals alongside the verdict.
+    // Attach the recorder's counters so CI artifacts carry the harness
+    // internals alongside the verdict.
+    let report_json = {
         let mut j = report.to_json();
         let counters = Json::Obj(
             args.cfg
@@ -110,7 +130,11 @@ fn main() {
         if let Json::Obj(fields) = &mut j {
             fields.push(("counters".to_string(), counters));
         }
-        let rendered = j.render();
+        j
+    };
+
+    if args.json.is_some() {
+        let rendered = report_json.render();
         match &mut sink {
             Some(f) => {
                 if let Err(e) = f.write_all(rendered.as_bytes()).and_then(|()| f.flush()) {
@@ -119,6 +143,34 @@ fn main() {
                 }
             }
             None => println!("{rendered}"),
+        }
+    }
+
+    if let Some(ledger) = &ledger {
+        let entry = LedgerEntry {
+            schema: LEDGER_SCHEMA,
+            kind: "conform".to_string(),
+            created_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            // Seeded generation has no input file; the seed stands in for
+            // the configuration identity.
+            config_fingerprint: args.cfg.seed,
+            input_bytes: 0,
+            input_fnv: 0,
+            machine: MachineInfo::capture(),
+            report: report_json.clone(),
+        };
+        match ledger.append(&entry) {
+            Ok(path) => eprintln!("appended run ledger entry {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "error: cannot append to ledger {}: {e}",
+                    ledger.dir().display()
+                );
+                exit(2);
+            }
         }
     }
 

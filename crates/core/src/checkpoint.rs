@@ -114,6 +114,20 @@ impl Stage {
     pub fn from_name(name: &str) -> Option<Stage> {
         Stage::ALL.into_iter().find(|s| s.name() == name)
     }
+
+    /// The per-stage checkpoint-payload byte counter (recorder counters
+    /// are keyed by `&'static str`, hence the explicit map).
+    pub fn bytes_counter(self) -> &'static str {
+        match self {
+            Stage::Ingest => "checkpoint.bytes.ingest",
+            Stage::Dedup => "checkpoint.bytes.dedup",
+            Stage::Parse => "checkpoint.bytes.parse",
+            Stage::Sessions => "checkpoint.bytes.sessions",
+            Stage::Mine => "checkpoint.bytes.mine",
+            Stage::Detect => "checkpoint.bytes.detect",
+            Stage::Solve => "checkpoint.bytes.solve",
+        }
+    }
 }
 
 impl std::fmt::Display for Stage {
@@ -1232,6 +1246,7 @@ fn write_checkpoint(
     f.commit().map_err(err)?;
     rec.counter("checkpoint.writes", 1);
     rec.counter("checkpoint.bytes_written", total);
+    rec.counter(stage.bytes_counter(), total);
     rec.histogram("checkpoint.write_us", t.elapsed().as_micros() as u64);
     Ok(())
 }
@@ -1333,6 +1348,7 @@ impl Progress<'_> {
     /// Records a decoded (= skipped) stage.
     fn skipped(&mut self, stage: Stage) {
         self.rec.counter("resume.skip_stage", 1);
+        self.rec.stage_skipped(stage.name());
         self.loaded_stages.push(stage.name());
     }
 
@@ -1486,6 +1502,7 @@ pub fn run_checkpointed(
             None => {
                 let t = Instant::now();
                 let v = {
+                    rec.stage_begin("ingest", 0);
                     let _span = rec.span("ingest");
                     ingest_input(opts)?
                 };

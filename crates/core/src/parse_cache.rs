@@ -121,6 +121,27 @@ pub(crate) struct ShapeCache {
 }
 
 impl ShapeCache {
+    /// Approximate bytes held by this worker's cache: the hash-map index
+    /// at capacity, the boxed SELECT entries with their heap-owned parts,
+    /// and the literal scratch buffer. Memory accounting only — not an
+    /// allocator-exact figure.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.map.capacity() * (size_of::<RawKey>() + size_of::<CacheEntry>());
+        for e in self.map.values() {
+            if let CacheEntry::Select(s) = e {
+                bytes += size_of::<SelectEntry>();
+                bytes += s.primary_table.as_deref().map_or(0, str::len);
+                bytes += s.profile.conjuncts.capacity() * size_of::<PredicateKind>();
+                bytes += s
+                    .substs
+                    .as_ref()
+                    .map_or(0, |v| v.capacity() * size_of::<Subst>());
+            }
+        }
+        bytes + self.scratch.capacity() * size_of::<RawLiteral>()
+    }
+
     /// Parses one statement through the cache. `statement_of` resolves an
     /// entry index back to its text (for the lazy sentinel probe);
     /// `crosscheck` is the per-worker budget of debug-build hit

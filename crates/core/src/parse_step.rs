@@ -322,6 +322,13 @@ pub fn parse_view_traced(
                     )
                 })
                 .collect::<Vec<_>>();
+            if rec.is_enabled() {
+                // Shard caches die at the join; account their footprint
+                // here, while they still exist (counters sum across shards).
+                if let Some(c) = &cache {
+                    rec.counter("mem.parse_cache_bytes", c.approx_bytes() as u64);
+                }
+            }
             (outcomes, cache.map(tally).unwrap_or_default())
         },
         |r| {
@@ -351,6 +358,11 @@ pub fn parse_view_traced(
                     .unwrap_or(Outcome::Poison)
                 })
                 .collect::<Vec<_>>();
+            if rec.is_enabled() {
+                if let Some(c) = &cache {
+                    rec.counter("mem.parse_cache_bytes", c.approx_bytes() as u64);
+                }
+            }
             (outcomes, cache.map(tally).unwrap_or_default())
         },
     );
@@ -390,6 +402,10 @@ pub fn parse_view_traced(
         }
     }
     canonicalize_templates(store, preexisting, &mut records);
+    if rec.is_enabled() {
+        // O(#templates) walk — enabled runs only.
+        rec.counter("mem.template_store_bytes", store.approx_bytes() as u64);
+    }
     rec.counter("parse.total", stats.total as u64);
     rec.counter("parse.selects", stats.selects as u64);
     rec.counter("parse.errors", stats.errors as u64);

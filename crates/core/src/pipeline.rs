@@ -187,6 +187,9 @@ impl<'a> Pipeline<'a> {
     /// Stage operator 0: order by time. A sorted *view* (index permutation)
     /// over the original entries — the log itself is never cloned.
     pub fn op_sort<'l>(&self, original: &'l QueryLog) -> LogView<'l> {
+        self.config
+            .recorder
+            .stage_begin("sort", original.len() as u64);
         let _span = self.config.recorder.span("sort");
         LogView::sorted_by_time(original)
     }
@@ -194,6 +197,7 @@ impl<'a> Pipeline<'a> {
     /// Stage operator 1: delete duplicates (§5.2), sharded by user.
     pub fn op_dedup<'l>(&self, input: &LogView<'l>) -> (LogView<'l>, DedupStats) {
         let rec = &self.config.recorder;
+        rec.stage_begin("dedup", input.len() as u64);
         let span = rec.span("dedup");
         dedup_view_traced(
             input,
@@ -210,6 +214,7 @@ impl<'a> Pipeline<'a> {
     /// per statement. `store` must be empty (a fresh store per run).
     pub fn op_parse(&self, pre_clean: &LogView<'_>, store: &TemplateStore) -> ParsedLog {
         let rec = &self.config.recorder;
+        rec.stage_begin("parse", pre_clean.len() as u64);
         let span = rec.span("parse");
         parse_view_traced(
             pre_clean,
@@ -224,6 +229,7 @@ impl<'a> Pipeline<'a> {
     /// Stage operator 3a: per-user sessions (§4.1, Def. 7).
     pub fn op_sessions(&self, pre_clean: &LogView<'_>, records: &[ParsedRecord]) -> Sessions {
         let rec = &self.config.recorder;
+        rec.stage_begin("sessions", records.len() as u64);
         let span = rec.span("sessions");
         build_sessions_view_traced(
             pre_clean,
@@ -238,6 +244,16 @@ impl<'a> Pipeline<'a> {
     /// Stage operator 3b: pattern mining (Defs. 8–10).
     pub fn op_mine(&self, sessions: &Sessions, records: &[ParsedRecord]) -> MinedPatterns {
         let rec = &self.config.recorder;
+        if rec.is_enabled() {
+            // Shards report queries as their work unit; sum the same unit
+            // for the stage total (enabled-only: this walk is O(#sessions)).
+            let total: u64 = sessions
+                .sessions
+                .iter()
+                .map(|s| s.records.len() as u64)
+                .sum();
+            rec.stage_begin("mine", total);
+        }
         let span = rec.span("mine");
         mine_patterns_traced(
             sessions,
@@ -262,6 +278,14 @@ impl<'a> Pipeline<'a> {
     ) -> DetectOutput {
         let threads = resolve_threads(self.config.parallelism);
         let rec = &self.config.recorder;
+        if rec.is_enabled() {
+            let total: u64 = sessions
+                .sessions
+                .iter()
+                .map(|s| s.records.len() as u64)
+                .sum();
+            rec.stage_begin("detect", total);
+        }
         let detect_span = rec.span("detect");
         let detect_span_id = detect_span.id();
         let detect_shard = |sess: &[crate::mine::Session]| {
@@ -361,6 +385,9 @@ impl<'a> Pipeline<'a> {
             config: &self.config,
         };
         let solvers = self.extensions.solver_set();
+        self.config
+            .recorder
+            .stage_begin("solve", detected.instances.len() as u64);
         let _span = self.config.recorder.span("solve");
         apply_solutions(&ctx, &detected.instances, &solvers)
     }

@@ -139,21 +139,26 @@ where
         ranges,
         move |r| {
             let shard = starts.binary_search(&r.start).unwrap_or(0) as u64;
+            let items = items_of(&r);
             let mut span = rec.span_in(trace.parent, trace.span_name);
             span.field("shard", shard);
-            span.field("items", items_of(&r));
+            span.field("items", items);
             let t = Instant::now();
             let out = work(r);
             rec.histogram(trace.hist_name, t.elapsed().as_micros() as u64);
+            rec.stage_add_items(items);
             out
         },
         move |r| {
             let shard = starts.binary_search(&r.start).unwrap_or(0) as u64;
+            let items = items_of(&r);
             let mut span = rec.span_in(trace.parent, trace.span_name);
             span.field("shard", shard);
-            span.field("items", items_of(&r));
+            span.field("items", items);
             span.field("degraded", 1u64);
-            recover(r)
+            let out = recover(r);
+            rec.stage_add_items(items);
+            out
         },
     )
 }

@@ -131,6 +131,17 @@ impl TemplateStore {
         inner.templates = templates;
     }
 
+    /// Approximate bytes held by the store: interned templates (heap
+    /// strings included) plus the fingerprint index. Memory accounting
+    /// only — not an allocator-exact figure.
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.read();
+        let templates: usize = inner.templates.iter().map(|t| t.approx_bytes()).sum();
+        let index = inner.by_fp.capacity()
+            * (std::mem::size_of::<Fingerprint>() + std::mem::size_of::<TemplateId>());
+        templates + index
+    }
+
     /// Number of interned templates.
     pub fn len(&self) -> usize {
         self.read().templates.len()

@@ -95,8 +95,60 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`), `0` when empty.
+    ///
+    /// The estimator is deterministic and documented so reports can pin
+    /// exact values: the target rank is `max(1, ceil(q * count))`; the
+    /// bucket holding that rank is found by cumulative count, and the
+    /// estimate interpolates linearly across the bucket's `[lo, hi]` value
+    /// range by the rank's position within the bucket
+    /// (`lo + (hi - lo) * within / bucket_count`). The result is clamped to
+    /// the recorded `[min, max]`, so `quantile(0.0) >= min` and
+    /// `quantile(1.0) == max` always hold.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let within = rank - cum; // 1..=c
+                let est = lo as f64 + (hi - lo) as f64 * within as f64 / c as f64;
+                // Clamp into the observed range: the bucket bounds can
+                // overshoot what was actually recorded.
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max // unreachable while count == sum(buckets); safe fallback
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// JSON form: only non-empty buckets are listed, as `[bucket, count]`
-    /// pairs, keeping NDJSON lines short for sparse distributions.
+    /// pairs, keeping NDJSON lines short for sparse distributions. The
+    /// `p50`/`p95`/`p99` fields are derived ([`Histogram::quantile`]) —
+    /// [`Histogram::from_json`] ignores them and recomputes on demand, so
+    /// the round-trip stays exact.
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
             .buckets
@@ -110,6 +162,9 @@ impl Histogram {
             ("sum", Json::U64(self.sum)),
             ("min", Json::U64(if self.count == 0 { 0 } else { self.min })),
             ("max", Json::U64(self.max)),
+            ("p50", Json::U64(self.p50())),
+            ("p95", Json::U64(self.p95())),
+            ("p99", Json::U64(self.p99())),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -202,6 +257,63 @@ mod tests {
         assert_eq!(a.buckets[0], 1);
         assert_eq!(a.buckets[3], 1); // 5 ∈ [4, 8)
         assert_eq!(a.buckets[64], 1);
+    }
+
+    #[test]
+    fn quantiles_on_known_fills() {
+        // Empty histogram: every quantile is 0 by definition.
+        let empty = Histogram::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        // 1..=100: the documented estimator pins exact values.
+        // Bucket 6 covers [32, 63] and holds 32 observations, with 31
+        // observations below it; rank(0.5) = 50 lands 19 deep, so
+        // p50 = 32 + 31 * 19 / 32 = 50 (truncated).
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        // Ranks 95 and 99 land in bucket 7 ([64, 127]), whose interpolated
+        // estimates (118, 125) overshoot the recorded max and clamp to it.
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to rank 1 = min");
+        assert_eq!(h.quantile(1.0), 100, "q=1 is always the max");
+        assert_eq!(h.quantile(-3.0), 1, "q below range clamps to 0");
+        assert_eq!(h.quantile(7.0), 100, "q above range clamps to 1");
+
+        // A point mass: interpolation would undershoot, but clamping to the
+        // observed [min, max] makes every quantile exact.
+        let mut point = Histogram::new();
+        for _ in 0..1000 {
+            point.record(7);
+        }
+        assert_eq!(point.p50(), 7);
+        assert_eq!(point.p95(), 7);
+        assert_eq!(point.p99(), 7);
+
+        // All zeros stay in the zero bucket.
+        let mut zeros = Histogram::new();
+        for _ in 0..10 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.p50(), 0);
+        assert_eq!(zeros.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantiles_exported_in_json() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("p50").and_then(Json::as_u64), Some(50));
+        assert_eq!(j.get("p95").and_then(Json::as_u64), Some(100));
+        assert_eq!(j.get("p99").and_then(Json::as_u64), Some(100));
     }
 
     #[test]

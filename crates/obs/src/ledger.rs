@@ -1,0 +1,387 @@
+//! The run ledger: a durable, append-only history of run summaries.
+//!
+//! A ledger is a directory of small JSON files, one per run. Appending
+//! writes a uniquely named `run-…​.json` through `AtomicFile` (temp file +
+//! fsync + rename), so concurrent writers never clash — each run owns its
+//! filename (millisecond timestamp + pid + per-process counter) — and a
+//! crash mid-append leaves at most an orphaned `.tmp`, never a torn
+//! entry. Readers list the directory, sort by filename (chronological by
+//! construction), and *skip* anything unparseable with a warning instead
+//! of failing: a ledger survives partial damage the way a query log
+//! survives a bad line.
+//!
+//! Each entry is schema-versioned ([`LEDGER_SCHEMA`]) and carries enough
+//! identity to make cross-run comparison meaningful: the config
+//! fingerprint and input hash reuse the checkpoint manifest's
+//! fingerprinting, and [`MachineInfo`] pins where the numbers were
+//! measured. The run report itself is embedded as raw [`Json`] — this
+//! crate stays below `sqlog-core`, so it stores the report without
+//! knowing its shape; `sqlog-report` parses it back into a `RunReport`.
+
+use crate::json::Json;
+use sqlog_log::atomic::AtomicFile;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the ledger entry schema. Bump on breaking layout changes;
+/// readers reject entries with a different major version.
+pub const LEDGER_SCHEMA: u64 = 1;
+
+/// Where a ledger entry was produced: enough to explain why two runs of
+/// the same config and input still differ in wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available parallelism (0 when undeterminable).
+    pub cpus: u64,
+    /// Hostname, empty when undeterminable.
+    pub hostname: String,
+}
+
+impl MachineInfo {
+    /// Captures the current machine's identity.
+    pub fn capture() -> MachineInfo {
+        MachineInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(0),
+            hostname: hostname(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("os", Json::Str(self.os.clone())),
+            ("arch", Json::Str(self.arch.clone())),
+            ("cpus", Json::U64(self.cpus)),
+            ("hostname", Json::Str(self.hostname.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<MachineInfo, String> {
+        let str_of = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("ledger machine: missing {k}"))
+        };
+        Ok(MachineInfo {
+            os: str_of("os")?,
+            arch: str_of("arch")?,
+            cpus: v
+                .get("cpus")
+                .and_then(Json::as_u64)
+                .ok_or("ledger machine: missing cpus")?,
+            hostname: str_of("hostname")?,
+        })
+    }
+}
+
+/// Best-effort hostname: `$HOSTNAME` (set by most login shells), then the
+/// kernel's view on Linux, else empty.
+fn hostname() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.is_empty() {
+            return h;
+        }
+    }
+    #[cfg(target_os = "linux")]
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        return h.trim().to_string();
+    }
+    String::new()
+}
+
+/// One run's summary in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Entry schema version ([`LEDGER_SCHEMA`]).
+    pub schema: u64,
+    /// What produced this entry: `"clean"` or `"conform"`.
+    pub kind: String,
+    /// Wall-clock creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: u64,
+    /// Semantic-config fingerprint (same function as the checkpoint
+    /// manifest's), `0` when not applicable.
+    pub config_fingerprint: u64,
+    /// Input file length in bytes, `0` when not applicable.
+    pub input_bytes: u64,
+    /// FNV-1a 64 hash of the input file, `0` when not applicable.
+    pub input_fnv: u64,
+    /// Where the run executed.
+    pub machine: MachineInfo,
+    /// The run report (a `RunReport` for `clean`, the conformance summary
+    /// for `conform`), stored as raw JSON.
+    pub report: Json,
+}
+
+impl LedgerEntry {
+    /// Serializes the entry to its JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::U64(self.schema)),
+            ("kind", Json::Str(self.kind.clone())),
+            ("created_unix_ms", Json::U64(self.created_unix_ms)),
+            ("config_fingerprint", Json::U64(self.config_fingerprint)),
+            ("input_bytes", Json::U64(self.input_bytes)),
+            ("input_fnv", Json::U64(self.input_fnv)),
+            ("machine", self.machine.to_json()),
+            ("report", self.report.clone()),
+        ])
+    }
+
+    /// Rebuilds an entry from its [`LedgerEntry::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<LedgerEntry, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("ledger entry: missing schema")?;
+        if schema != LEDGER_SCHEMA {
+            return Err(format!(
+                "ledger entry: schema {schema} unsupported (reader understands {LEDGER_SCHEMA})"
+            ));
+        }
+        Ok(LedgerEntry {
+            schema,
+            kind: v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("ledger entry: missing kind")?
+                .to_string(),
+            created_unix_ms: v
+                .get("created_unix_ms")
+                .and_then(Json::as_u64)
+                .ok_or("ledger entry: missing created_unix_ms")?,
+            config_fingerprint: v
+                .get("config_fingerprint")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            input_bytes: v.get("input_bytes").and_then(Json::as_u64).unwrap_or(0),
+            input_fnv: v.get("input_fnv").and_then(Json::as_u64).unwrap_or(0),
+            machine: MachineInfo::from_json(
+                v.get("machine").ok_or("ledger entry: missing machine")?,
+            )?,
+            report: v
+                .get("report")
+                .cloned()
+                .ok_or("ledger entry: missing report")?,
+        })
+    }
+}
+
+/// Disambiguates appends from the same process in the same millisecond
+/// (shared across all `Ledger` values — the filename only needs process-
+/// wide uniqueness).
+static APPEND_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One readable entry paired with the file it came from.
+pub type ReadEntry = (PathBuf, LedgerEntry);
+
+/// A ledger directory handle.
+pub struct Ledger {
+    dir: PathBuf,
+}
+
+impl Ledger {
+    /// Opens (creating if necessary) the ledger directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Ledger> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Ledger { dir })
+    }
+
+    /// The ledger directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one entry, returning the path it was written to. The write
+    /// is atomic; concurrent appends (threads or processes) never collide
+    /// because the filename embeds timestamp, pid, and a process-local
+    /// counter.
+    pub fn append(&self, entry: &LedgerEntry) -> io::Result<PathBuf> {
+        let seq = APPEND_SEQ.fetch_add(1, Ordering::Relaxed);
+        // Zero-padded millis keep lexicographic order == chronological
+        // order until the year 33658.
+        let name = format!(
+            "run-{:015}-{:07}-{:05}.json",
+            entry.created_unix_ms,
+            std::process::id(),
+            seq
+        );
+        let path = self.dir.join(name);
+        let mut f = AtomicFile::create(&path)?;
+        f.write_all(entry.to_json().render().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.commit()?;
+        Ok(path)
+    }
+
+    /// Reads all entries, sorted by filename (chronological). Unreadable
+    /// or unparseable files — including an in-flight `.tmp` from a
+    /// concurrent writer or a crash — are skipped, with one warning string
+    /// per skip.
+    pub fn entries(&self) -> io::Result<(Vec<ReadEntry>, Vec<String>)> {
+        let mut names: Vec<PathBuf> = Vec::new();
+        for e in std::fs::read_dir(&self.dir)? {
+            let path = e?.path();
+            let is_entry = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("run-") && n.ends_with(".json"));
+            if is_entry {
+                names.push(path);
+            }
+        }
+        names.sort();
+        let mut out = Vec::with_capacity(names.len());
+        let mut warnings = Vec::new();
+        for path in names {
+            match read_entry(&path) {
+                Ok(entry) => out.push((path, entry)),
+                Err(why) => warnings.push(format!("ledger: skipping {}: {why}", path.display())),
+            }
+        }
+        Ok((out, warnings))
+    }
+
+    /// The newest entry, `None` on an empty (or fully corrupt) ledger.
+    pub fn latest(&self) -> io::Result<Option<ReadEntry>> {
+        let (mut entries, _) = self.entries()?;
+        Ok(entries.pop())
+    }
+}
+
+fn read_entry(path: &Path) -> Result<LedgerEntry, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v = Json::parse(text.trim()).map_err(|e| e.to_string())?;
+    LedgerEntry::from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlog_ledger_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn entry(kind: &str, ms: u64) -> LedgerEntry {
+        LedgerEntry {
+            schema: LEDGER_SCHEMA,
+            kind: kind.to_string(),
+            created_unix_ms: ms,
+            config_fingerprint: 0xfeed,
+            input_bytes: 123,
+            input_fnv: 0xbeef,
+            machine: MachineInfo::capture(),
+            report: Json::obj(vec![("ok", Json::Bool(true))]),
+        }
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let ledger = Ledger::open(scratch("roundtrip")).unwrap();
+        let a = entry("clean", 1000);
+        let b = entry("conform", 2000);
+        ledger.append(&a).unwrap();
+        ledger.append(&b).unwrap();
+        let (entries, warnings) = ledger.entries().unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1, a, "sorted chronologically");
+        assert_eq!(entries[1].1, b);
+        assert_eq!(ledger.latest().unwrap().unwrap().1, b);
+        std::fs::remove_dir_all(ledger.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_and_torn_files_are_skipped_with_warnings() {
+        let ledger = Ledger::open(scratch("torn")).unwrap();
+        ledger.append(&entry("clean", 1000)).unwrap();
+        // A torn record (truncated JSON) and an in-flight temp file, as a
+        // crash or concurrent writer would leave them.
+        std::fs::write(
+            ledger.dir().join("run-000000000002000-0000001-00000.json"),
+            "{\"sch",
+        )
+        .unwrap();
+        std::fs::write(
+            ledger
+                .dir()
+                .join("run-000000000003000-0000001-00000.json.tmp"),
+            "partial",
+        )
+        .unwrap();
+        // A future-schema entry is skipped, not misread.
+        std::fs::write(
+            ledger.dir().join("run-000000000004000-0000001-00000.json"),
+            "{\"schema\": 999}",
+        )
+        .unwrap();
+        let (entries, warnings) = ledger.entries().unwrap();
+        assert_eq!(entries.len(), 1, "{entries:?}");
+        assert_eq!(entries[0].1.created_unix_ms, 1000);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(
+            warnings.iter().all(|w| w.contains("skipping")),
+            "{warnings:?}"
+        );
+        std::fs::remove_dir_all(ledger.dir()).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_tear_entries() {
+        // Appenders in one process race only on the sequence counter (the
+        // filename embeds pid + a process-local AtomicU64), so N threads
+        // appending simultaneously must yield exactly N readable entries
+        // and zero warnings — while a reader polls mid-flight without ever
+        // observing a torn record.
+        let ledger = std::sync::Arc::new(Ledger::open(scratch("concurrent")).unwrap());
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = 16;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let ledger = std::sync::Arc::clone(&ledger);
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        ledger
+                            .append(&entry("clean", (w * PER_WRITER + i) as u64))
+                            .unwrap();
+                    }
+                });
+            }
+            let reader = std::sync::Arc::clone(&ledger);
+            s.spawn(move || {
+                for _ in 0..20 {
+                    let (_, warnings) = reader.entries().unwrap();
+                    assert!(warnings.is_empty(), "mid-flight read saw: {warnings:?}");
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let (entries, warnings) = ledger.entries().unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(entries.len(), WRITERS * PER_WRITER);
+        let mut stamps: Vec<u64> = entries.iter().map(|(_, e)| e.created_unix_ms).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), WRITERS * PER_WRITER, "every append surfaced");
+        std::fs::remove_dir_all(ledger.dir()).ok();
+    }
+
+    #[test]
+    fn entry_json_round_trip() {
+        let e = entry("clean", 42);
+        let parsed = LedgerEntry::from_json(&Json::parse(&e.to_json().render()).unwrap()).unwrap();
+        assert_eq!(parsed, e);
+    }
+}

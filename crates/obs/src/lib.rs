@@ -37,10 +37,15 @@
 
 pub mod histogram;
 pub mod json;
+pub mod ledger;
+pub mod mem;
 pub mod recorder;
 pub mod report;
 
 pub use histogram::{bucket_bounds, bucket_of, Histogram, BUCKETS};
 pub use json::{Json, JsonError};
-pub use recorder::{FieldValue, Recorder, SpanGuard, SpanId, SpanRecord, WarningRecord};
+pub use ledger::{Ledger, LedgerEntry, MachineInfo, LEDGER_SCHEMA};
+pub use recorder::{
+    FieldValue, ProgressSnapshot, Recorder, SpanGuard, SpanId, SpanRecord, WarningRecord,
+};
 pub use report::{ObsReport, ShardTiming, StageSummary};

@@ -98,10 +98,75 @@ struct State {
     warnings: Vec<WarningRecord>,
 }
 
+/// Live gauge state of the stage currently executing (see
+/// [`Recorder::stage_begin`]). Kept under its own small mutex so a
+/// progress poller never contends with span completions.
+#[derive(Default)]
+struct ProgressState {
+    stage: Option<&'static str>,
+    done: u64,
+    total: u64,
+    skipped: bool,
+    started_us: u64,
+    seq: u64,
+    /// Every stage declared skipped so far, in order. A poller can consume
+    /// this log at its own pace — fast stage transitions between two polls
+    /// would otherwise make skipped stages invisible.
+    skipped_log: Vec<&'static str>,
+}
+
+/// A point-in-time view of pipeline progress, for live `--progress`
+/// rendering. Unlike spans (recorded on *completion*), this reflects the
+/// stage that is executing right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Name of the current stage.
+    pub stage: &'static str,
+    /// Items processed so far (whatever unit the stage reports — log
+    /// entries, statements, sessions).
+    pub done: u64,
+    /// Expected total items, `0` when unknown.
+    pub total: u64,
+    /// The stage was restored from a checkpoint rather than executed.
+    pub skipped: bool,
+    /// When the stage began, microseconds since the recorder's epoch.
+    pub started_us: u64,
+    /// When this snapshot was taken, same clock.
+    pub now_us: u64,
+    /// Monotonic stage sequence number (increments per `stage_begin` /
+    /// `stage_skipped`), so pollers can detect stage transitions.
+    pub seq: u64,
+}
+
+impl ProgressSnapshot {
+    /// Items per second since the stage began, `0.0` before any time has
+    /// passed.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let elapsed_us = self.now_us.saturating_sub(self.started_us);
+        if elapsed_us == 0 {
+            0.0
+        } else {
+            self.done as f64 * 1_000_000.0 / elapsed_us as f64
+        }
+    }
+
+    /// Estimated seconds until the stage completes, `None` when the total
+    /// is unknown or nothing has been processed yet.
+    pub fn eta_secs(&self) -> Option<f64> {
+        if self.total == 0 || self.done == 0 {
+            return None;
+        }
+        let remaining = self.total.saturating_sub(self.done);
+        let rate = self.throughput_per_sec();
+        (rate > 0.0).then(|| remaining as f64 / rate)
+    }
+}
+
 struct Inner {
     epoch: Instant,
     next_span: AtomicU64,
     state: Mutex<State>,
+    progress: Mutex<ProgressState>,
 }
 
 thread_local! {
@@ -145,6 +210,7 @@ impl Recorder {
                 epoch: Instant::now(),
                 next_span: AtomicU64::new(1),
                 state: Mutex::new(State::default()),
+                progress: Mutex::new(ProgressState::default()),
             })),
         }
     }
@@ -251,6 +317,76 @@ impl Recorder {
             .entry(name)
             .or_default()
             .merge(local);
+    }
+
+    fn progress_state(inner: &Inner) -> std::sync::MutexGuard<'_, ProgressState> {
+        inner.progress.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Declares that a stage has started executing, with `total` expected
+    /// items (`0` when unknown). Called once per stage — not a hot path.
+    pub fn stage_begin(&self, stage: &'static str, total: u64) {
+        let Some(inner) = &self.inner else { return };
+        let now = Self::now_us(inner);
+        let mut p = Self::progress_state(inner);
+        p.stage = Some(stage);
+        p.done = 0;
+        p.total = total;
+        p.skipped = false;
+        p.started_us = now;
+        p.seq += 1;
+    }
+
+    /// Declares that a stage was restored from a checkpoint instead of
+    /// executed, so live renderers can show it as skipped.
+    pub fn stage_skipped(&self, stage: &'static str) {
+        let Some(inner) = &self.inner else { return };
+        let now = Self::now_us(inner);
+        let mut p = Self::progress_state(inner);
+        p.stage = Some(stage);
+        p.done = 0;
+        p.total = 0;
+        p.skipped = true;
+        p.started_us = now;
+        p.seq += 1;
+        p.skipped_log.push(stage);
+    }
+
+    /// Every stage declared skipped so far, in order. Empty when the
+    /// recorder is disabled. Bounded by the pipeline's stage count, so
+    /// cloning is cheap.
+    pub fn skipped_stages(&self) -> Vec<&'static str> {
+        match &self.inner {
+            Some(inner) => Self::progress_state(inner).skipped_log.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Adds `n` processed items to the current stage's gauge. Called per
+    /// shard completion (a handful of times per stage), not per record.
+    pub fn stage_add_items(&self, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        if n == 0 {
+            return;
+        }
+        Self::progress_state(inner).done += n;
+    }
+
+    /// Snapshot of the current stage's progress. `None` when the recorder
+    /// is disabled or no stage has begun yet.
+    pub fn progress(&self) -> Option<ProgressSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let now_us = Self::now_us(inner);
+        let p = Self::progress_state(inner);
+        Some(ProgressSnapshot {
+            stage: p.stage?,
+            done: p.done,
+            total: p.total,
+            skipped: p.skipped,
+            started_us: p.started_us,
+            now_us,
+            seq: p.seq,
+        })
     }
 
     /// Records a diagnostic warning into the event stream.
@@ -534,6 +670,67 @@ mod tests {
             Json::parse(lines[0]).unwrap().get("type").unwrap().as_str(),
             Some("meta")
         );
+    }
+
+    #[test]
+    fn progress_gauge_tracks_the_current_stage() {
+        let rec = Recorder::new();
+        assert_eq!(rec.progress(), None, "no stage begun yet");
+
+        rec.stage_begin("parse", 100);
+        rec.stage_add_items(30);
+        rec.stage_add_items(20);
+        rec.stage_add_items(0); // no-op
+        let p = rec.progress().unwrap();
+        assert_eq!(p.stage, "parse");
+        assert_eq!((p.done, p.total, p.skipped), (50, 100, false));
+        assert_eq!(p.seq, 1);
+        assert!(p.now_us >= p.started_us);
+
+        // A new stage resets the gauge and bumps the sequence.
+        rec.stage_begin("sessions", 0);
+        let p = rec.progress().unwrap();
+        assert_eq!((p.stage, p.done, p.total, p.seq), ("sessions", 0, 0, 2));
+        assert_eq!(p.eta_secs(), None, "unknown total has no ETA");
+
+        // Checkpoint-restored stages render as skipped, and stay visible
+        // in the skipped log even after later stages overwrite the gauge.
+        rec.stage_skipped("mine");
+        let p = rec.progress().unwrap();
+        assert_eq!((p.stage, p.skipped, p.seq), ("mine", true, 3));
+        rec.stage_skipped("detect");
+        rec.stage_begin("solve", 5);
+        assert_eq!(rec.skipped_stages(), vec!["mine", "detect"]);
+
+        // Disabled recorders expose nothing and every call is a no-op.
+        let off = Recorder::disabled();
+        off.stage_begin("parse", 10);
+        off.stage_add_items(5);
+        off.stage_skipped("sort");
+        assert_eq!(off.progress(), None);
+        assert!(off.skipped_stages().is_empty());
+    }
+
+    #[test]
+    fn progress_derived_rates() {
+        let snap = ProgressSnapshot {
+            stage: "parse",
+            done: 500,
+            total: 1000,
+            skipped: false,
+            started_us: 0,
+            now_us: 1_000_000, // 1 s elapsed
+            seq: 1,
+        };
+        assert!((snap.throughput_per_sec() - 500.0).abs() < 1e-9);
+        assert!((snap.eta_secs().unwrap() - 1.0).abs() < 1e-9);
+
+        let stalled = ProgressSnapshot {
+            done: 0,
+            ..snap.clone()
+        };
+        assert_eq!(stalled.throughput_per_sec(), 0.0);
+        assert_eq!(stalled.eta_secs(), None);
     }
 
     #[test]

@@ -72,6 +72,21 @@ impl QueryTemplate {
         }
     }
 
+    /// Approximate heap + inline footprint in bytes: the struct itself
+    /// plus each string's heap buffer. Good enough for memory accounting
+    /// (it ignores allocator slack and `String` over-capacity).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<QueryTemplate>()
+            + self.ssc.len()
+            + self.sfc.len()
+            + self.swc.len()
+            + self.sc.len()
+            + self.fc.len()
+            + self.wc.len()
+            + self.tail.len()
+            + self.full.len()
+    }
+
     /// Definition 5: two skeletons are equal iff their SFC, SWC and SSC are
     /// pairwise equal.
     pub fn skeleton_equal(&self, other: &QueryTemplate) -> bool {

@@ -55,22 +55,34 @@
 //! histogram/warning event stream as NDJSON, the second a machine-readable
 //! run report (statistics + aggregated observability). Both sinks are
 //! created *before* the run, so an unwritable path fails fast. Without
-//! either flag the recorder stays disabled and the pipeline output is
+//! any observability flag the recorder stays disabled and the pipeline
+//! output is byte-identical.
+//!
+//! `--progress` streams per-stage progress lines (items done, throughput,
+//! ETA; checkpoint-restored stages render as skipped) to stderr while the
+//! run executes. `--ledger DIR` appends a compact, schema-versioned run
+//! summary — the run report plus config fingerprint, input hash, and
+//! machine info — to a durable history directory that `sqlog-report` can
+//! inspect and diff. Either flag enables the recorder; outputs stay
 //! byte-identical.
 
 use sqlog::catalog::{parse_schema, skyserver_catalog, Catalog};
-use sqlog::core::checkpoint::{run_checkpointed, CheckpointOptions, RunDir};
+use sqlog::core::checkpoint::{
+    config_fingerprint, hash_file, run_checkpointed, CheckpointOptions, RunDir,
+};
 use sqlog::core::{
     render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig, RunReport,
 };
 use sqlog::logmodel::{
     read_log_with, write_log_file_atomic, AtomicFile, IngestPolicy, IngestStats, QueryLog,
 };
-use sqlog::obs::{ObsReport, Recorder};
+use sqlog::obs::{mem, Ledger, LedgerEntry, MachineInfo, ObsReport, Recorder, LEDGER_SCHEMA};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::exit;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 struct Args {
     input: String,
@@ -85,6 +97,8 @@ struct Args {
     quarantine: Option<String>,
     trace_events: Option<String>,
     stats_json: Option<String>,
+    progress: bool,
+    ledger: Option<String>,
 }
 
 const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--removal REMOVAL.tsv]\n\
@@ -93,6 +107,7 @@ const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--remova
     [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]\n\
     [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]\n\
     [--trace-events EVENTS.ndjson] [--stats-json STATS.json]\n\
+    [--progress] [--ledger DIR]\n\
 \n\
 exit codes: 0 = clean success, 2 = completed but degraded (see run\n\
 health), 1 = fatal error";
@@ -110,6 +125,8 @@ fn parse_args() -> Result<Args, String> {
     let mut quarantine = None;
     let mut trace_events = None;
     let mut stats_json = None;
+    let mut progress = false;
+    let mut ledger = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -151,6 +168,8 @@ fn parse_args() -> Result<Args, String> {
             "--quarantine" => quarantine = Some(value("--quarantine")?),
             "--trace-events" => trace_events = Some(value("--trace-events")?),
             "--stats-json" => stats_json = Some(value("--stats-json")?),
+            "--progress" => progress = true,
+            "--ledger" => ledger = Some(value("--ledger")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -174,6 +193,67 @@ fn parse_args() -> Result<Args, String> {
         quarantine,
         trace_events,
         stats_json,
+        progress,
+        ledger,
+    })
+}
+
+/// Formats one live progress line for the current stage.
+fn progress_line(p: &sqlog::obs::ProgressSnapshot) -> String {
+    let mut line = if p.total > 0 {
+        format!(
+            "progress: {:<8} {}/{} ({:.1}%)",
+            p.stage,
+            p.done,
+            p.total,
+            p.done as f64 * 100.0 / p.total as f64
+        )
+    } else {
+        format!("progress: {:<8} {} items", p.stage, p.done)
+    };
+    let rate = p.throughput_per_sec();
+    if p.done > 0 && rate > 0.0 {
+        line.push_str(&format!("  {rate:.0}/s"));
+    }
+    if let Some(eta) = p.eta_secs() {
+        line.push_str(&format!("  ETA {eta:.1}s"));
+    }
+    line
+}
+
+/// Spawns the `--progress` printer: polls the recorder's stage gauge and
+/// writes a stderr line whenever it advances. The poller only reads —
+/// output artifacts stay byte-identical with or without it.
+fn spawn_progress_printer(rec: Recorder, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut last = (0u64, u64::MAX);
+        let mut skipped_seen = 0usize;
+        // Skipped stages are consumed from the recorder's log rather than
+        // the live gauge: several stages can be restored between two polls,
+        // and each must still surface exactly once.
+        let drain_skipped = |seen: &mut usize| {
+            for stage in rec.skipped_stages().iter().skip(*seen) {
+                eprintln!("progress: {stage:<8} skipped (restored from checkpoint)");
+                *seen += 1;
+            }
+        };
+        while !stop.load(Ordering::Relaxed) {
+            drain_skipped(&mut skipped_seen);
+            if let Some(p) = rec.progress() {
+                if !p.skipped && (p.seq, p.done) != last {
+                    last = (p.seq, p.done);
+                    eprintln!("{}", progress_line(&p));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // Final state, so the last stage's completion is never swallowed.
+        drain_skipped(&mut skipped_seen);
+        if let Some(p) = rec.progress() {
+            if !p.skipped && (p.seq, p.done) != last {
+                eprintln!("{}", progress_line(&p));
+            }
+        }
     })
 }
 
@@ -239,12 +319,33 @@ fn main() {
             exit(1);
         }
     };
-    let rec = if trace_sink.is_some() || stats_sink.is_some() {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
+    // Any observability consumer enables the recorder; outputs are pinned
+    // byte-identical either way.
+    let rec =
+        if trace_sink.is_some() || stats_sink.is_some() || args.progress || args.ledger.is_some() {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
     args.config.recorder = rec.clone();
+
+    // The ledger directory is opened before the run: an unwritable history
+    // must fail fast, like the other sinks.
+    let ledger = match args.ledger.as_deref().map(Ledger::open).transpose() {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!(
+                "error: cannot open ledger {}: {e}",
+                args.ledger.as_deref().unwrap_or_default()
+            );
+            exit(1);
+        }
+    };
+
+    let progress_stop = Arc::new(AtomicBool::new(false));
+    let progress_printer = args
+        .progress
+        .then(|| spawn_progress_printer(rec.clone(), Arc::clone(&progress_stop)));
 
     // A user-supplied schema replaces the built-in SkyServer-like one. The
     // catalog is needed up front: the run-directory manifest fingerprints it.
@@ -268,6 +369,10 @@ fn main() {
         None => skyserver_catalog(),
     };
 
+    // Captured before the config moves into the pipeline: the ledger entry
+    // carries the same semantic fingerprint as a checkpoint manifest would.
+    let cfg_fp = config_fingerprint(&args.config, &catalog);
+
     let run_dir = match (&args.run_dir, &args.resume) {
         (Some(path), None) => match RunDir::create(path) {
             Ok(d) => Some((d, false)),
@@ -286,6 +391,9 @@ fn main() {
         _ => None,
     };
 
+    // Which stages a resume restored from checkpoints (for the stdout
+    // summary; the per-stage detail also goes to stderr below).
+    let mut loaded_stages: Vec<&'static str> = Vec::new();
     let mut result = match &run_dir {
         // --- crash-safe path: checkpoint every stage into the run dir ---
         Some((dir, resume)) => {
@@ -324,6 +432,7 @@ fn main() {
                     dir.root().display(),
                     outcome.loaded_stages.join(", ")
                 );
+                loaded_stages = outcome.loaded_stages.clone();
             }
             if outcome.ingest_stats.quarantined > 0 {
                 eprintln!(
@@ -340,6 +449,7 @@ fn main() {
         None => {
             let t_ingest = Instant::now();
             let (log, ingest_stats) = {
+                rec.stage_begin("ingest", 0);
                 let _span = rec.span("ingest");
                 match ingest(&args) {
                     Ok(r) => r,
@@ -382,11 +492,18 @@ fn main() {
         }
     };
 
+    // The pipeline is done: account the process's peak footprint before
+    // the report is built, so it lands in --stats-json and the ledger.
+    if let Some(peak) = mem::peak_rss_bytes() {
+        rec.counter("mem.peak_rss_bytes", peak);
+    }
+
     // Render once under the report span to measure its cost, fold the
     // measurement into the timings, then render again so the printed (and
     // serialized) report carries its own cost.
     let t_report = Instant::now();
     let rows = {
+        rec.stage_begin("report", 0);
         let _span = rec.span("report");
         let _ = render_statistics(&result.stats);
         top_patterns(&result.mined, &result.marks, &result.store, args.top, 2)
@@ -395,7 +512,29 @@ fn main() {
     result.stats.timings.report_ms = report_ms;
     result.stats.timings.total_ms += report_ms;
 
-    println!("{}", render_statistics(&result.stats));
+    // The run body is over — stop the live progress stream before the
+    // final report so its lines don't interleave with artifact messages.
+    progress_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = progress_printer {
+        let _ = h.join();
+    }
+
+    // render_statistics already reports the interruption count in its run
+    // health row; the stage list rides below it in the same table layout.
+    let resume_row = (!loaded_stages.is_empty()).then(|| {
+        format!(
+            "{:<44} {} stage{} ({})",
+            "Resumed from checkpoints",
+            loaded_stages.len(),
+            if loaded_stages.len() == 1 { "" } else { "s" },
+            loaded_stages.join(", ")
+        )
+    });
+    print!("{}", render_statistics(&result.stats));
+    if let Some(row) = &resume_row {
+        println!("{row}");
+    }
+    println!();
     println!("top {} patterns (antipatterns marked):", args.top);
     println!("{}", render_pattern_table(&rows));
 
@@ -430,11 +569,14 @@ fn main() {
             args.trace_events.as_deref().unwrap_or_default()
         );
     }
+    // One RunReport serves both consumers: the stats JSON sink and the
+    // ledger entry.
+    let run_report = (stats_sink.is_some() || ledger.is_some()).then(|| RunReport {
+        stats: result.stats.clone(),
+        obs: ObsReport::from_recorder(&rec),
+    });
     if let Some(mut w) = stats_sink.take() {
-        let report = RunReport {
-            stats: result.stats.clone(),
-            obs: ObsReport::from_recorder(&rec),
-        };
+        let report = run_report.as_ref().expect("built when a sink exists");
         if let Err(e) = writeln!(w, "{}", report.render()).and_then(|()| w.commit()) {
             eprintln!("error: cannot write stats json: {e}");
             exit(1);
@@ -443,6 +585,38 @@ fn main() {
             "wrote run report to {}",
             args.stats_json.as_deref().unwrap_or_default()
         );
+    }
+
+    if let Some(ledger) = &ledger {
+        let report = run_report.as_ref().expect("built when a ledger exists");
+        // Input identity reuses the checkpoint manifest's hashing; a
+        // vanished input (raced away mid-run) degrades to zeros rather
+        // than losing the entry.
+        let (input_bytes, input_fnv) =
+            hash_file(std::path::Path::new(&args.input)).unwrap_or((0, 0));
+        let entry = LedgerEntry {
+            schema: LEDGER_SCHEMA,
+            kind: "clean".to_string(),
+            created_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            config_fingerprint: cfg_fp,
+            input_bytes,
+            input_fnv,
+            machine: MachineInfo::capture(),
+            report: report.to_json(),
+        };
+        match ledger.append(&entry) {
+            Ok(path) => eprintln!("appended run ledger entry {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "error: cannot append to ledger {}: {e}",
+                    ledger.dir().display()
+                );
+                exit(1);
+            }
+        }
     }
 
     // Every artifact is on disk: a checkpointed run is now complete, and a
