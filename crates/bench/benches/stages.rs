@@ -211,6 +211,41 @@ fn bench_pipeline_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// The paper-scale axis: full pipeline throughput at 100k and 1M entries
+/// (threads=1, cache on — the configuration the stage_breakdown and
+/// peak-RSS rows in BENCH_pipeline.json are recorded under). SkyServer's
+/// cleaned log is tens of millions of statements; this axis pins that
+/// throughput does not degrade nonlinearly between the two scales.
+fn bench_pipeline_scale(c: &mut Criterion) {
+    let catalog = skyserver_catalog();
+    let mut group = c.benchmark_group("pipeline_scale");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for (scale, name) in [
+        (100_000usize, "entries_100000"),
+        (1_000_000, "entries_1000000"),
+    ] {
+        let log = generate(&GenConfig::with_scale(scale, SEED));
+        group.throughput(Throughput::Elements(log.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Pipeline::new(&catalog)
+                        .with_config(PipelineConfig {
+                            parallelism: 1,
+                            ..PipelineConfig::default()
+                        })
+                        .run(&log)
+                        .stats
+                        .final_size,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_pipeline(c: &mut Criterion) {
     let catalog = skyserver_catalog();
     let log = generate(&GenConfig::with_scale(SCALE, SEED));
@@ -275,6 +310,7 @@ criterion_group!(
     bench_full_pipeline,
     bench_parse_cache,
     bench_pipeline_sharded,
+    bench_pipeline_scale,
     bench_cluster
 );
 criterion_main!(benches);

@@ -43,10 +43,8 @@ use crate::solve::{SolveOutcome, SolvedRewrite};
 use crate::stats::StageTimings;
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_catalog::Catalog;
-use sqlog_log::{
-    read_log, read_log_with, write_log, AtomicFile, IngestPolicy, IngestStats, LogView, QueryLog,
-};
-use sqlog_obs::{Json, Recorder};
+use sqlog_log::{read_log, write_log, AtomicFile, IngestPolicy, IngestStats, LogView, QueryLog};
+use sqlog_obs::{Json, Recorder, SpanId};
 use sqlog_skeleton::{
     Fingerprint, Fnv1a, OutputColumns, PredicateKind, PredicateProfile, QueryTemplate, Theta,
     ValueKind,
@@ -1503,8 +1501,8 @@ pub fn run_checkpointed(
                 let t = Instant::now();
                 let v = {
                     rec.stage_begin("ingest", 0);
-                    let _span = rec.span("ingest");
-                    ingest_input(opts)?
+                    let span = rec.span("ingest");
+                    ingest_input(opts, pipeline.config.parallelism, &rec, span.id())?
                 };
                 timings.ingest_ms = t.elapsed().as_millis() as u64;
                 write_checkpoint(dir, &rec, Stage::Ingest, &ingest_to_json(&v.0, &v.1))?;
@@ -1648,12 +1646,17 @@ pub fn run_checkpointed(
     }))
 }
 
-/// Reads the input under the run's ingest policy, streaming quarantined
-/// lines into an atomically-written sidecar. The `ingest`-stage fault hook
-/// trips on matching statements after the read, inside the stage window.
-fn ingest_input(opts: &CheckpointOptions) -> Result<(QueryLog, IngestStats), String> {
-    let file = std::fs::File::open(&opts.input)
-        .map_err(|e| format!("cannot read {}: {e}", opts.input.display()))?;
+/// Reads the input under the run's ingest policy — segmented and parallel
+/// (`threads` segments, 0 = one per core), byte-identical to the sequential
+/// reader — streaming quarantined lines into an atomically-written sidecar.
+/// The `ingest`-stage fault hook trips on matching statements after the
+/// read, inside the stage window.
+fn ingest_input(
+    opts: &CheckpointOptions,
+    threads: usize,
+    rec: &Recorder,
+    parent: Option<SpanId>,
+) -> Result<(QueryLog, IngestStats), String> {
     let mut sidecar = match &opts.quarantine {
         Some(path) => Some(
             AtomicFile::create(path)
@@ -1661,10 +1664,13 @@ fn ingest_input(opts: &CheckpointOptions) -> Result<(QueryLog, IngestStats), Str
         ),
         None => None,
     };
-    let (log, stats) = read_log_with(
-        std::io::BufReader::new(file),
+    let (log, stats) = crate::ingest::ingest_file_traced(
+        &opts.input,
         opts.policy,
+        threads,
         sidecar.as_mut().map(|w| w as &mut dyn Write),
+        rec,
+        parent,
     )
     .map_err(|e| format!("cannot read {}: {e}", opts.input.display()))?;
     if let Some(s) = sidecar {

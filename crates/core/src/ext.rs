@@ -30,7 +30,7 @@ impl<'a> SolverSet<'a> {
     /// Only the built-in solvers.
     pub fn builtin() -> Self {
         SolverSet {
-            stifle: crate::solve::stifle::StifleSolver,
+            stifle: crate::solve::stifle::StifleSolver::default(),
             snc: crate::solve::snc::SncSolver,
             custom: Vec::new(),
         }

@@ -44,6 +44,7 @@ pub mod dedup;
 pub mod detect;
 pub mod ext;
 mod fault;
+pub mod ingest;
 pub mod mine;
 mod parse_cache;
 pub mod parse_step;
@@ -65,6 +66,7 @@ pub use config::PipelineConfig;
 pub use dedup::{dedup, dedup_view, dedup_view_traced, DedupStats};
 pub use detect::{AntipatternClass, AntipatternInstance, DetectCtx, Detector};
 pub use ext::{ExtensionRegistry, Solver, SolverSet};
+pub use ingest::{ingest_file_traced, ingest_slice_traced};
 pub use mine::{
     build_sessions, build_sessions_view, build_sessions_view_traced, mine_patterns,
     mine_patterns_sharded, mine_patterns_traced, MinedPatterns, PatternData, Session, Sessions,

@@ -35,6 +35,7 @@ use crate::shard::{
 use crate::store::TemplateId;
 use sqlog_log::{LogView, QueryLog};
 use sqlog_obs::{Recorder, SpanId};
+use sqlog_skeleton::FnvHashMap;
 use std::collections::{HashMap, HashSet};
 
 /// One per-user session: indices into the parsed-record vector.
@@ -152,7 +153,7 @@ pub fn build_sessions_view_traced(
     rec: &Recorder,
     parent: Option<SpanId>,
 ) -> Sessions {
-    let mut user_ids: HashMap<&str, u32> = HashMap::new();
+    let mut user_ids: FnvHashMap<&str, u32> = FnvHashMap::default();
     let mut user_names: Vec<String> = Vec::new();
     let mut streams: Vec<Vec<usize>> = Vec::new();
 
@@ -302,7 +303,7 @@ impl MinedPatterns {
 struct PatternCounter {
     /// Pattern key → dense id. Lookups borrow the key as `&[TemplateId]`;
     /// the owned `Vec` is only allocated on a pattern's first occurrence.
-    by_key: HashMap<Vec<TemplateId>, u32>,
+    by_key: FnvHashMap<Vec<TemplateId>, u32>,
     /// Dense id → key (for the final conversion to [`MinedPatterns`]).
     keys: Vec<Vec<TemplateId>>,
     freq: Vec<u64>,

@@ -40,11 +40,10 @@
 use crate::parse_step::{parse_one, Outcome, ParsedRecord};
 use crate::store::{TemplateId, TemplateStore};
 use sqlog_skeleton::{
-    primary_table, raw_shape_scan, Fingerprint, OutputColumns, PredicateKind, PredicateProfile,
-    QueryTemplate, RawKey, RawLiteral, RawLiteralKind, ValueKind,
+    primary_table, raw_shape_scan, Fingerprint, FnvHashMap, OutputColumns, PredicateKind,
+    PredicateProfile, QueryTemplate, RawKey, RawLiteral, RawLiteralKind, ValueKind,
 };
 use sqlog_sql::{parse_statements_with, ParseLimits, Statement, StatementKind};
-use std::collections::HashMap;
 
 /// One literal-dependent slot of a cached predicate profile: on a hit,
 /// conjunct `conjunct` / slot `slot` is overwritten with the text of the
@@ -106,7 +105,7 @@ enum CacheEntry {
 /// takes no locks; the per-shard tallies are summed after the join.
 #[derive(Debug, Default)]
 pub(crate) struct ShapeCache {
-    map: HashMap<RawKey, CacheEntry>,
+    map: FnvHashMap<RawKey, CacheEntry>,
     /// Scratch literal-span buffer, reused across statements.
     scratch: Vec<RawLiteral>,
     /// Statements served from the cache.
@@ -150,7 +149,7 @@ impl ShapeCache {
     pub(crate) fn parse_one_cached<'v>(
         &mut self,
         store: &TemplateStore,
-        memo: &mut HashMap<Fingerprint, TemplateId>,
+        memo: &mut FnvHashMap<Fingerprint, TemplateId>,
         limits: &ParseLimits,
         crosscheck: usize,
         entry_idx: u32,
@@ -553,7 +552,7 @@ mod tests {
 
     fn cached_parse(statements: &[&str]) -> (Vec<Outcome>, ShapeCache, TemplateStore) {
         let store = TemplateStore::new();
-        let mut memo = HashMap::new();
+        let mut memo = FnvHashMap::default();
         let mut cache = ShapeCache::default();
         let limits = ParseLimits::default();
         let outcomes = statements
@@ -576,7 +575,7 @@ mod tests {
 
     fn full_parse(statements: &[&str]) -> (Vec<Outcome>, TemplateStore) {
         let store = TemplateStore::new();
-        let mut memo = HashMap::new();
+        let mut memo = FnvHashMap::default();
         let limits = ParseLimits::default();
         let outcomes = statements
             .iter()

@@ -26,7 +26,9 @@ use crate::store::{TemplateId, TemplateStore};
 use serde::{Deserialize, Serialize};
 use sqlog_log::{LogView, QueryLog};
 use sqlog_obs::{Recorder, SpanId};
-use sqlog_skeleton::{primary_table, Fingerprint, OutputColumns, PredicateProfile, QueryTemplate};
+use sqlog_skeleton::{
+    primary_table, Fingerprint, FnvHashMap, OutputColumns, PredicateProfile, QueryTemplate,
+};
 use sqlog_sql::{parse_statements_with, ParseLimits, Statement, StatementKind};
 use std::collections::HashMap;
 
@@ -153,7 +155,7 @@ pub(crate) enum Outcome {
 
 pub(crate) fn parse_one(
     store: &TemplateStore,
-    memo: &mut HashMap<Fingerprint, TemplateId>,
+    memo: &mut FnvHashMap<Fingerprint, TemplateId>,
     limits: &ParseLimits,
     entry_idx: u32,
     sql: &str,
@@ -305,7 +307,7 @@ pub fn parse_view_traced(
         |r| r.len() as u64,
         |r| {
             let fault = fault::armed("parse");
-            let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
+            let mut memo: FnvHashMap<Fingerprint, TemplateId> = FnvHashMap::default();
             let mut cache = options.cache.then(ShapeCache::default);
             let outcomes = r
                 .map(|i| {
@@ -338,7 +340,7 @@ pub fn parse_view_traced(
             // panic mid-record at worst wastes an entry — never corrupts
             // one.
             let fault = fault::armed("parse");
-            let mut memo: HashMap<Fingerprint, TemplateId> = HashMap::new();
+            let mut memo: FnvHashMap<Fingerprint, TemplateId> = FnvHashMap::default();
             let mut cache = options.cache.then(ShapeCache::default);
             let outcomes = r
                 .map(|i| {
@@ -438,7 +440,7 @@ pub fn parse_view_traced(
 fn parse_one_maybe_cached(
     cache: Option<&mut ShapeCache>,
     store: &TemplateStore,
-    memo: &mut HashMap<Fingerprint, TemplateId>,
+    memo: &mut FnvHashMap<Fingerprint, TemplateId>,
     options: &ParseOptions,
     view: &LogView<'_>,
     entry_idx: u32,

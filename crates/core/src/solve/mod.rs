@@ -10,6 +10,7 @@
 //! * the **removal log**: every query covered by *any* antipattern instance
 //!   dropped (the §6.9 "removal" variant).
 
+pub mod batch;
 pub mod snc;
 pub mod stifle;
 
@@ -127,9 +128,20 @@ pub fn apply_solutions(
     }
 
     // Assemble the clean log: unconsumed records keep their entries;
-    // rewrites are placed at the head record's position (same time & user).
-    let mut clean: Vec<LogEntry> = Vec::with_capacity(n_records);
+    // rewrites are placed at the head record's position (same time & user,
+    // id 0 until the final resequencing).
+    //
+    // The records are (timestamp, id)-sorted, so the unconsumed survivors
+    // are sorted by construction and each rewrite entry's sort key is
+    // (head timestamp, 0). Instead of re-sorting the spliced vector, the
+    // survivors and the rewrites are merged stably — a rewrite goes before
+    // a survivor exactly when its key is strictly smaller. This reproduces
+    // what the stable sort of the spliced vector used to produce: the only
+    // possible key tie against a survivor is the log's id-0 entry, which
+    // came first in splice order and so stayed first under the stable sort.
+    let mut survivors: Vec<LogEntry> = Vec::with_capacity(n_records);
     let mut removal: Vec<LogEntry> = Vec::with_capacity(n_records);
+    let mut rewrite_entries: Vec<LogEntry> = Vec::new();
     let mut rewritten_statements = 0usize;
     rewrites.sort_by_key(|(head, _)| *head);
     let mut rw_iter = rewrites.into_iter().peekable();
@@ -141,7 +153,7 @@ pub fn apply_solutions(
                 let (_, statements) = rw_iter.next().expect("peeked");
                 for stmt in statements {
                     rewritten_statements += 1;
-                    clean.push(LogEntry {
+                    rewrite_entries.push(LogEntry {
                         id: 0,
                         statement: stmt,
                         timestamp: entry.timestamp,
@@ -156,20 +168,35 @@ pub fn apply_solutions(
             }
         }
         if !consumed[ri] {
-            clean.push(entry.clone());
+            survivors.push(entry.clone());
         }
         if !in_any_instance[ri] {
             removal.push(entry.clone());
         }
     }
 
+    let mut clean: Vec<LogEntry> = Vec::with_capacity(survivors.len() + rewrite_entries.len());
+    let mut rw = rewrite_entries.into_iter().peekable();
+    for entry in survivors {
+        while rw
+            .peek()
+            .is_some_and(|r| (r.timestamp, 0) < (entry.timestamp, entry.id))
+        {
+            clean.push(rw.next().expect("peeked"));
+        }
+        clean.push(entry);
+    }
+    clean.extend(rw);
+
     let mut clean_log = QueryLog::from_entries(clean);
-    clean_log.sort_by_time();
+    debug_assert!(clean_log.is_time_sorted());
     for (i, e) in clean_log.entries.iter_mut().enumerate() {
         e.id = i as u64;
     }
+    // The removal log is a subsequence of the sorted records: sorted by
+    // construction.
     let mut removal_log = QueryLog::from_entries(removal);
-    removal_log.sort_by_time();
+    debug_assert!(removal_log.is_time_sorted());
     for (i, e) in removal_log.entries.iter_mut().enumerate() {
         e.id = i as u64;
     }

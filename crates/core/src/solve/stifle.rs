@@ -10,18 +10,31 @@
 
 use crate::detect::{AntipatternClass, AntipatternInstance, DetectCtx};
 use crate::ext::Solver;
+use crate::solve::batch::{parse_select, QueryCache};
+use sqlog_skeleton::FnvHashSet;
 use sqlog_sql::ast::*;
-use sqlog_sql::parse_statement;
 
 /// Solver for DW/DS/DF Stifle instances.
-pub struct StifleSolver;
+///
+/// Carries a [`QueryCache`] so instances over the same statement shape —
+/// the defining property of a Stifle chain — parse the shape once and
+/// instantiate per-record literals from the certified template.
+#[derive(Default)]
+pub struct StifleSolver {
+    cache: QueryCache,
+}
 
-/// Parses the statement behind record `ri` and returns its query.
-fn query_of(ctx: &DetectCtx<'_>, ri: usize) -> Option<Query> {
-    let entry = ctx.record_entry(ri);
-    match parse_statement(&entry.statement).ok()? {
-        Statement::Select(q) => Some(*q),
-        Statement::Other(_) => None,
+impl StifleSolver {
+    /// Parses the statement behind record `ri` and returns its query,
+    /// through the batch cache when [`crate::PipelineConfig::solve_batching`]
+    /// is on.
+    fn query_of(&self, ctx: &DetectCtx<'_>, ri: usize) -> Option<Query> {
+        let entry = ctx.record_entry(ri);
+        if ctx.config.solve_batching {
+            self.cache.query(&entry.statement, &ctx.config.recorder)
+        } else {
+            parse_select(&entry.statement)
+        }
     }
 }
 
@@ -62,14 +75,19 @@ impl StifleSolver {
     /// Example 10: `WHERE col = v₁ … WHERE col = vₙ` →
     /// `WHERE col IN (v₁, …, vₙ)`.
     fn solve_dw(&self, inst: &AntipatternInstance, ctx: &DetectCtx<'_>) -> Option<Vec<String>> {
-        let mut base = query_of(ctx, inst.records[0])?;
+        let mut base = self.query_of(ctx, inst.records[0])?;
         let (col_expr, _) = equality_parts(base.body.selection.as_ref()?)?;
 
         let mut values: Vec<Expr> = Vec::with_capacity(inst.records.len());
+        // Rendered-text prefilter for the duplicate-value scan: AST-equal
+        // values render to equal lower-cased text (Ident comparison is
+        // case-insensitive), so a fresh rendering proves a fresh value and
+        // only rendering collisions pay the exact O(k) AST scan.
+        let mut rendered: FnvHashSet<String> = FnvHashSet::default();
         for &ri in &inst.records {
-            let q = query_of(ctx, ri)?;
+            let q = self.query_of(ctx, ri)?;
             let (_, value) = equality_parts(q.body.selection.as_ref()?)?;
-            if !values.contains(&value) {
+            if rendered.insert(value.to_string().to_ascii_lowercase()) || !values.contains(&value) {
                 values.push(value);
             }
         }
@@ -110,20 +128,17 @@ impl StifleSolver {
 
     /// Example 12: union the SELECT lists over the shared FROM + WHERE.
     fn solve_ds(&self, inst: &AntipatternInstance, ctx: &DetectCtx<'_>) -> Option<Vec<String>> {
-        let mut base = query_of(ctx, inst.records[0])?;
-        let mut seen: Vec<String> = base.body.projection.iter().map(item_text).collect();
-        let mut seen_templates = vec![ctx.records[inst.records[0]].template];
+        let mut base = self.query_of(ctx, inst.records[0])?;
+        let mut seen: FnvHashSet<String> = base.body.projection.iter().map(item_text).collect();
+        let mut seen_templates: FnvHashSet<_> =
+            std::iter::once(ctx.records[inst.records[0]].template).collect();
         for &ri in &inst.records[1..] {
-            let tpl = ctx.records[ri].template;
-            if seen_templates.contains(&tpl) {
+            if !seen_templates.insert(ctx.records[ri].template) {
                 continue;
             }
-            seen_templates.push(tpl);
-            let q = query_of(ctx, ri)?;
+            let q = self.query_of(ctx, ri)?;
             for item in q.body.projection {
-                let text = item_text(&item);
-                if !seen.contains(&text) {
-                    seen.push(text);
+                if seen.insert(item_text(&item)) {
                     base.body.projection.push(item);
                 }
             }
@@ -141,7 +156,7 @@ impl StifleSolver {
             if tables.iter().any(|(t, _)| *t == table) {
                 continue;
             }
-            tables.push((table, query_of(ctx, ri)?));
+            tables.push((table, self.query_of(ctx, ri)?));
         }
         if tables.len() < 2 {
             return None;
@@ -182,7 +197,7 @@ impl StifleSolver {
         // Projection: each source query's items, columns qualified by their
         // table so the merged query is unambiguous.
         let mut projection: Vec<SelectItem> = Vec::new();
-        let mut seen: Vec<String> = Vec::new();
+        let mut seen: FnvHashSet<String> = FnvHashSet::default();
         for (table, q) in &tables {
             for item in &q.body.projection {
                 let qualified = match item {
@@ -201,9 +216,7 @@ impl StifleSolver {
                     }
                     other => other.clone(),
                 };
-                let text = item_text(&qualified);
-                if !seen.contains(&text) {
-                    seen.push(text);
+                if seen.insert(item_text(&qualified)) {
                     projection.push(qualified);
                 }
             }
@@ -282,10 +295,46 @@ mod tests {
             catalog: &catalog,
             config: &config,
         };
+        let solver = StifleSolver::default();
         detect_builtin(&ctx)
             .iter()
             .filter(|i| i.solvable)
-            .filter_map(|i| StifleSolver.solve(i, &ctx))
+            .filter_map(|i| solver.solve(i, &ctx))
+            .collect()
+    }
+
+    /// Same harness with `solve_batching` off: the unbatched reference path.
+    fn solve_unbatched(rows: &[&str]) -> Vec<Vec<String>> {
+        let log = QueryLog::from_entries(
+            rows.iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    LogEntry::minimal(i as u64, *s, Timestamp::from_secs(i as i64)).with_user("u")
+                })
+                .collect(),
+        );
+        let store = TemplateStore::new();
+        let parsed = parse_log(&log, &store, 1);
+        let sessions = build_sessions(&log, &parsed.records, 300_000);
+        let catalog = skyserver_catalog();
+        let config = PipelineConfig {
+            solve_batching: false,
+            ..PipelineConfig::default()
+        };
+        let view = LogView::identity(&log);
+        let ctx = DetectCtx {
+            log: &view,
+            records: &parsed.records,
+            sessions: &sessions.sessions,
+            store: &store,
+            catalog: &catalog,
+            config: &config,
+        };
+        let solver = StifleSolver::default();
+        detect_builtin(&ctx)
+            .iter()
+            .filter(|i| i.solvable)
+            .filter_map(|i| solver.solve(i, &ctx))
             .collect()
     }
 
@@ -371,6 +420,23 @@ mod tests {
                     .unwrap_or_else(|e| panic!("rewrite does not re-parse: {stmt}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn batched_and_unbatched_rewrites_are_identical() {
+        // Mixed DW / DS / DF material, shapes repeating across instances —
+        // the batch cache must be invisible in the output.
+        let rows = &[
+            "SELECT name FROM Employee WHERE empId = 8",
+            "SELECT name FROM Employee WHERE empId = 1",
+            "SELECT name FROM Employee WHERE empId = 8",
+            "SELECT description FROM DBObjects WHERE name='Galaxy'",
+            "SELECT description FROM DBObjects WHERE name='it''s'",
+            "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=587722982829850000",
+            "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=587722982829850001",
+            "SELECT ra, dec FROM photoprimary WHERE objid=587722982829850001",
+        ];
+        assert_eq!(solve(rows), solve_unbatched(rows));
     }
 
     #[test]

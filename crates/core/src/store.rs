@@ -5,8 +5,7 @@
 //! miner and detectors use as cheap keys.
 
 use sqlog_obs::Recorder;
-use sqlog_skeleton::{Fingerprint, QueryTemplate};
-use std::collections::HashMap;
+use sqlog_skeleton::{Fingerprint, FnvHashMap, QueryTemplate};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Dense identifier of an interned template.
@@ -27,7 +26,7 @@ pub struct TemplateStore {
 #[derive(Debug, Default)]
 struct StoreInner {
     templates: Vec<QueryTemplate>,
-    by_fp: HashMap<Fingerprint, TemplateId>,
+    by_fp: FnvHashMap<Fingerprint, TemplateId>,
 }
 
 impl TemplateStore {
@@ -114,7 +113,7 @@ impl TemplateStore {
             .iter()
             .map(|&TemplateId(old)| inner.templates[old as usize].clone())
             .collect();
-        let by_fp: HashMap<Fingerprint, TemplateId> = templates
+        let by_fp: FnvHashMap<Fingerprint, TemplateId> = templates
             .iter()
             .enumerate()
             .map(|(new, t)| (t.fingerprint, TemplateId(new as u32)))

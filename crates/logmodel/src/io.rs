@@ -82,6 +82,11 @@ fn escape(statement: &str, out: &mut String) {
 }
 
 fn unescape(field: &str) -> String {
+    // Most statements contain no escapes at all; skip the char-by-char
+    // rebuild for them.
+    if !field.as_bytes().contains(&b'\\') {
+        return field.to_string();
+    }
     let mut out = String::with_capacity(field.len());
     let mut chars = field.chars();
     while let Some(c) = chars.next() {
@@ -261,6 +266,132 @@ pub fn read_log_with<R: Read>(
     Ok((log, stats))
 }
 
+/// Result of scanning one in-memory byte segment with [`scan_log_slice`].
+///
+/// Line numbers inside `error` (and the `lines` statistics) are **local to
+/// the segment**: the segmented driver rebases them by the physical line
+/// count of the preceding segments.
+#[derive(Debug, Default)]
+pub struct SegmentOutcome {
+    /// Entries parsed, in segment order.
+    pub entries: Vec<LogEntry>,
+    /// Per-segment ingest accounting.
+    pub stats: IngestStats,
+    /// Byte-verbatim copies of the quarantined lines, in segment order
+    /// (empty unless requested).
+    pub quarantine: Vec<u8>,
+    /// The data fault that aborted a strict scan, with a segment-local line
+    /// number. `None` for completed scans (lenient scans always complete).
+    pub error: Option<IoFormatError>,
+    /// Physical lines consumed, blank lines included — the rebase offset
+    /// for the line numbers of every following segment.
+    pub physical_lines: usize,
+}
+
+/// Estimated entry capacity for a byte slice: lines counted in the first
+/// 64 KiB, extrapolated by length. Pre-sizing the entry vector this way
+/// avoids the log-scale reallocation cascade (a 1 M-entry log otherwise
+/// re-copies its entry vector ~20 times while growing).
+fn estimate_entry_capacity(data: &[u8]) -> usize {
+    let probe = &data[..data.len().min(64 * 1024)];
+    let newlines = probe.iter().filter(|&&b| b == b'\n').count();
+    if newlines == 0 {
+        return usize::from(!data.is_empty());
+    }
+    data.len() / (probe.len() / newlines).max(1) + 1
+}
+
+/// Scans one in-memory segment of TSV log bytes, mirroring [`LogReader`] +
+/// [`read_log_with`] exactly: blank lines are skipped silently, line
+/// numbers count every physical line, quarantined lines are copied
+/// byte-verbatim (terminator included) when `want_quarantine` is set, and a
+/// strict scan stops at the first data fault (recorded in
+/// [`SegmentOutcome::error`] rather than returned, so completed work
+/// survives for the segmented driver's merge).
+///
+/// `segment_ranges` guarantees segments start on line boundaries, which is
+/// the only precondition: a slice of the whole file produces exactly what
+/// the streaming reader produces.
+pub fn scan_log_slice(data: &[u8], policy: IngestPolicy, want_quarantine: bool) -> SegmentOutcome {
+    let mut out = SegmentOutcome {
+        entries: Vec::with_capacity(estimate_entry_capacity(data)),
+        ..SegmentOutcome::default()
+    };
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let line_end = match data[pos..].iter().position(|&b| b == b'\n') {
+            Some(k) => pos + k + 1,
+            None => data.len(),
+        };
+        let with_term = &data[pos..line_end];
+        pos = line_end;
+        out.physical_lines += 1;
+        let lineno = out.physical_lines;
+        let mut end = with_term.len();
+        while end > 0 && matches!(with_term[end - 1], b'\n' | b'\r') {
+            end -= 1;
+        }
+        let raw = &with_term[..end];
+        if raw.is_empty() {
+            continue;
+        }
+        out.stats.lines += 1;
+        let parsed = match std::str::from_utf8(raw) {
+            Ok(text) => parse_line(text, lineno),
+            Err(_) => Err(IoFormatError::InvalidUtf8 { line: lineno }),
+        };
+        match parsed {
+            Ok(entry) => {
+                out.stats.entries += 1;
+                out.entries.push(entry);
+            }
+            Err(e) if policy == IngestPolicy::Lenient && e.is_data_fault() => {
+                out.stats.quarantined += 1;
+                match &e {
+                    IoFormatError::InvalidUtf8 { .. } => out.stats.invalid_utf8 += 1,
+                    _ => out.stats.malformed += 1,
+                }
+                if want_quarantine {
+                    out.quarantine.extend_from_slice(with_term);
+                }
+            }
+            Err(e) => {
+                out.error = Some(e);
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Splits `data` into at most `parts` contiguous byte ranges whose
+/// boundaries fall just after a `\n`, so every segment starts at the start
+/// of a physical line and [`scan_log_slice`] per segment reproduces the
+/// sequential scan. Returns one range for empty input or `parts <= 1`;
+/// ranges always cover `0..data.len()` exactly, in order.
+pub fn segment_ranges(data: &[u8], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let n = data.len();
+    if n == 0 || parts <= 1 {
+        let whole = 0..n;
+        return vec![whole];
+    }
+    let mut cuts: Vec<usize> = Vec::with_capacity(parts + 1);
+    cuts.push(0);
+    for k in 1..parts {
+        let mut c = (n * k / parts).max(*cuts.last().unwrap()).max(1);
+        // Advance to the next line boundary (just past a newline); a cut
+        // that reaches the end merges into the final segment.
+        while c < n && data[c - 1] != b'\n' {
+            c += 1;
+        }
+        if c > *cuts.last().unwrap() && c < n {
+            cuts.push(c);
+        }
+    }
+    cuts.push(n);
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
 /// Streaming reader: iterates entries one at a time with constant memory —
 /// the right tool for multi-gigabyte logs (the SkyServer log at full scale
 /// would not fit in RAM on a laptop).
@@ -407,8 +538,18 @@ pub fn write_log_file_atomic(log: &QueryLog, path: impl AsRef<Path>) -> Result<(
 }
 
 /// Reads a log from a file path.
+///
+/// The file is read whole and scanned as a slice ([`scan_log_slice`]) with
+/// a pre-sized entry vector — measurably faster than the streaming path at
+/// 1 M+ entries and byte-identical to it. Use [`read_log`] on an open
+/// reader for logs too large to buffer.
 pub fn read_log_file(path: impl AsRef<Path>) -> Result<QueryLog, IoFormatError> {
-    read_log(std::fs::File::open(path)?)
+    let data = std::fs::read(path)?;
+    let out = scan_log_slice(&data, IngestPolicy::Strict, false);
+    match out.error {
+        Some(e) => Err(e),
+        None => Ok(QueryLog::from_entries(out.entries)),
+    }
 }
 
 #[cfg(test)]
@@ -596,6 +737,129 @@ mod tests {
         assert_eq!(back, log);
         assert_eq!(stats.quarantined, 0);
         assert_eq!(stats.entries, log.len());
+    }
+
+    /// A hostile corpus: good lines, CRLF, blanks, structural damage,
+    /// encoding damage, a terminator-less tail.
+    fn hostile_corpus() -> Vec<u8> {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"0\t0\t\t\t\t\tSELECT 1\n");
+        data.extend_from_slice(b"garbage without tabs\n");
+        data.extend_from_slice(b"\n");
+        data.extend_from_slice(b"1\t5\t\xFFbad\t\t\t\tSELECT 2\n");
+        data.extend_from_slice(b"crlf garbage\r\n");
+        data.extend_from_slice(b"2\t9\t\t\t\t\tSELECT 3\r\n");
+        data.extend_from_slice(b"not-a-number\t0\t\t\t\t\tSELECT 4\n");
+        data.extend_from_slice(b"3\t11\t\t\t\t\tSELECT a\\nFROM t\n");
+        data.extend_from_slice(b"last line, no newline");
+        data
+    }
+
+    #[test]
+    fn slice_scan_matches_streaming_reader_lenient() {
+        let data = hostile_corpus();
+        let mut sidecar = Vec::new();
+        let (log, stats) =
+            read_log_with(&data[..], IngestPolicy::Lenient, Some(&mut sidecar)).unwrap();
+        let out = scan_log_slice(&data, IngestPolicy::Lenient, true);
+        assert!(out.error.is_none());
+        assert_eq!(out.entries, log.entries);
+        assert_eq!(out.stats, stats);
+        assert_eq!(out.quarantine, sidecar);
+        assert_eq!(out.physical_lines, 9);
+    }
+
+    #[test]
+    fn slice_scan_matches_streaming_reader_strict() {
+        let data = hostile_corpus();
+        let err = read_log_with(&data[..], IngestPolicy::Strict, None).unwrap_err();
+        let out = scan_log_slice(&data, IngestPolicy::Strict, false);
+        let slice_err = out.error.expect("strict scan must stop at the fault");
+        assert_eq!(slice_err.to_string(), err.to_string());
+        // Completed work before the fault survives for the driver's merge.
+        assert_eq!(out.entries.len(), 1);
+        assert_eq!(out.physical_lines, 2);
+    }
+
+    #[test]
+    fn segment_ranges_cover_and_start_on_line_boundaries() {
+        let data = hostile_corpus();
+        for parts in [1usize, 2, 3, 5, 8, 64] {
+            let ranges = segment_ranges(&data, parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "parts {parts}");
+                assert!(r.start == 0 || data[r.start - 1] == b'\n', "parts {parts}");
+                next = r.end;
+            }
+            assert_eq!(next, data.len(), "parts {parts}");
+        }
+        assert_eq!(segment_ranges(b"", 4), vec![0..0]);
+        assert_eq!(segment_ranges(b"no newline at all", 4), vec![0..17]);
+    }
+
+    #[test]
+    fn segmented_scan_concatenates_to_the_sequential_scan() {
+        let data = hostile_corpus();
+        let whole = scan_log_slice(&data, IngestPolicy::Lenient, true);
+        for parts in [2usize, 3, 4, 8] {
+            let mut entries = Vec::new();
+            let mut stats = IngestStats::default();
+            let mut quarantine = Vec::new();
+            let mut physical = 0usize;
+            for r in segment_ranges(&data, parts) {
+                let o = scan_log_slice(&data[r], IngestPolicy::Lenient, true);
+                assert!(o.error.is_none());
+                entries.extend(o.entries);
+                stats.lines += o.stats.lines;
+                stats.entries += o.stats.entries;
+                stats.quarantined += o.stats.quarantined;
+                stats.malformed += o.stats.malformed;
+                stats.invalid_utf8 += o.stats.invalid_utf8;
+                quarantine.extend_from_slice(&o.quarantine);
+                physical += o.physical_lines;
+            }
+            assert_eq!(entries, whole.entries, "parts {parts}");
+            assert_eq!(stats, whole.stats, "parts {parts}");
+            assert_eq!(quarantine, whole.quarantine, "parts {parts}");
+            assert_eq!(physical, whole.physical_lines, "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn unescape_fast_path_agrees_with_escaped_path() {
+        for s in [
+            "plain statement",
+            "",
+            "with \\ one",
+            "a\\tb\\nc\\rd\\\\e",
+            "tail\\",
+        ] {
+            let slow = {
+                // Reference: the historical char-by-char behavior.
+                let mut out = String::new();
+                let mut chars = s.chars();
+                while let Some(c) = chars.next() {
+                    if c == '\\' {
+                        match chars.next() {
+                            Some('t') => out.push('\t'),
+                            Some('n') => out.push('\n'),
+                            Some('r') => out.push('\r'),
+                            Some('\\') => out.push('\\'),
+                            Some(other) => {
+                                out.push('\\');
+                                out.push(other);
+                            }
+                            None => out.push('\\'),
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                out
+            };
+            assert_eq!(unescape(s), slow, "{s:?}");
+        }
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub mod view;
 pub use atomic::{atomic_write, AtomicFile};
 pub use entry::{GroundTruth, IntentKind, LogEntry};
 pub use io::{
-    read_log, read_log_file, read_log_with, write_log, write_log_file, write_log_file_atomic,
-    IngestPolicy, IngestStats, IoFormatError, LogReader,
+    read_log, read_log_file, read_log_with, scan_log_slice, segment_ranges, write_log,
+    write_log_file, write_log_file_atomic, IngestPolicy, IngestStats, IoFormatError, LogReader,
+    SegmentOutcome,
 };
 pub use log::QueryLog;
 pub use time::{Timestamp, TimestampParseError};

@@ -87,6 +87,51 @@ impl Default for Fnv1a {
     }
 }
 
+/// A [`std::hash::Hasher`] over the same FNV-1a stream as [`Fnv1a`].
+///
+/// The std `HashMap` defaults to SipHash-1-3, whose keyed rounds dominate
+/// lookup cost for the short fixed-size keys the pipeline hashes millions of
+/// times (user ids, fingerprints, template-id n-grams). FNV-1a is a handful
+/// of arithmetic ops per byte and — unlike SipHash — needs no random keying,
+/// which the pipeline does not want anyway: inputs are logs the operator
+/// already controls, not untrusted network traffic, so hash-flooding
+/// resistance buys nothing here.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FnvHasher`]; plugs into `HashMap`s via
+/// [`FnvHashMap`]/[`FnvHashSet`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+/// A `HashMap` keyed by FNV-1a — the hot-path map type for dedup state,
+/// parse-cache memos, the template store index and pattern counting.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` hashed by FNV-1a.
+pub type FnvHashSet<T> = std::collections::HashSet<T, FnvBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +169,31 @@ mod tests {
             Fingerprint::of_str("SELECT a FROM t"),
             Fingerprint::of_str("SELECT b FROM t")
         );
+    }
+
+    #[test]
+    fn build_hasher_matches_fingerprint_stream() {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = FnvBuildHasher.build_hasher();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), Fingerprint::of_str("foobar").0);
+    }
+
+    #[test]
+    fn fnv_hash_map_behaves_like_a_map() {
+        let mut m: FnvHashMap<(u32, Fingerprint), u64> = FnvHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, Fingerprint::of_bytes(&i.to_le_bytes())), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(
+                m.get(&(i, Fingerprint::of_bytes(&i.to_le_bytes()))),
+                Some(&u64::from(i))
+            );
+        }
+        let mut s: FnvHashSet<Vec<u32>> = FnvHashSet::default();
+        assert!(s.insert(vec![1, 2, 3]));
+        assert!(!s.insert(vec![1, 2, 3]));
     }
 }

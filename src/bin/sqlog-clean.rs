@@ -10,7 +10,8 @@
 //!             [--run-dir DIR | --resume DIR]
 //!             [--threshold-ms N | --threshold-unrestricted]
 //!             [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]
-//!             [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]
+//!             [--no-parse-cache] [--no-dedup-prefilter] [--no-solve-batching]
+//!             [--lenient] [--quarantine BAD.tsv]
 //!             [--trace-events EVENTS.ndjson] [--stats-json STATS.json]
 //! ```
 //!
@@ -71,11 +72,10 @@ use sqlog::core::checkpoint::{
     config_fingerprint, hash_file, run_checkpointed, CheckpointOptions, RunDir,
 };
 use sqlog::core::{
-    render_pattern_table, render_statistics, top_patterns, Pipeline, PipelineConfig, RunReport,
+    ingest_file_traced, render_pattern_table, render_statistics, top_patterns, Pipeline,
+    PipelineConfig, RunReport,
 };
-use sqlog::logmodel::{
-    read_log_with, write_log_file_atomic, AtomicFile, IngestPolicy, IngestStats, QueryLog,
-};
+use sqlog::logmodel::{write_log_file_atomic, AtomicFile, IngestPolicy, IngestStats, QueryLog};
 use sqlog::obs::{mem, Ledger, LedgerEntry, MachineInfo, ObsReport, Recorder, LEDGER_SCHEMA};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -105,7 +105,8 @@ const USAGE: &str = "usage: sqlog-clean --in LOG.tsv [--out CLEAN.tsv] [--remova
     [--schema SCHEMA.txt] [--run-dir DIR | --resume DIR]\n\
     [--threshold-ms N | --threshold-unrestricted]\n\
     [--session-gap-ms N] [--no-key-axiom] [--parallelism N] [--top K]\n\
-    [--no-parse-cache] [--lenient] [--quarantine BAD.tsv]\n\
+    [--no-parse-cache] [--no-dedup-prefilter] [--no-solve-batching]\n\
+    [--lenient] [--quarantine BAD.tsv]\n\
     [--trace-events EVENTS.ndjson] [--stats-json STATS.json]\n\
     [--progress] [--ledger DIR]\n\
 \n\
@@ -164,6 +165,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --top: {e}"))?;
             }
             "--no-parse-cache" => config.parse_cache = false,
+            "--no-dedup-prefilter" => config.dedup_prefilter = false,
+            "--no-solve-batching" => config.solve_batching = false,
             "--lenient" => lenient = true,
             "--quarantine" => quarantine = Some(value("--quarantine")?),
             "--trace-events" => trace_events = Some(value("--trace-events")?),
@@ -265,12 +268,15 @@ fn create_sink(path: Option<&str>) -> Result<Option<AtomicFile>, String> {
         .transpose()
 }
 
-/// Reads the input log under the selected ingestion policy, writing skipped
-/// lines to the quarantine sidecar when one was requested. (The
-/// checkpointed path does its own ingestion inside the run directory.)
-fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
-    let file =
-        std::fs::File::open(&args.input).map_err(|e| format!("cannot read {}: {e}", args.input))?;
+/// Reads the input log under the selected ingestion policy — segmented and
+/// parallel (`--threads` / one segment per core), byte-identical to the
+/// sequential reader — writing skipped lines to the quarantine sidecar when
+/// one was requested. (The checkpointed path does its own ingestion inside
+/// the run directory.)
+fn ingest(
+    args: &Args,
+    parent: Option<sqlog::obs::SpanId>,
+) -> Result<(QueryLog, IngestStats), String> {
     let policy = if args.lenient {
         IngestPolicy::Lenient
     } else {
@@ -282,10 +288,13 @@ fn ingest(args: &Args) -> Result<(QueryLog, IngestStats), String> {
         }
         None => None,
     };
-    let (log, stats) = read_log_with(
-        std::io::BufReader::new(file),
+    let (log, stats) = ingest_file_traced(
+        std::path::Path::new(&args.input),
         policy,
+        args.config.parallelism,
         sidecar.as_mut().map(|w| w as &mut dyn std::io::Write),
+        &args.config.recorder,
+        parent,
     )
     .map_err(|e| format!("cannot read {}: {e}", args.input))?;
     if let Some(s) = sidecar {
@@ -450,8 +459,8 @@ fn main() {
             let t_ingest = Instant::now();
             let (log, ingest_stats) = {
                 rec.stage_begin("ingest", 0);
-                let _span = rec.span("ingest");
-                match ingest(&args) {
+                let span = rec.span("ingest");
+                match ingest(&args, span.id()) {
                     Ok(r) => r,
                     Err(msg) => {
                         eprintln!("error: {msg}");
