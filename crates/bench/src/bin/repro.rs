@@ -1,10 +1,14 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale N] [--seed S] [--cap N] <experiment>...
+//! repro [--scale N] [--seed S] [--cap N] [--db-rows N] <experiment>...
 //! experiments: table4 table5 table6 table7 table8 cth-examples
 //!              fig2a fig2b fig2c fig2d fig3 fig4 runtime future-work ablation purity expert all
 //! ```
+//!
+//! `--db-rows` sizes the minidb tables behind the §6.3 runtime experiment
+//! (default 5 000; millions are fine — the planner answers the stifle
+//! queries with index seeks, so row count mostly affects build time).
 
 use sqlog_bench::experiments::{
     ablation, cth_examples, expert, fig2, fig3_4, future_work, purity, runtime, table4, table5,
@@ -15,6 +19,7 @@ struct Args {
     scale: usize,
     seed: u64,
     cap: usize,
+    db_rows: usize,
     experiments: Vec<String>,
 }
 
@@ -23,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
         scale: 100_000,
         seed: 42,
         cap: 20_000,
+        db_rows: 5_000,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -49,6 +55,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --cap: {e}"))?;
             }
+            "--db-rows" => {
+                args.db_rows = it
+                    .next()
+                    .ok_or("--db-rows needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --db-rows: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -64,7 +77,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: repro [--scale N] [--seed S] [--cap N] <experiment>...\n\
+const USAGE: &str = "usage: repro [--scale N] [--seed S] [--cap N] [--db-rows N] <experiment>...\n\
     experiments: table4 table5 table6 table7 table8 cth-examples\n\
                  fig2a fig2b fig2c fig2d fig3 fig4 runtime future-work ablation purity expert all";
 
@@ -191,9 +204,9 @@ fn main() {
         println!("{}", fig3_4::render_fig4(&f));
     }
     if wants("runtime") {
-        let r = runtime::run(&exp, 10_222.min(args.cap), 5_000);
+        let r = runtime::run(&exp, 10_222.min(args.cap), args.db_rows);
         println!("{}", runtime::render(&r));
-        let r = runtime::run_all_stifles(&exp, 10_222.min(args.cap), 5_000);
+        let r = runtime::run_all_stifles(&exp, 10_222.min(args.cap), args.db_rows);
         println!("(all stifle classes)\n{}", runtime::render(&r));
     }
     if wants("future-work") {

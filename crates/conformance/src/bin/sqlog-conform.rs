@@ -7,9 +7,15 @@
 //! solver rewrite against `sqlog-minidb`.
 //!
 //! ```text
-//! sqlog-conform [--seed N] [--cases N] [--oracle] [--db-rows N]
-//!               [--json REPORT.json] [--ledger DIR] [--quiet]
+//! sqlog-conform [--seed N] [--cases N] [--oracle] [--plans] [--no-plans]
+//!               [--db-rows N] [--json REPORT.json] [--ledger DIR] [--quiet]
 //! ```
+//!
+//! `--plans` enables the oracle (like `--oracle`) and additionally holds
+//! every equivalent DW/DS/DF rewrite to the planner's plan properties:
+//! the rewrite must plan an index seek whenever one is available, and must
+//! never plan costlier than the sum of its originals. Plan checks are on
+//! by default whenever the oracle runs; `--no-plans` turns them off.
 //!
 //! Exit status 0 iff every enabled check passed. `--json` writes the
 //! machine-readable report (schema 1, including the harness's `sqlog-obs`
@@ -30,8 +36,8 @@ struct Args {
     quiet: bool,
 }
 
-const USAGE: &str = "usage: sqlog-conform [--seed N] [--cases N] [--oracle] [--db-rows N]\n\
-    [--json REPORT.json] [--ledger DIR] [--quiet]";
+const USAGE: &str = "usage: sqlog-conform [--seed N] [--cases N] [--oracle] [--plans]\n\
+    [--no-plans] [--db-rows N] [--json REPORT.json] [--ledger DIR] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut cfg = ConformanceConfig {
@@ -59,6 +65,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --cases: {e}"))?;
             }
             "--oracle" => cfg.oracle = true,
+            "--plans" => {
+                cfg.oracle = true;
+                cfg.plan_checks = true;
+            }
+            "--no-plans" => cfg.plan_checks = false,
             "--db-rows" => {
                 cfg.db_rows = value("--db-rows")?
                     .parse()

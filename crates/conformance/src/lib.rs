@@ -65,6 +65,9 @@ pub struct ConformanceConfig {
     pub cases: usize,
     /// Run the minidb semantic oracle over the solver's rewrites.
     pub oracle: bool,
+    /// Hold equivalent rewrites to the planner's plan properties as well
+    /// (seek-over-scan, merge-never-plans-worse); oracle only.
+    pub plan_checks: bool,
     /// Rows per generated minidb table (oracle only).
     pub db_rows: usize,
     /// Recorder the harness reports its counters through.
@@ -77,6 +80,7 @@ impl Default for ConformanceConfig {
             seed: 42,
             cases: 500,
             oracle: true,
+            plan_checks: true,
             db_rows: 2_000,
             recorder: Recorder::disabled(),
         }
@@ -118,11 +122,14 @@ pub fn run_conformance(cfg: &ConformanceConfig) -> ConformanceReport {
     let oracle = if cfg.oracle {
         let _span = rec.span("conform.oracle");
         let db = skyserver_db(cfg.db_rows, cfg.seed);
-        let r = oracle::check_rewrites(&db, &reference.rewrites);
+        let r = oracle::check_rewrites_with_plans(&db, &reference.rewrites, cfg.plan_checks);
         rec.counter("conform.oracle.pairs", r.pairs as u64);
         rec.counter("conform.oracle.equivalent", r.equivalent as u64);
         rec.counter("conform.oracle.skipped", r.skipped as u64);
         rec.counter("conform.oracle.mismatches", r.mismatches.len() as u64);
+        rec.counter("conform.oracle.plan_checked", r.plan_checked as u64);
+        rec.counter("conform.oracle.plan_seeks", r.plan_seeks as u64);
+        rec.counter("conform.oracle.plan_failures", r.plan_failures.len() as u64);
         Some(r)
     } else {
         None

@@ -21,9 +21,23 @@
 //! tables outside the generated schema) are counted as skipped, never as
 //! passes; a rewrite that fails to execute while its originals ran is a
 //! hard mismatch.
+//!
+//! With plan checks enabled ([`check_rewrites_with_plans`]), every
+//! semantically-equivalent DW/DS/DF pair is additionally held to *plan*
+//! properties of the cost-based planner:
+//!
+//! * the rewrite must plan an index seek (PkSeek / IndexSeek /
+//!   IndexRangeSeek) whenever one was available — a rewrite that
+//!   full-scans past a usable index is a planner regression;
+//! * the rewrite's estimated plan cost must not exceed the summed plan
+//!   costs of its distinct originals — merging never plans worse;
+//! * originals that **full-scan under the naive reference executor** are
+//!   counted ([`OracleReport::plan_full_scan_originals`]): those are the
+//!   pairs where the planner turns the stifle run's repeated scans into a
+//!   single seek, the §6.3 win surface.
 
 use sqlog_core::{AntipatternClass, SolvedRewrite};
-use sqlog_minidb::{ExecResult, MiniDb, Value};
+use sqlog_minidb::{ExecResult, MiniDb, QueryPlan, Value};
 
 /// Outcome of the oracle over one run's rewrites.
 #[derive(Debug, Clone, Default)]
@@ -39,12 +53,22 @@ pub struct OracleReport {
     pub skipped: usize,
     /// Human-readable description of every failed pair (empty = pass).
     pub mismatches: Vec<String>,
+    /// Pairs whose plans were inspected (plan checks enabled, pair
+    /// equivalent, class DW/DS/DF).
+    pub plan_checked: usize,
+    /// Rewrites that planned an index seek on their primary scan.
+    pub plan_seeks: usize,
+    /// Distinct originals that full-scanned under the naive reference
+    /// executor while their pair's rewrite planned a seek.
+    pub plan_full_scan_originals: usize,
+    /// Plan-property violations (empty = pass).
+    pub plan_failures: Vec<String>,
 }
 
 impl OracleReport {
-    /// Did every executable pair check out?
+    /// Did every executable pair check out, plans included?
     pub fn passed(&self) -> bool {
-        self.mismatches.is_empty()
+        self.mismatches.is_empty() && self.plan_failures.is_empty()
     }
 }
 
@@ -55,8 +79,18 @@ enum Verdict {
     Mismatch(String),
 }
 
-/// Checks every rewrite pair against the database.
+/// Checks every rewrite pair against the database (result sets only).
 pub fn check_rewrites(db: &MiniDb, rewrites: &[SolvedRewrite]) -> OracleReport {
+    check_rewrites_with_plans(db, rewrites, false)
+}
+
+/// Checks every rewrite pair against the database, optionally holding the
+/// equivalent DW/DS/DF pairs to the planner's plan properties as well.
+pub fn check_rewrites_with_plans(
+    db: &MiniDb,
+    rewrites: &[SolvedRewrite],
+    plan_checks: bool,
+) -> OracleReport {
     let mut report = OracleReport::default();
     for rw in rewrites {
         report.pairs += 1;
@@ -65,6 +99,9 @@ pub fn check_rewrites(db: &MiniDb, rewrites: &[SolvedRewrite]) -> OracleReport {
                 report.equivalent += 1;
                 if nonempty {
                     report.nonempty += 1;
+                }
+                if plan_checks && plan_checkable(&rw.class) {
+                    check_plans(db, rw, &mut report);
                 }
             }
             Verdict::Skipped(_) => report.skipped += 1,
@@ -76,6 +113,104 @@ pub fn check_rewrites(db: &MiniDb, rewrites: &[SolvedRewrite]) -> OracleReport {
         }
     }
     report
+}
+
+/// Plan properties only apply to the merge rewrites: SNC deliberately
+/// changes semantics and carries no merged access path to inspect.
+fn plan_checkable(class: &AntipatternClass) -> bool {
+    matches!(
+        class,
+        AntipatternClass::DwStifle | AntipatternClass::DsStifle | AntipatternClass::DfStifle
+    )
+}
+
+/// Plans a statement without executing it.
+fn plan_of(db: &MiniDb, sql: &str) -> Result<QueryPlan, String> {
+    let stmt = sqlog_sql::parse_statement(sql).map_err(|e| format!("{e}"))?;
+    let q = stmt.as_select().ok_or_else(|| "not a SELECT".to_string())?;
+    db.plan(q).map_err(|e| format!("{e:?}"))
+}
+
+/// Did the naive reference executor (the pre-planner behavior the paper's
+/// clients actually got) full-scan this statement?
+fn naive_full_scanned(db: &MiniDb, sql: &str) -> Option<bool> {
+    let stmt = sqlog_sql::parse_statement(sql).ok()?;
+    let q = stmt.as_select()?;
+    db.execute_query_naive(q).ok().map(|r| !r.used_index)
+}
+
+/// Holds one equivalent pair to the planner's plan properties.
+fn check_plans(db: &MiniDb, rw: &SolvedRewrite, report: &mut OracleReport) {
+    let fail = |report: &mut OracleReport, why: String| {
+        report.plan_failures.push(format!(
+            "{} [entries {:?}]: {why}",
+            rw.class.label(),
+            rw.entry_ids
+        ));
+    };
+    let Ok(merged_sql) = single_rewrite(rw) else {
+        return; // already a mismatch shape; semantic check reported it
+    };
+    let plan = match plan_of(db, merged_sql) {
+        Ok(p) => p,
+        // The pair executed (it is equivalent), so an unplannable rewrite
+        // is a planner bug, not a skip.
+        Err(e) => return fail(report, format!("rewrite unplannable: {e}")),
+    };
+    report.plan_checked += 1;
+
+    let seeks = plan
+        .primary_scan()
+        .is_some_and(|scan| scan.access.is_seek());
+    if seeks {
+        report.plan_seeks += 1;
+    } else if plan.seek_was_available() {
+        let chosen = plan
+            .primary_scan()
+            .map(|s| s.access.variant())
+            .unwrap_or("none");
+        return fail(
+            report,
+            format!(
+                "rewrite planned {chosen} though an index seek was \
+                 available: {merged_sql:?}"
+            ),
+        );
+    }
+
+    // Merging never plans worse: the rewrite's estimated cost must not
+    // exceed the summed plan costs of its distinct originals.
+    let mut seen: Vec<&String> = Vec::new();
+    let mut originals_cost = 0.0;
+    let mut full_scanned = 0usize;
+    for sql in &rw.original_statements {
+        if seen.contains(&sql) {
+            continue;
+        }
+        seen.push(sql);
+        match plan_of(db, sql) {
+            Ok(p) => originals_cost += p.est_cost,
+            // Originals executed; treat an unplannable one as a bug too.
+            Err(e) => return fail(report, format!("original unplannable: {e}")),
+        }
+        if naive_full_scanned(db, sql) == Some(true) {
+            full_scanned += 1;
+        }
+    }
+    if seeks {
+        report.plan_full_scan_originals += full_scanned;
+    }
+    if plan.est_cost > originals_cost + 1e-6 {
+        fail(
+            report,
+            format!(
+                "rewrite plan cost {:.3} exceeds the originals' summed plan \
+                 cost {originals_cost:.3} ({} distinct originals)",
+                plan.est_cost,
+                seen.len()
+            ),
+        );
+    }
 }
 
 fn check_one(db: &MiniDb, rw: &SolvedRewrite) -> Verdict {
@@ -385,6 +520,99 @@ mod tests {
         let report = check_rewrites(&db, &[good, bad]);
         assert_eq!(report.equivalent, 1);
         assert_eq!(report.mismatches.len(), 1);
+    }
+
+    #[test]
+    fn dw_rewrite_plans_a_pk_seek() {
+        let db = skyserver_db(500, 7);
+        let rw = rewrite(
+            AntipatternClass::DwStifle,
+            &[
+                "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=587722982000000000",
+                "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=587722982000001000",
+            ],
+            &[
+                "SELECT objid, rowc_g, colc_g FROM photoprimary WHERE objid IN \
+               (587722982000000000, 587722982000001000)",
+            ],
+        );
+        let report = check_rewrites_with_plans(&db, &[rw], true);
+        assert!(report.passed(), "{:?}", report.plan_failures);
+        assert_eq!(report.plan_checked, 1);
+        assert_eq!(report.plan_seeks, 1);
+        // The originals seek too (objid is the primary key), so no
+        // full-scan-to-seek conversion is claimed here.
+        assert_eq!(report.plan_full_scan_originals, 0);
+    }
+
+    #[test]
+    fn dw_rewrite_seeks_where_naive_originals_full_scanned() {
+        // htmid only has a *range* index: the naive reference executor
+        // full-scans `htmid = K` (its point probes are hash-only), while
+        // the planner answers the merged rewrite with a degenerate
+        // range seek. This is exactly the stifle win the §6.3 experiment
+        // measures.
+        let db = skyserver_db(500, 7);
+        let htmid = {
+            let (r, _) = db
+                .execute_sql(
+                    "SELECT TOP 1 htmid FROM photoprimary WHERE objid = 587722982000000000",
+                )
+                .unwrap();
+            match r.rows[0][0] {
+                Value::Int(v) => v,
+                ref other => panic!("unexpected htmid {other:?}"),
+            }
+        };
+        let original = format!("SELECT ra, dec FROM photoprimary WHERE htmid = {htmid}");
+        let rw = rewrite(
+            AntipatternClass::DwStifle,
+            &[&original, &original],
+            &[&format!(
+                "SELECT htmid, ra, dec FROM photoprimary WHERE htmid IN ({htmid})"
+            )],
+        );
+        let report = check_rewrites_with_plans(&db, &[rw], true);
+        assert!(report.passed(), "{:?}", report.plan_failures);
+        assert_eq!(report.plan_seeks, 1);
+        assert_eq!(report.plan_full_scan_originals, 1);
+    }
+
+    #[test]
+    fn oversized_in_list_trips_the_seek_assertion() {
+        // employee has 50 rows: an IN list probing most of the table makes
+        // the full scan estimate cheaper than the seek, so the planner
+        // (correctly, by cost) full-scans — and the strict plan assertion
+        // reports it. The generated corpus never gets near this regime.
+        let db = skyserver_db(500, 7);
+        let keys: Vec<String> = (1..=40).map(|k| k.to_string()).collect();
+        let originals: Vec<String> = (1..=40)
+            .map(|k| format!("SELECT name FROM employee WHERE empid={k}"))
+            .collect();
+        let original_refs: Vec<&str> = originals.iter().map(|s| s.as_str()).collect();
+        let merged = format!(
+            "SELECT empid, name FROM employee WHERE empid IN ({})",
+            keys.join(", ")
+        );
+        let rw = rewrite(AntipatternClass::DwStifle, &original_refs, &[&merged]);
+        let report = check_rewrites_with_plans(&db, &[rw], true);
+        assert_eq!(report.equivalent, 1, "{:?}", report.mismatches);
+        assert_eq!(report.plan_failures.len(), 1, "{:?}", report.plan_failures);
+        assert!(report.plan_failures[0].contains("index seek was available"));
+    }
+
+    #[test]
+    fn plan_checks_off_by_default_in_check_rewrites() {
+        let db = skyserver_db(200, 7);
+        let rw = rewrite(
+            AntipatternClass::DwStifle,
+            &["SELECT rowc_g FROM photoprimary WHERE objid=587722982000000000"],
+            &["SELECT objid, rowc_g FROM photoprimary WHERE objid IN (587722982000000000)"],
+        );
+        let report = check_rewrites(&db, &[rw]);
+        assert!(report.passed());
+        assert_eq!(report.plan_checked, 0);
+        assert_eq!(report.plan_seeks, 0);
     }
 
     #[test]

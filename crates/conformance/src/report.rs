@@ -42,6 +42,9 @@ impl ConformanceReport {
             for m in &oracle.mismatches {
                 out.push(format!("oracle: {m}"));
             }
+            for m in &oracle.plan_failures {
+                out.push(format!("oracle-plan: {m}"));
+            }
         }
         for m in &self.metamorphic.failures {
             out.push(format!("metamorphic: {m}"));
@@ -84,6 +87,13 @@ impl ConformanceReport {
                     ("nonempty", Json::U64(oracle.nonempty as u64)),
                     ("skipped", Json::U64(oracle.skipped as u64)),
                     ("mismatches", strings(&oracle.mismatches)),
+                    ("plan_checked", Json::U64(oracle.plan_checked as u64)),
+                    ("plan_seeks", Json::U64(oracle.plan_seeks as u64)),
+                    (
+                        "plan_full_scan_originals",
+                        Json::U64(oracle.plan_full_scan_originals as u64),
+                    ),
+                    ("plan_failures", strings(&oracle.plan_failures)),
                 ]),
             ));
         }
@@ -148,14 +158,26 @@ impl ConformanceReport {
             self.differential.mismatches.len()
         ));
         match &self.oracle {
-            Some(o) => out.push_str(&format!(
-                "  oracle: {}/{} equivalent ({} non-empty, {} skipped), {} mismatches\n",
-                o.equivalent,
-                o.pairs,
-                o.nonempty,
-                o.skipped,
-                o.mismatches.len()
-            )),
+            Some(o) => {
+                out.push_str(&format!(
+                    "  oracle: {}/{} equivalent ({} non-empty, {} skipped), {} mismatches\n",
+                    o.equivalent,
+                    o.pairs,
+                    o.nonempty,
+                    o.skipped,
+                    o.mismatches.len()
+                ));
+                if o.plan_checked > 0 || !o.plan_failures.is_empty() {
+                    out.push_str(&format!(
+                        "  oracle plans: {} checked, {} seeks, {} originals \
+                         full-scanned naively, {} failures\n",
+                        o.plan_checked,
+                        o.plan_seeks,
+                        o.plan_full_scan_originals,
+                        o.plan_failures.len()
+                    ));
+                }
+            }
             None => out.push_str("  oracle: disabled\n"),
         }
         out.push_str(&format!(

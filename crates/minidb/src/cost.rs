@@ -8,6 +8,7 @@
 //! per-statement overhead + per-scanned-row work + per-result-row transfer.
 
 use crate::exec::ExecResult;
+use crate::ops::OpStats;
 use serde::{Deserialize, Serialize};
 
 /// Cost-model parameters (milliseconds / microseconds of simulated time).
@@ -34,11 +35,23 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// Simulated time of one executed statement, in milliseconds.
+    /// Simulated time of one executed statement, in milliseconds, billing
+    /// scanned rows from the flat [`ExecResult::scanned_rows`] counter.
     pub fn simulated_ms(&self, result: &ExecResult) -> f64 {
+        self.ms_for(result.scanned_rows, result.rows.len())
+    }
+
+    /// Simulated time of one executed statement, in milliseconds, billing
+    /// scanned rows from the operator tree: only rows touched by storage
+    /// operators (`SeqScan` / `IndexScan`) count, so an index seek is charged
+    /// for the rows it probed rather than the table it avoided.
+    pub fn simulated_ms_ops(&self, result: &ExecResult, ops: &OpStats) -> f64 {
+        self.ms_for(ops.storage_scanned() as usize, result.rows.len())
+    }
+
+    fn ms_for(&self, scanned: usize, produced: usize) -> f64 {
         self.per_statement_ms
-            + (result.scanned_rows as f64 * self.per_scanned_row_us
-                + result.rows.len() as f64 * self.per_result_row_us)
+            + (scanned as f64 * self.per_scanned_row_us + produced as f64 * self.per_result_row_us)
                 / 1_000.0
     }
 }

@@ -70,7 +70,7 @@ pub fn skyserver_db(rows: usize, seed: u64) -> MiniDb {
             };
             t.add_column(col.name.clone(), data);
         }
-        t.build_index("objid");
+        t.build_pk("objid");
         t.build_range_index("htmid");
         db.add_table(t);
     }
@@ -155,7 +155,7 @@ pub fn skyserver_db(rows: usize, seed: u64) -> MiniDb {
                     .collect(),
             ),
         );
-        t.build_index("specobjid");
+        t.build_pk("specobjid");
         t.build_index("bestobjid");
         db.add_table(t);
     }
@@ -218,7 +218,7 @@ pub fn skyserver_db(rows: usize, seed: u64) -> MiniDb {
         "phone",
         ColumnData::Str((1..=50).map(|i| Some(format!("555-{i:04}"))).collect()),
     );
-    employee.build_index("empid");
+    employee.build_pk("empid");
     db.add_table(employee);
 
     let mut orders = Table::new("orders");
@@ -243,7 +243,7 @@ pub fn skyserver_db(rows: usize, seed: u64) -> MiniDb {
                 .collect(),
         ),
     );
-    orders.build_index("orderid");
+    orders.build_pk("orderid");
     orders.build_index("empid");
     db.add_table(orders);
 

@@ -51,8 +51,8 @@ pub struct ExecResult {
 /// One bound source in the FROM clause.
 pub(crate) struct Source<'a> {
     /// Binding name: alias if given, else the table name.
-    binding: String,
-    table: &'a Table,
+    pub(crate) binding: String,
+    pub(crate) table: &'a Table,
 }
 
 /// A row under evaluation: one row id per source. Exposed crate-wide so the
@@ -60,6 +60,11 @@ pub(crate) struct Source<'a> {
 pub struct RowCtxView<'a, 'b> {
     sources: &'b [Source<'a>],
     rows: &'b [usize],
+}
+
+/// Crate-internal constructor for the Volcano operators.
+pub(crate) fn row_ctx<'a, 'b>(sources: &'b [Source<'a>], rows: &'b [usize]) -> RowCtxView<'a, 'b> {
+    RowCtxView { sources, rows }
 }
 
 impl RowCtxView<'_, '_> {
@@ -88,7 +93,7 @@ impl RowCtxView<'_, '_> {
     }
 }
 
-fn literal_value(lit: &Literal) -> Value {
+pub(crate) fn literal_value(lit: &Literal) -> Value {
     match lit {
         Literal::Number(text) => {
             if let Ok(i) = text.parse::<i64>() {
@@ -259,6 +264,14 @@ fn scalar_function(name: &str, args: &[Value]) -> Result<Value, ExecError> {
 /// Crate-internal re-export of scalar evaluation for the aggregate module.
 pub(crate) fn eval_scalar_pub(expr: &Expr, ctx: &RowCtxView<'_, '_>) -> Result<Value, ExecError> {
     eval_scalar(expr, ctx)
+}
+
+/// Crate-internal re-export of predicate evaluation for the Volcano filter.
+pub(crate) fn eval_pred_pub(
+    expr: &Expr,
+    ctx: &RowCtxView<'_, '_>,
+) -> Result<Option<bool>, ExecError> {
+    eval_pred(expr, ctx)
 }
 
 /// SQL LIKE with `%` and `_`.
@@ -556,8 +569,24 @@ fn find_probe(selection: &Expr, sources: &[Source<'_>]) -> Option<Probe> {
     None
 }
 
-/// Executes a query against a set of tables.
+/// Executes a query against a set of tables through the cost-based planner
+/// and the Volcano executor (see [`crate::plan`] and [`crate::ops`]). Table
+/// statistics are computed on the fly; callers that execute repeatedly
+/// against the same tables should go through [`crate::MiniDb`], which caches
+/// them.
 pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecResult, ExecError> {
+    crate::ops::execute_planned(query, tables).map(|p| p.result)
+}
+
+/// Executes a query with the retained naive reference executor: one pass,
+/// first-indexable-conjunct access choice, no planner. This is the
+/// differential-testing baseline the Volcano executor is checked against —
+/// both paths share the projection/aggregation/ordering tails, so result
+/// rows must match bit-for-bit.
+pub fn execute_naive(
+    query: &Query,
+    tables: &HashMap<String, Table>,
+) -> Result<ExecResult, ExecError> {
     if !query.is_simple() {
         return Err(ExecError::Unsupported("set operations".into()));
     }
@@ -586,31 +615,7 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
 
     // Constant-only query (`SELECT 1`).
     if sources.is_empty() {
-        let ctx = RowCtxView {
-            sources: &[],
-            rows: &[],
-        };
-        let mut row = Vec::new();
-        let mut names = Vec::new();
-        for item in &body.projection {
-            match item {
-                SelectItem::Expr { expr, alias } => {
-                    row.push(eval_scalar(expr, &ctx)?);
-                    names.push(
-                        alias
-                            .as_ref()
-                            .map_or_else(|| expr.to_string(), |a| a.value.clone()),
-                    );
-                }
-                _ => return Err(ExecError::Unsupported("wildcard without FROM".into())),
-            }
-        }
-        return Ok(ExecResult {
-            columns: names,
-            rows: vec![row],
-            scanned_rows: 0,
-            used_index: false,
-        });
+        return constant_result(body);
     }
     if sources.len() > 2 {
         return Err(ExecError::Unsupported(">2-way joins".into()));
@@ -723,6 +728,60 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
         }
     }
 
+    finish_rows(query, &sources, matches, scanned, used_index).map(|(r, _)| r)
+}
+
+/// Evaluates a FROM-less projection (`SELECT 1`). Shared by both executors.
+pub(crate) fn constant_result(body: &Select) -> Result<ExecResult, ExecError> {
+    let ctx = RowCtxView {
+        sources: &[],
+        rows: &[],
+    };
+    let mut row = Vec::new();
+    let mut names = Vec::new();
+    for item in &body.projection {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                row.push(eval_scalar(expr, &ctx)?);
+                names.push(
+                    alias
+                        .as_ref()
+                        .map_or_else(|| expr.to_string(), |a| a.value.clone()),
+                );
+            }
+            _ => return Err(ExecError::Unsupported("wildcard without FROM".into())),
+        }
+    }
+    Ok(ExecResult {
+        columns: names,
+        rows: vec![row],
+        scanned_rows: 0,
+        used_index: false,
+    })
+}
+
+/// Row counts through the result tail, for operator-level reporting:
+/// `matches → (sort) → project/aggregate → distinct → limit`.
+pub(crate) struct TailCounts {
+    /// Rows after projection (or surviving groups), before DISTINCT.
+    pub(crate) pre_distinct: usize,
+    /// Rows after DISTINCT, before TOP/LIMIT.
+    pub(crate) pre_limit: usize,
+}
+
+/// The shared result tail: ORDER BY over matched source rows, then the
+/// grouped or scalar projection, DISTINCT and TOP/LIMIT. Both the naive
+/// reference executor and the Volcano executor end here, which is what
+/// makes their result rows comparable bit-for-bit.
+pub(crate) fn finish_rows(
+    query: &Query,
+    sources: &[Source<'_>],
+    mut matches: Vec<Vec<usize>>,
+    scanned: usize,
+    used_index: bool,
+) -> Result<(ExecResult, TailCounts), ExecError> {
+    let body = &query.body;
+
     // ORDER BY: sort the matched source rows, so non-projected columns are
     // valid sort keys. Projection aliases are resolved to their expressions
     // (`SELECT u - g AS ug ... ORDER BY ug`).
@@ -749,10 +808,7 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
             .collect();
         let mut keyed: Vec<(Vec<Value>, Vec<usize>)> = Vec::with_capacity(matches.len());
         for m in matches {
-            let ctx = RowCtxView {
-                sources: &sources,
-                rows: &m,
-            };
+            let ctx = RowCtxView { sources, rows: &m };
             let mut keys = Vec::with_capacity(sort_exprs.len());
             for expr in &sort_exprs {
                 keys.push(eval_scalar(expr, &ctx)?);
@@ -782,17 +838,14 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
         || body.having.is_some()
         || crate::aggregate::projection_has_aggregate(&body.projection)
     {
-        return execute_grouped(query, &sources, &matches, scanned, used_index);
+        return execute_grouped(query, sources, &matches, scanned, used_index);
     }
 
     // Projection.
     let mut columns: Vec<String> = Vec::new();
     let mut projected: Vec<Vec<Value>> = Vec::with_capacity(matches.len());
     for (mi, m) in matches.iter().enumerate() {
-        let ctx = RowCtxView {
-            sources: &sources,
-            rows: m,
-        };
+        let ctx = RowCtxView { sources, rows: m };
         let mut row = Vec::new();
         for item in &body.projection {
             match item {
@@ -839,7 +892,7 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
         for item in &body.projection {
             match item {
                 SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
-                    for s in &sources {
+                    for s in sources {
                         for c in &s.table.columns {
                             columns.push(c.name.clone());
                         }
@@ -855,9 +908,11 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
     }
 
     // DISTINCT: drop later duplicates, keeping (sorted) order.
+    let pre_distinct = projected.len();
     if body.distinct {
         dedup_rows(&mut projected);
     }
+    let pre_limit = projected.len();
 
     // TOP / LIMIT.
     let limit = body
@@ -876,12 +931,18 @@ pub fn execute(query: &Query, tables: &HashMap<String, Table>) -> Result<ExecRes
         projected.truncate(n);
     }
 
-    Ok(ExecResult {
-        columns,
-        rows: projected,
-        scanned_rows: scanned,
-        used_index,
-    })
+    Ok((
+        ExecResult {
+            columns,
+            rows: projected,
+            scanned_rows: scanned,
+            used_index,
+        },
+        TailCounts {
+            pre_distinct,
+            pre_limit,
+        },
+    ))
 }
 
 /// Finds an `a.col = b.col` equi-join conjunct where `b`'s column is indexed.
@@ -923,7 +984,7 @@ fn find_equi_join(predicate: &Expr, sources: &[Source<'_>]) -> Option<(String, S
     None
 }
 
-fn bind_table_ref<'a>(
+pub(crate) fn bind_table_ref<'a>(
     t: &TableRef,
     tables: &'a HashMap<String, Table>,
     arena: &'a [Table],
@@ -1002,7 +1063,7 @@ fn collect_derived(
 ) -> Result<(), ExecError> {
     match t {
         TableRef::Derived { subquery, alias } => {
-            let result = execute(subquery, tables)?;
+            let result = execute_naive(subquery, tables)?;
             let name = alias
                 .as_ref()
                 .map_or_else(|| format!("derived{}", arena.len()), |a| a.normalized());
@@ -1019,7 +1080,7 @@ fn collect_derived(
 
 /// Turns an execution result into an in-memory table. Column types are
 /// inferred from the first non-NULL value of each column.
-fn materialize(name: &str, result: &ExecResult) -> Table {
+pub(crate) fn materialize(name: &str, result: &ExecResult) -> Table {
     let mut table = Table::new(name);
     for (ci, col_name) in result.columns.iter().enumerate() {
         let first = result.rows.iter().map(|r| &r[ci]).find(|v| !v.is_null());
@@ -1073,7 +1134,7 @@ fn execute_grouped(
     matches: &[Vec<usize>],
     scanned: usize,
     used_index: bool,
-) -> Result<ExecResult, ExecError> {
+) -> Result<(ExecResult, TailCounts), ExecError> {
     use crate::aggregate::{eval_group_pred, eval_group_scalar};
     let body = &query.body;
 
@@ -1169,9 +1230,11 @@ fn execute_grouped(
     }
 
     // DISTINCT over the grouped output.
+    let pre_distinct = rows.len();
     if body.distinct {
         dedup_rows(&mut rows);
     }
+    let pre_limit = rows.len();
 
     // TOP / LIMIT.
     let limit = body
@@ -1186,12 +1249,18 @@ fn execute_grouped(
         rows.truncate(n);
     }
 
-    Ok(ExecResult {
-        columns,
-        rows,
-        scanned_rows: scanned,
-        used_index,
-    })
+    Ok((
+        ExecResult {
+            columns,
+            rows,
+            scanned_rows: scanned,
+            used_index,
+        },
+        TailCounts {
+            pre_distinct,
+            pre_limit,
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -24,11 +24,17 @@ pub mod cost;
 pub mod datagen;
 pub mod engine;
 pub mod exec;
+pub mod ops;
+pub mod plan;
+pub mod stats;
 pub mod table;
 pub mod value;
 
 pub use cost::CostModel;
 pub use engine::MiniDb;
-pub use exec::{execute, ExecError, ExecResult};
+pub use exec::{execute, execute_naive, ExecError, ExecResult};
+pub use ops::{execute_planned, OpStats, PlannedExec};
+pub use plan::{plan_query, Access, PlanNode, QueryPlan};
+pub use stats::{analyze, ColumnStats, TableStats};
 pub use table::{Column, ColumnData, IndexKey, Table};
 pub use value::Value;

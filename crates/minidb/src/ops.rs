@@ -1,0 +1,575 @@
+//! The Volcano-style executor: pull-based operators driven by a
+//! [`QueryPlan`].
+//!
+//! Each operator exposes `next()` and counts the rows it scans and
+//! produces; [`execute_planned_with_stats`] assembles the pipeline the plan
+//! describes (scan → join → filter), drains it, and hands the matched rows
+//! to the same projection/aggregation/ordering tail the naive reference
+//! executor uses (`exec::finish_rows`). Sharing the tail is deliberate: the
+//! two executors can differ in *how many rows they touch* (that is the
+//! planner's whole point) but never in *which rows they return*, which is
+//! what the differential tests pin.
+//!
+//! The per-operator counters come back as an [`OpStats`] tree mirroring the
+//! plan shape. `OpStats::storage_scanned` sums the rows the scan leaves
+//! actually examined — the quantity the cost model bills (a seek touching 3
+//! rows of a million-row table is billed as 3, not 1 000 000).
+
+use crate::exec::{
+    bind_table_ref, constant_result, eval_pred_pub, materialize, row_ctx, ExecError, ExecResult,
+    Source,
+};
+use crate::plan::{plan_query, Access, PlanNode, QueryPlan, ScanPlan};
+use crate::stats::{analyze, TableStats};
+use crate::table::Table;
+use crate::value::Value;
+use sqlog_obs::Json;
+use sqlog_sql::ast::{Expr, Query, TableRef};
+use std::collections::HashMap;
+
+/// Per-operator execution counters, shaped like the plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Operator name (`SeqScan`, `IndexScan`, `Filter`, …).
+    pub op: &'static str,
+    /// Human-readable detail (table + access path, probe columns, …).
+    pub detail: String,
+    /// Rows this operator examined (for scans: storage rows enumerated).
+    pub rows_scanned: u64,
+    /// Rows this operator emitted upward.
+    pub rows_produced: u64,
+    /// Child operators.
+    pub children: Vec<OpStats>,
+}
+
+impl OpStats {
+    /// Total storage rows examined by the scan leaves — the operator-level
+    /// scanned-row count the cost model consumes.
+    pub fn storage_scanned(&self) -> u64 {
+        let own = if matches!(self.op, "SeqScan" | "IndexScan") {
+            self.rows_scanned
+        } else {
+            0
+        };
+        own + self
+            .children
+            .iter()
+            .map(OpStats::storage_scanned)
+            .sum::<u64>()
+    }
+
+    /// First operator with the given name, depth-first.
+    pub fn find(&self, op: &str) -> Option<&OpStats> {
+        if self.op == op {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(op))
+    }
+
+    /// Stable JSON form (one object per operator, children nested).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("op", Json::Str(self.op.to_string()))];
+        if !self.detail.is_empty() {
+            pairs.push(("detail", Json::Str(self.detail.clone())));
+        }
+        pairs.push(("rows_scanned", Json::U64(self.rows_scanned)));
+        pairs.push(("rows_produced", Json::U64(self.rows_produced)));
+        if !self.children.is_empty() {
+            pairs.push((
+                "children",
+                Json::Arr(self.children.iter().map(OpStats::to_json).collect()),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Indented one-line-per-operator rendering for reports.
+    pub fn render(&self) -> String {
+        fn rec(s: &OpStats, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            let detail = if s.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", s.detail)
+            };
+            out.push_str(&format!(
+                "{pad}{}{detail}  scanned={} produced={}\n",
+                s.op, s.rows_scanned, s.rows_produced
+            ));
+            for c in &s.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        rec(self, 0, &mut out);
+        out
+    }
+}
+
+/// A planned execution: the byte-compatible result, the plan that produced
+/// it, and the operator counters observed while running it.
+#[derive(Debug, Clone)]
+pub struct PlannedExec {
+    /// The result, identical in shape to the naive executor's.
+    pub result: ExecResult,
+    /// The plan that was executed.
+    pub plan: QueryPlan,
+    /// Observed per-operator counters.
+    pub ops: OpStats,
+}
+
+/// Plans and executes with freshly computed stats for every table. Use
+/// [`execute_planned_with_stats`] (or [`crate::MiniDb`], which caches) when
+/// executing repeatedly against the same tables.
+pub fn execute_planned(
+    query: &Query,
+    tables: &HashMap<String, Table>,
+) -> Result<PlannedExec, ExecError> {
+    let stats: HashMap<String, TableStats> = tables
+        .iter()
+        .map(|(name, t)| (name.clone(), analyze(t)))
+        .collect();
+    execute_planned_with_stats(query, tables, &stats)
+}
+
+/// Plans and executes a query through the Volcano pipeline.
+pub fn execute_planned_with_stats(
+    query: &Query,
+    tables: &HashMap<String, Table>,
+    stats: &HashMap<String, TableStats>,
+) -> Result<PlannedExec, ExecError> {
+    let plan = plan_query(query, tables, stats)?;
+    let body = &query.body;
+
+    // Materialize derived tables (planned recursively, same traversal order
+    // the binder uses).
+    let mut arena: Vec<Table> = Vec::new();
+    for t in &body.from {
+        collect_derived_planned(t, tables, stats, &mut arena)?;
+    }
+
+    // Bind the FROM clause.
+    let mut sources: Vec<Source<'_>> = Vec::new();
+    let mut join_on: Vec<Expr> = Vec::new();
+    let mut derived_cursor = 0usize;
+    for t in &body.from {
+        bind_table_ref(
+            t,
+            tables,
+            &arena,
+            &mut derived_cursor,
+            &mut sources,
+            &mut join_on,
+        )?;
+    }
+
+    // Constant-only query.
+    if sources.is_empty() {
+        let result = constant_result(body)?;
+        let ops = OpStats {
+            op: "Project",
+            detail: String::new(),
+            rows_scanned: 1,
+            rows_produced: result.rows.len() as u64,
+            children: vec![OpStats {
+                op: "Values",
+                detail: String::new(),
+                rows_scanned: 0,
+                rows_produced: 1,
+                children: Vec::new(),
+            }],
+        };
+        return Ok(PlannedExec { result, plan, ops });
+    }
+
+    // Combined predicate, exactly as the naive executor builds it.
+    let mut predicate = body.selection.clone();
+    for on in join_on {
+        predicate = Some(match predicate {
+            Some(p) => Expr::and(p, on),
+            None => on,
+        });
+    }
+
+    // Assemble the pipeline from the plan's scan topology and drain it.
+    let counters;
+    let matches;
+    let used_index;
+    {
+        let base = base_of(&plan.root);
+        let input = match base {
+            PlanNode::Scan(sp) => {
+                used_index = sp.access.is_seek();
+                BaseOp::Single(ScanOp::new(scan_candidates(sources[0].table, &sp.access)))
+            }
+            PlanNode::NestedLoopJoin {
+                outer,
+                inner,
+                probe,
+                ..
+            } => {
+                let (PlanNode::Scan(osp), PlanNode::Scan(isp)) = (outer.as_ref(), inner.as_ref())
+                else {
+                    return Err(ExecError::Unsupported("join of non-scans".into()));
+                };
+                used_index = osp.access.is_seek() || probe.is_some() || isp.access.is_seek();
+                BaseOp::Join {
+                    outer: ScanOp::new(scan_candidates(sources[0].table, &osp.access)),
+                    outer_table: sources[0].table,
+                    inner_table: sources[1].table,
+                    probe: probe.as_ref(),
+                    // With no equi-join probe the inner side re-enumerates
+                    // its (fixed) best access path per outer row.
+                    inner_base: if probe.is_none() {
+                        Some(scan_candidates(sources[1].table, &isp.access))
+                    } else {
+                        None
+                    },
+                    cur_outer: 0,
+                    inner: Vec::new().into_iter(),
+                    inner_count: 0,
+                    produced: 0,
+                }
+            }
+            _ => return Err(ExecError::Unsupported("plan without a scan".into())),
+        };
+        let mut filter = FilterOp {
+            input,
+            predicate: predicate.as_ref(),
+            sources: &sources,
+            consumed: 0,
+            produced: 0,
+        };
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        while let Some(m) = filter.next()? {
+            out.push(m);
+        }
+        let (outer_scanned, inner_scanned, tuples) = match filter.input {
+            BaseOp::Single(s) => (s.count, 0, filter.consumed),
+            BaseOp::Join {
+                outer, inner_count, ..
+            } => (outer.count, inner_count, filter.consumed),
+        };
+        counters = Counters {
+            outer_scanned,
+            inner_scanned,
+            tuples,
+            matched: filter.produced,
+            pre_distinct: 0,
+            pre_limit: 0,
+            out: 0,
+        };
+        matches = out;
+    }
+
+    let scanned = (counters.outer_scanned + counters.inner_scanned) as usize;
+    let (result, tail) = crate::exec::finish_rows(query, &sources, matches, scanned, used_index)?;
+    let counters = Counters {
+        pre_distinct: tail.pre_distinct as u64,
+        pre_limit: tail.pre_limit as u64,
+        out: result.rows.len() as u64,
+        ..counters
+    };
+    let ops = op_stats_tree(&plan.root, &counters);
+    Ok(PlannedExec { result, plan, ops })
+}
+
+/// Depth-first materialization of derived tables through the planned
+/// executor (mirrors `exec::collect_derived`, which stays naive-recursive).
+fn collect_derived_planned(
+    t: &TableRef,
+    tables: &HashMap<String, Table>,
+    stats: &HashMap<String, TableStats>,
+    arena: &mut Vec<Table>,
+) -> Result<(), ExecError> {
+    match t {
+        TableRef::Derived { subquery, alias } => {
+            let planned = execute_planned_with_stats(subquery, tables, stats)?;
+            let name = alias
+                .as_ref()
+                .map_or_else(|| format!("derived{}", arena.len()), |a| a.normalized());
+            arena.push(materialize(&name, &planned.result));
+            Ok(())
+        }
+        TableRef::Join { left, right, .. } => {
+            collect_derived_planned(left, tables, stats, arena)?;
+            collect_derived_planned(right, tables, stats, arena)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// The scan topology at the bottom of a plan chain.
+fn base_of(root: &PlanNode) -> &PlanNode {
+    let mut n = root;
+    loop {
+        match n {
+            PlanNode::Scan(_) | PlanNode::NestedLoopJoin { .. } | PlanNode::Values => return n,
+            other => n = other.input().expect("plan tail chain ends at a scan"),
+        }
+    }
+}
+
+/// Candidate row ids for an access path, in ascending row-id order — the
+/// same order every naive access path produces, which keeps planned and
+/// naive result rows identical even without ORDER BY.
+fn scan_candidates(table: &Table, access: &Access) -> Vec<usize> {
+    match access {
+        Access::PkSeek { column, keys } | Access::IndexSeek { column, keys } => {
+            let mut rows = Vec::new();
+            for v in keys {
+                if let Some(ids) = table.index_lookup(column, v) {
+                    rows.extend(ids.iter().map(|&r| r as usize));
+                }
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        }
+        Access::IndexRangeSeek { column, lo, hi } => match table.range_lookup(column, *lo, *hi) {
+            Some(rows) => rows.into_iter().map(|r| r as usize).collect(),
+            None => (0..table.rows()).collect(),
+        },
+        Access::FullScan => (0..table.rows()).collect(),
+    }
+}
+
+/// Leaf scan operator: yields precomputed candidate row ids, counting them.
+struct ScanOp {
+    ids: std::vec::IntoIter<usize>,
+    count: u64,
+}
+
+impl ScanOp {
+    fn new(ids: Vec<usize>) -> Self {
+        ScanOp {
+            ids: ids.into_iter(),
+            count: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<usize> {
+        let r = self.ids.next();
+        if r.is_some() {
+            self.count += 1;
+        }
+        r
+    }
+}
+
+/// The enumeration half of the pipeline: a single scan or a two-way
+/// nested-loop join. Emits fixed-arity row-id tuples.
+enum BaseOp<'a, 'p> {
+    Single(ScanOp),
+    Join {
+        outer: ScanOp,
+        outer_table: &'a Table,
+        inner_table: &'a Table,
+        /// `outer.col = inner.col` probed through the inner hash index.
+        probe: Option<&'p (String, String)>,
+        /// Fixed inner candidate list when there is no probe.
+        inner_base: Option<Vec<usize>>,
+        cur_outer: usize,
+        inner: std::vec::IntoIter<usize>,
+        inner_count: u64,
+        produced: u64,
+    },
+}
+
+impl BaseOp<'_, '_> {
+    /// Next row-id tuple: `([ids; 2], arity)`.
+    fn next(&mut self) -> Option<([usize; 2], usize)> {
+        match self {
+            BaseOp::Single(s) => s.next().map(|r| ([r, 0], 1)),
+            BaseOp::Join {
+                outer,
+                outer_table,
+                inner_table,
+                probe,
+                inner_base,
+                cur_outer,
+                inner,
+                inner_count,
+                produced,
+            } => loop {
+                if let Some(rr) = inner.next() {
+                    *inner_count += 1;
+                    *produced += 1;
+                    return Some(([*cur_outer, rr], 2));
+                }
+                let lr = outer.next()?;
+                *cur_outer = lr;
+                let ids: Vec<usize> = if let Some((lcol, rcol)) = probe {
+                    // Probe the inner hash index with the outer row's value;
+                    // an unindexable value (NULL) falls back to a full pass,
+                    // exactly as the naive join does.
+                    let lval = outer_table
+                        .column(lcol)
+                        .map(|c| c.data.get(lr))
+                        .unwrap_or(Value::Null);
+                    match inner_table.index_lookup(rcol, &lval) {
+                        Some(ids) => ids.iter().map(|&r| r as usize).collect(),
+                        None => (0..inner_table.rows()).collect(),
+                    }
+                } else {
+                    inner_base.clone().unwrap_or_default()
+                };
+                *inner = ids.into_iter();
+            },
+        }
+    }
+}
+
+/// Residual-predicate filter over row-id tuples.
+struct FilterOp<'a, 'b> {
+    input: BaseOp<'a, 'b>,
+    predicate: Option<&'b Expr>,
+    sources: &'b [Source<'a>],
+    consumed: u64,
+    produced: u64,
+}
+
+impl FilterOp<'_, '_> {
+    fn next(&mut self) -> Result<Option<Vec<usize>>, ExecError> {
+        loop {
+            let Some((ids, arity)) = self.input.next() else {
+                return Ok(None);
+            };
+            self.consumed += 1;
+            let keep = match self.predicate {
+                Some(p) => eval_pred_pub(p, &row_ctx(self.sources, &ids[..arity]))? == Some(true),
+                None => true,
+            };
+            if keep {
+                self.produced += 1;
+                return Ok(Some(ids[..arity].to_vec()));
+            }
+        }
+    }
+}
+
+/// Observed row counts, used to fill in the OpStats tree after the run.
+struct Counters {
+    outer_scanned: u64,
+    inner_scanned: u64,
+    /// Tuples entering the filter (candidates, or joined pairs).
+    tuples: u64,
+    /// Tuples surviving the filter.
+    matched: u64,
+    pre_distinct: u64,
+    pre_limit: u64,
+    out: u64,
+}
+
+fn access_detail(sp: &ScanPlan) -> String {
+    let access = match &sp.access {
+        Access::PkSeek { column, keys } => format!("PkSeek({column} ×{})", keys.len()),
+        Access::IndexSeek { column, keys } => format!("IndexSeek({column} ×{})", keys.len()),
+        Access::IndexRangeSeek { column, lo, hi } => {
+            let b = |v: &Option<i64>| v.map_or("∅".to_string(), |v| v.to_string());
+            format!("IndexRangeSeek({column} [{}, {}])", b(lo), b(hi))
+        }
+        Access::FullScan => "FullScan".to_string(),
+    };
+    format!("{} {access}", sp.table)
+}
+
+fn scan_stats(sp: &ScanPlan, scanned: u64) -> OpStats {
+    OpStats {
+        op: if sp.access.is_seek() {
+            "IndexScan"
+        } else {
+            "SeqScan"
+        },
+        detail: access_detail(sp),
+        rows_scanned: scanned,
+        rows_produced: scanned,
+        children: Vec::new(),
+    }
+}
+
+/// Builds the OpStats tree shaped like the plan, filled with the observed
+/// counters.
+fn op_stats_tree(node: &PlanNode, c: &Counters) -> OpStats {
+    let wrap =
+        |op: &'static str, detail: String, scanned: u64, produced: u64, input: &PlanNode| OpStats {
+            op,
+            detail,
+            rows_scanned: scanned,
+            rows_produced: produced,
+            children: vec![op_stats_tree(input, c)],
+        };
+    match node {
+        PlanNode::Limit { input, n } => wrap(
+            "Limit",
+            n.map_or(String::new(), |n| format!("n={n}")),
+            c.pre_limit,
+            c.out,
+            input,
+        ),
+        PlanNode::Distinct { input } => wrap(
+            "Distinct",
+            String::new(),
+            c.pre_distinct,
+            c.pre_limit,
+            input,
+        ),
+        PlanNode::Project { input, .. } => {
+            wrap("Project", String::new(), c.matched, c.pre_distinct, input)
+        }
+        PlanNode::Aggregate {
+            input, group_by, ..
+        } => wrap(
+            "Aggregate",
+            if group_by.is_empty() {
+                String::new()
+            } else {
+                format!("group_by={}", group_by.join(", "))
+            },
+            c.matched,
+            c.pre_distinct,
+            input,
+        ),
+        PlanNode::Sort { input, keys } => wrap(
+            "Sort",
+            format!("keys={}", keys.join(", ")),
+            c.matched,
+            c.matched,
+            input,
+        ),
+        PlanNode::Filter { input, predicate } => {
+            wrap("Filter", predicate.clone(), c.tuples, c.matched, input)
+        }
+        PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            probe,
+            ..
+        } => {
+            let (outer_stats, inner_stats) = match (outer.as_ref(), inner.as_ref()) {
+                (PlanNode::Scan(o), PlanNode::Scan(i)) => (
+                    scan_stats(o, c.outer_scanned),
+                    scan_stats(i, c.inner_scanned),
+                ),
+                _ => unreachable!("joins join scans"),
+            };
+            OpStats {
+                op: "NestedLoopJoin",
+                detail: probe
+                    .as_ref()
+                    .map_or(String::new(), |(o, i)| format!("probe {o} = {i}")),
+                rows_scanned: 0,
+                rows_produced: c.tuples,
+                children: vec![outer_stats, inner_stats],
+            }
+        }
+        PlanNode::Scan(sp) => scan_stats(sp, c.outer_scanned),
+        PlanNode::Values => OpStats {
+            op: "Values",
+            detail: String::new(),
+            rows_scanned: 0,
+            rows_produced: 1,
+            children: Vec::new(),
+        },
+    }
+}

@@ -1,0 +1,225 @@
+//! ANALYZE-style table statistics: the planner's input.
+//!
+//! [`analyze`] makes one pass over a table and records, per column, the
+//! distinct-value count, the null count and (for integer columns) the value
+//! range. The planner turns these into selectivity estimates — how many rows
+//! an equality probe or a range scan is expected to touch — so the choice
+//! among `PkSeek` / `IndexSeek` / `IndexRangeSeek` / `FullScan` is driven by
+//! data shape, not by syntax order. Everything here is deterministic: the
+//! same table always yields the same stats, so plans (and their committed
+//! `explain()` snapshots) are stable.
+
+use crate::table::{ColumnData, Table};
+use std::collections::{HashMap, HashSet};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub nulls: usize,
+    /// Minimum value (integer columns only).
+    pub min: Option<i64>,
+    /// Maximum value (integer columns only).
+    pub max: Option<i64>,
+}
+
+impl ColumnStats {
+    /// Expected rows matched by one equality probe against this column,
+    /// given `row_count` table rows: non-null rows spread evenly over the
+    /// distinct values. Never less than 1 when any non-null row exists.
+    pub fn rows_per_key(&self, row_count: usize) -> f64 {
+        let non_null = row_count.saturating_sub(self.nulls);
+        if non_null == 0 || self.distinct == 0 {
+            return 0.0;
+        }
+        (non_null as f64 / self.distinct as f64).max(1.0)
+    }
+
+    /// Fraction of rows expected inside `[lo, hi]` (either bound optional),
+    /// assuming a uniform spread over the observed `[min, max]` range.
+    /// Returns 1.0 when the column has no integer range stats.
+    pub fn range_selectivity(&self, lo: Option<i64>, hi: Option<i64>) -> f64 {
+        let (Some(min), Some(max)) = (self.min, self.max) else {
+            return 1.0;
+        };
+        let lo = lo.map_or(min, |l| l.max(min));
+        let hi = hi.map_or(max, |h| h.min(max));
+        if lo > hi {
+            return 0.0;
+        }
+        let span = (max - min) as f64 + 1.0;
+        (((hi - lo) as f64 + 1.0) / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Number of rows at ANALYZE time.
+    pub row_count: usize,
+    /// Per-column stats, keyed by lower-cased column name.
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for a column, if analyzed.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(&name.to_ascii_lowercase())
+    }
+}
+
+/// One-pass ANALYZE over a table.
+pub fn analyze(table: &Table) -> TableStats {
+    let mut columns = HashMap::with_capacity(table.columns.len());
+    for col in &table.columns {
+        let stats = match &col.data {
+            ColumnData::Int(values) => {
+                let mut seen: HashSet<i64> = HashSet::new();
+                let (mut nulls, mut min, mut max) = (0usize, None::<i64>, None::<i64>);
+                for v in values {
+                    match v {
+                        Some(v) => {
+                            seen.insert(*v);
+                            min = Some(min.map_or(*v, |m: i64| m.min(*v)));
+                            max = Some(max.map_or(*v, |m: i64| m.max(*v)));
+                        }
+                        None => nulls += 1,
+                    }
+                }
+                ColumnStats {
+                    distinct: seen.len(),
+                    nulls,
+                    min,
+                    max,
+                }
+            }
+            ColumnData::Float(values) => {
+                // Floats are keyed by bit pattern: exact distinct count,
+                // no range stats (the planner has no float range index).
+                let mut seen: HashSet<u64> = HashSet::new();
+                let mut nulls = 0usize;
+                for v in values {
+                    match v {
+                        Some(v) => {
+                            seen.insert(v.to_bits());
+                        }
+                        None => nulls += 1,
+                    }
+                }
+                ColumnStats {
+                    distinct: seen.len(),
+                    nulls,
+                    min: None,
+                    max: None,
+                }
+            }
+            ColumnData::Str(values) => {
+                let mut seen: HashSet<&str> = HashSet::new();
+                let mut nulls = 0usize;
+                for v in values {
+                    match v {
+                        Some(v) => {
+                            seen.insert(v.as_str());
+                        }
+                        None => nulls += 1,
+                    }
+                }
+                ColumnStats {
+                    distinct: seen.len(),
+                    nulls,
+                    min: None,
+                    max: None,
+                }
+            }
+        };
+        columns.insert(col.name.clone(), stats);
+    }
+    TableStats {
+        row_count: table.rows(),
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("t");
+        t.add_column(
+            "id",
+            ColumnData::Int(vec![Some(10), Some(20), Some(20), Some(40), None]),
+        );
+        t.add_column(
+            "name",
+            ColumnData::Str(vec![
+                Some("a".into()),
+                Some("b".into()),
+                Some("b".into()),
+                None,
+                None,
+            ]),
+        );
+        t.add_column(
+            "score",
+            ColumnData::Float(vec![Some(1.5), Some(1.5), Some(2.5), Some(3.5), Some(4.5)]),
+        );
+        t
+    }
+
+    #[test]
+    fn analyze_counts_distincts_nulls_and_ranges() {
+        let s = analyze(&table());
+        assert_eq!(s.row_count, 5);
+        let id = s.column("ID").unwrap();
+        assert_eq!(
+            (id.distinct, id.nulls, id.min, id.max),
+            (3, 1, Some(10), Some(40))
+        );
+        let name = s.column("name").unwrap();
+        assert_eq!((name.distinct, name.nulls), (2, 2));
+        assert_eq!(name.min, None);
+        let score = s.column("score").unwrap();
+        assert_eq!((score.distinct, score.nulls), (4, 0));
+    }
+
+    #[test]
+    fn rows_per_key_spreads_non_null_rows() {
+        let s = analyze(&table());
+        // 4 non-null ids over 3 distinct values.
+        let rpk = s.column("id").unwrap().rows_per_key(5);
+        assert!((rpk - 4.0 / 3.0).abs() < 1e-9);
+        // A unique column probes to ~1 row.
+        let unique = ColumnStats {
+            distinct: 1_000,
+            nulls: 0,
+            min: Some(0),
+            max: Some(999),
+        };
+        assert_eq!(unique.rows_per_key(1_000), 1.0);
+        // Degenerate: empty table.
+        assert_eq!(unique.rows_per_key(0), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_is_proportional_and_clamped() {
+        let c = ColumnStats {
+            distinct: 100,
+            nulls: 0,
+            min: Some(0),
+            max: Some(99),
+        };
+        assert!((c.range_selectivity(Some(0), Some(49)) - 0.5).abs() < 1e-9);
+        assert_eq!(c.range_selectivity(Some(200), Some(300)), 0.0);
+        assert_eq!(c.range_selectivity(None, None), 1.0);
+        // Bounds outside the observed range clamp to it.
+        assert_eq!(c.range_selectivity(Some(-100), Some(1_000)), 1.0);
+    }
+
+    #[test]
+    fn analyze_is_deterministic() {
+        assert_eq!(analyze(&table()), analyze(&table()));
+    }
+}

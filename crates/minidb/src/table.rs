@@ -81,6 +81,10 @@ pub struct Table {
     pub indexes: HashMap<String, HashMap<IndexKey, Vec<u32>>>,
     /// Ordered (range) indexes over integer columns: column → value → rows.
     pub range_indexes: HashMap<String, BTreeMap<i64, Vec<u32>>>,
+    /// Primary-key column, if declared (lower-cased). A primary key always
+    /// has a hash index; the planner plans equality probes on it as
+    /// `PkSeek` (≤ 1 row per key) rather than a generic `IndexSeek`.
+    pub primary_key: Option<String>,
 }
 
 impl Table {
@@ -91,6 +95,7 @@ impl Table {
             columns: Vec::new(),
             indexes: HashMap::new(),
             range_indexes: HashMap::new(),
+            primary_key: None,
         }
     }
 
@@ -128,6 +133,14 @@ impl Table {
             }
         }
         self.indexes.insert(column.to_ascii_lowercase(), index);
+    }
+
+    /// Declares `column` the primary key and builds its hash index.
+    pub fn build_pk(&mut self, column: &str) {
+        self.build_index(column);
+        if self.indexes.contains_key(&column.to_ascii_lowercase()) {
+            self.primary_key = Some(column.to_ascii_lowercase());
+        }
     }
 
     /// Builds an ordered index over an integer column, enabling range scans.

@@ -1,10 +1,19 @@
 //! Executor coverage over the generated workload: every statement of the
 //! synthetic log either executes or fails with an *honest* error — the
 //! engine never panics and never silently mis-executes an unsupported shape.
+//!
+//! The differential tests below additionally pin the cost-based
+//! planner + Volcano executor to the retained naive reference path: over
+//! the full generated log and over every statement of the solver-rewrite
+//! corpus, both executors must produce identical rows (order-normalized)
+//! or both must reject the statement.
 
+use sqlog_catalog::skyserver_catalog;
+use sqlog_core::Pipeline;
 use sqlog_gen::{generate, GenConfig};
 use sqlog_minidb::datagen::skyserver_db;
-use sqlog_minidb::ExecError;
+use sqlog_minidb::{ExecError, ExecResult, MiniDb};
+use sqlog_sql::ast::Query;
 
 #[test]
 fn every_generated_statement_executes_or_errors_honestly() {
@@ -34,4 +43,81 @@ fn every_generated_statement_executes_or_errors_honestly() {
         rejected, 0,
         "{rejected} statements hit missing tables/columns"
     );
+}
+
+fn parse_select(sql: &str) -> Option<Query> {
+    let stmt = sqlog_sql::parse_statement(sql).ok()?;
+    stmt.as_select().cloned()
+}
+
+/// Order-normalized row multiset of a result.
+fn sorted_rows(r: &ExecResult) -> Vec<String> {
+    let mut keys: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+    keys.sort();
+    keys
+}
+
+/// Runs one statement through both executors and asserts they agree:
+/// identical columns and rows (order-normalized) when both execute, or
+/// both rejecting it. Returns whether the statement executed.
+fn assert_paths_agree(db: &MiniDb, sql: &str) -> bool {
+    let Some(query) = parse_select(sql) else {
+        return false;
+    };
+    let planned = db.execute_query(&query);
+    let naive = db.execute_query_naive(&query);
+    match (planned, naive) {
+        (Ok(p), Ok(n)) => {
+            assert_eq!(p.columns, n.columns, "columns diverge on {sql:?}");
+            assert_eq!(sorted_rows(&p), sorted_rows(&n), "rows diverge on {sql:?}");
+            true
+        }
+        (Err(_), Err(_)) => false,
+        (p, n) => panic!(
+            "executors diverge on {sql:?}: planned {:?}, naive {:?}",
+            p.as_ref().map(|r| r.rows.len()),
+            n.as_ref().map(|r| r.rows.len())
+        ),
+    }
+}
+
+#[test]
+fn planned_executor_matches_naive_reference_on_generated_log() {
+    let log = generate(&GenConfig::with_scale(3_000, 27182));
+    let db = skyserver_db(2_000, 27182);
+    let mut executed = 0usize;
+    for e in &log.entries {
+        if assert_paths_agree(&db, &e.statement) {
+            executed += 1;
+        }
+    }
+    assert!(
+        executed as f64 > 0.5 * log.len() as f64,
+        "compared only {executed} of {}",
+        log.len()
+    );
+}
+
+#[test]
+fn planned_executor_matches_naive_reference_on_solver_rewrites() {
+    let log = generate(&GenConfig::with_scale(3_000, 16180));
+    let corpus = Pipeline::new(&skyserver_catalog()).run(&log);
+    assert!(
+        !corpus.rewrites.is_empty(),
+        "pipeline produced no rewrites to compare"
+    );
+    let db = skyserver_db(2_000, 16180);
+    let mut executed = 0usize;
+    for rw in &corpus.rewrites {
+        for sql in rw
+            .original_statements
+            .iter()
+            .chain(&rw.rewritten_statements)
+        {
+            if assert_paths_agree(&db, sql) {
+                executed += 1;
+            }
+        }
+    }
+    assert!(executed > 0, "no corpus statement executed on both paths");
 }

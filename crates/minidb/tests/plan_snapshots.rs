@@ -1,0 +1,172 @@
+//! Plan snapshots: committed `explain()` fixtures for each antipattern
+//! class's original vs rewrite (DW/DS/DF/SNC).
+//!
+//! The planner's choice for these statements is part of the repo's
+//! contract — the §6.3 experiment and the conformance oracle both reason
+//! about these plans. When a planner change moves one of them (a seek
+//! becomes a scan, a cost estimate shifts), this test fails with a
+//! line-oriented diff of the plan tree.
+//!
+//! To regenerate after an *intentional* planner change:
+//!
+//! ```text
+//! UPDATE_PLAN_SNAPSHOTS=1 cargo test -p sqlog-minidb --test plan_snapshots
+//! ```
+
+use sqlog_minidb::datagen::skyserver_db;
+use sqlog_minidb::MiniDb;
+use std::path::PathBuf;
+
+/// One snapshot: fixture name and the statement whose plan it pins.
+const CASES: &[(&str, &str)] = &[
+    (
+        "dw_original",
+        "SELECT rowc_g, colc_g FROM photoprimary WHERE objid=587722982000000000",
+    ),
+    (
+        "dw_rewrite",
+        "SELECT objid, rowc_g, colc_g FROM photoprimary WHERE objid IN \
+         (587722982000000000, 587722982000001000, 587722982000002000)",
+    ),
+    (
+        "ds_original",
+        "SELECT rowc_r, colc_r FROM photoprimary WHERE objid=587722982000002000",
+    ),
+    (
+        "ds_rewrite",
+        "SELECT rowc_r, colc_r, rowc_g, colc_g FROM photoprimary \
+         WHERE objid = 587722982000002000",
+    ),
+    (
+        "df_original",
+        "SELECT ra FROM galaxy WHERE objid=587722982000003000",
+    ),
+    (
+        "df_rewrite",
+        "SELECT photoprimary.ra, galaxy.ra FROM photoprimary INNER JOIN galaxy \
+         ON galaxy.objid = photoprimary.objid \
+         WHERE photoprimary.objid = 587722982000003000",
+    ),
+    (
+        "snc_original",
+        "SELECT objid FROM photoprimary WHERE flags = NULL",
+    ),
+    (
+        "snc_rewrite",
+        "SELECT objid FROM photoprimary WHERE flags IS NULL",
+    ),
+    // The degenerate point range: equality on the range-indexed-only
+    // htmid column must stay a seek, not a scan — this is the plan-level
+    // win the oracle asserts for stifle rewrites.
+    (
+        "htmid_point_range",
+        "SELECT ra, dec FROM photoprimary WHERE htmid = 1500000000",
+    ),
+];
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/plans")
+        .join(format!("{name}.json"))
+}
+
+/// A line-oriented diff small enough to read in test output.
+fn line_diff(expected: &str, actual: &str) -> String {
+    let mut out = String::new();
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    for i in 0..e.len().max(a.len()) {
+        match (e.get(i), a.get(i)) {
+            (Some(el), Some(al)) if el == al => {}
+            (el, al) => {
+                if let Some(el) = el {
+                    out.push_str(&format!("  line {:>3} - {el}\n", i + 1));
+                }
+                if let Some(al) = al {
+                    out.push_str(&format!("  line {:>3} + {al}\n", i + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn snapshot_db() -> MiniDb {
+    // The fixture plans embed row/cost estimates, so the database shape is
+    // pinned: 1 000 rows, seed 7.
+    skyserver_db(1_000, 7)
+}
+
+#[test]
+fn plans_match_committed_fixtures() {
+    let db = snapshot_db();
+    let update = std::env::var_os("UPDATE_PLAN_SNAPSHOTS").is_some();
+    let mut failures = Vec::new();
+    for (name, sql) in CASES {
+        let plan = db
+            .explain_sql(sql)
+            .unwrap_or_else(|e| panic!("cannot plan {name} ({sql:?}): {e:?}"));
+        let rendered = format!("{}\n", plan.render_pretty());
+        let path = fixture_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!(
+                    "{name}: missing fixture {} ({e}); run with \
+                     UPDATE_PLAN_SNAPSHOTS=1 to create it",
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        if committed != rendered {
+            failures.push(format!(
+                "{name}: plan changed for {sql:?}\n{}",
+                line_diff(&committed, &rendered)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "plan snapshots diverged:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn snapshot_plans_have_expected_access_paths() {
+    // Independent of fixture bytes: the class-level expectations that give
+    // the snapshots their meaning.
+    let db = snapshot_db();
+    let seek_of = |sql: &str| {
+        let plan = db.explain_sql(sql).unwrap();
+        plan.render()
+    };
+    for (name, sql) in CASES {
+        let rendered = seek_of(sql);
+        match *name {
+            "dw_original" | "dw_rewrite" | "ds_original" | "ds_rewrite" | "df_original" => {
+                assert!(rendered.contains("\"PkSeek\""), "{name}: {rendered}");
+            }
+            "df_rewrite" => {
+                assert!(rendered.contains("\"PkSeek\""), "{name}: {rendered}");
+                assert!(rendered.contains("NestedLoopJoin"), "{name}: {rendered}");
+            }
+            "snc_original" | "snc_rewrite" => {
+                assert!(rendered.contains("\"FullScan\""), "{name}: {rendered}");
+            }
+            "htmid_point_range" => {
+                assert!(
+                    rendered.contains("\"IndexRangeSeek\""),
+                    "{name}: {rendered}"
+                );
+            }
+            other => panic!("unclassified case {other}"),
+        }
+    }
+}

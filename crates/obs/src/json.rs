@@ -166,6 +166,54 @@ impl Json {
         }
     }
 
+    /// Renders the value as indented multi-line JSON (two-space indent).
+    /// Used for committed fixtures, where line-oriented diffs must stay
+    /// readable.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        let indent = |out: &mut String, depth: usize| {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.render_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+
     /// Parses one complete JSON document (trailing garbage is an error).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
@@ -487,6 +535,23 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pretty_render_parses_back_and_is_line_oriented() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("scan".into())),
+            ("rows", Json::U64(3)),
+            ("keys", Json::Arr(vec![Json::I64(-1), Json::U64(2)])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let pretty = v.render_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"rows\": 3"), "{pretty}");
+        assert!(pretty.contains("\"empty_obj\": {}"), "{pretty}");
+        // Every key/value sits on its own line for diffable fixtures.
+        assert!(pretty.lines().count() >= 8, "{pretty}");
+    }
 
     #[test]
     fn scalars_round_trip() {
