@@ -1,0 +1,25 @@
+use sqlog_minidb::table::{ColumnData, Table};
+use sqlog_minidb::MiniDb;
+
+#[test]
+fn self_join_table_qualifier() {
+    let mut t = Table::new("t");
+    t.add_column("id", ColumnData::Int(vec![Some(1), Some(2), Some(3)]));
+    t.add_column("g", ColumnData::Int(vec![Some(7), Some(7), Some(8)]));
+    t.build_pk("id");
+    let mut db = MiniDb::new();
+    db.add_table(t);
+
+    let sql = "SELECT a.id, b.id FROM t AS a JOIN t AS b ON a.g = b.g WHERE t.id = 1";
+    let stmt = sqlog_sql::parse_statement(sql).unwrap();
+    let q = match stmt {
+        sqlog_sql::ast::Statement::Select(q) => *q,
+        _ => panic!(),
+    };
+    let naive = db.execute_query_naive(&q).unwrap();
+    let planned = db.execute_query_planned(&q).unwrap();
+    println!("plan: {}", db.explain(&q).unwrap().render());
+    println!("naive rows:   {:?}", naive.rows);
+    println!("planned rows: {:?}", planned.result.rows);
+    assert_eq!(naive.rows, planned.result.rows);
+}
